@@ -1,0 +1,156 @@
+// Figure-level benchmarks: one per table/figure of the paper's evaluation
+// (§4).  Each benchmark regenerates the figure's underlying experiment at
+// reduced run count (benchmarks measure cost; cmd/dhtsim reproduces the
+// figures at full paper scale) and reports the headline metric via
+// b.ReportMetric so `go test -bench` output doubles as a results table:
+//
+//	sigma%   final σ̄ of the experiment's quality metric (×100)
+//	groups   final number of groups (figure 7)
+package dbdht_test
+
+import (
+	"strconv"
+	"testing"
+
+	"dbdht/internal/sim"
+)
+
+// benchOpts keeps each figure benchmark to a few hundred milliseconds per
+// iteration while preserving the paper's 1024-vnode horizon.
+func benchOpts(seed int64) sim.Options {
+	return sim.Options{Runs: 4, Vnodes: 1024, Seed: seed, SampleEvery: 1024}
+}
+
+func BenchmarkFig4LocalQuality(b *testing.B) {
+	for _, pv := range []int{8, 32, 128} {
+		b.Run(benchName("PminVmin", pv), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				s, err := sim.LocalQuality(pv, pv, benchOpts(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s.Last()
+			}
+			b.ReportMetric(100*last, "sigma%")
+		})
+	}
+}
+
+func BenchmarkFig5Theta(b *testing.B) {
+	var min int
+	for i := 0; i < b.N; i++ {
+		pts, err := sim.Theta([]int{8, 16, 32, 64, 128}, 0.5, sim.Options{Runs: 2, Vnodes: 1024, Seed: int64(i), SampleEvery: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := pts[0]
+		for _, p := range pts {
+			if p.Theta < best.Theta {
+				best = p
+			}
+		}
+		min = best.Vmin
+	}
+	b.ReportMetric(float64(min), "argmin-Vmin")
+}
+
+func BenchmarkFig6VminSweep(b *testing.B) {
+	for _, vmin := range []int{8, 64, 512} {
+		b.Run(benchName("Vmin", vmin), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				s, err := sim.LocalQuality(32, vmin, benchOpts(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s.Last()
+			}
+			b.ReportMetric(100*last, "sigma%")
+		})
+	}
+}
+
+func BenchmarkFig7GroupEvolution(b *testing.B) {
+	var groups float64
+	for i := 0; i < b.N; i++ {
+		ge, err := sim.Groups(32, 32, benchOpts(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = ge.Real.Last()
+	}
+	b.ReportMetric(groups, "groups")
+}
+
+func BenchmarkFig8GroupQuality(b *testing.B) {
+	var q float64
+	for i := 0; i < b.N; i++ {
+		ge, err := sim.Groups(32, 32, benchOpts(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		q = ge.Quality.Last()
+	}
+	b.ReportMetric(100*q, "sigma%")
+}
+
+func BenchmarkFig9ConsistentHashing(b *testing.B) {
+	for _, k := range []int{32, 64} {
+		b.Run(benchName("pts", k), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				s, err := sim.CHQuality(k, benchOpts(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s.Last()
+			}
+			b.ReportMetric(100*last, "sigma%")
+		})
+	}
+}
+
+func BenchmarkFig9LocalCounterpart(b *testing.B) {
+	for _, vmin := range []int{32, 512} {
+		b.Run(benchName("Vmin", vmin), func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				s, err := sim.LocalQuality(32, vmin, benchOpts(int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = s.Last()
+			}
+			b.ReportMetric(100*last, "sigma%")
+		})
+	}
+}
+
+func BenchmarkStability8192(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		s, err := sim.LocalQuality(32, 32, sim.Options{Runs: 1, Vnodes: 8192, Seed: int64(i), SampleEvery: 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = s.Last()
+	}
+	b.ReportMetric(100*last, "sigma%")
+}
+
+func BenchmarkDoublingRatio(b *testing.B) {
+	var r float64
+	for i := 0; i < b.N; i++ {
+		_, ratios, err := sim.PlateauRatio([]int{16, 32}, 0.25, sim.Options{Runs: 2, Vnodes: 1024, Seed: int64(i), SampleEvery: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r = ratios[0]
+	}
+	b.ReportMetric(r, "ratio")
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "=" + strconv.Itoa(v)
+}

@@ -1,0 +1,127 @@
+// Package dbdht is a from-scratch Go implementation of the cluster-oriented
+// model for dynamically balanced Distributed Hash Tables of Rufino, Alves,
+// Exposto and Pina (IPDPS 2004), including:
+//
+//   - the paper's primary contribution, the *local approach*: the DHT's
+//     vnodes are divided into groups that balance themselves independently
+//     and in parallel, each around its own Local Partition Distribution
+//     Record (LPDR);
+//   - the *global approach* base model it extends (one GPDR, serial
+//     balancement, invariants G1–G5);
+//   - the Consistent Hashing reference model it is evaluated against;
+//   - a cluster runtime where snodes are live actors exchanging protocol
+//     messages (in-memory or TCP fabric) and storing real key/value data
+//     that migrates with its partitions;
+//   - the simulation harness reproducing every figure of the paper's
+//     evaluation (see cmd/dhtsim and EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	d, err := dbdht.NewLocal(dbdht.Options{Pmin: 32, Vmin: 32, Seed: 1})
+//	if err != nil { ... }
+//	for i := 0; i < 1024; i++ {
+//		if _, _, err := d.AddVnode(); err != nil { ... }
+//	}
+//	fmt.Printf("σ̄(Qv) = %.2f%%\n", 100*d.QualityOfBalancement())
+//
+// For a live message-passing cluster with a key/value data plane, see
+// NewCluster; for a real TCP fabric, see NewClusterTCP.
+package dbdht
+
+import (
+	"math/rand"
+	"time"
+
+	"dbdht/internal/ch"
+	"dbdht/internal/cluster"
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
+	"dbdht/internal/global"
+	"dbdht/internal/hashspace"
+)
+
+// LocalDHT is a local-approach DHT (the paper's contribution); see
+// internal/core for the full method set: AddVnode, RemoveVnode, Lookup,
+// QualityOfBalancement, GroupBalancement, Groups, CheckInvariants, ...
+type LocalDHT = core.DHT
+
+// GlobalDHT is a global-approach DHT (the base model of §2).
+type GlobalDHT = global.DHT
+
+// ConsistentHashing is the Karger et al. reference ring of §4.3.
+type ConsistentHashing = ch.Ring
+
+// Cluster is a live message-passing DHT cluster with a key/value data
+// plane; see internal/cluster for the full method set: AddSnode,
+// CreateVnode, RemoveVnode, SetEnrollment, RemoveSnode, Put/Get/Delete,
+// Snapshot, StatsTotal, ...
+type Cluster = cluster.Cluster
+
+// GroupID is the decentralized binary group identifier of §3.7.1.
+type GroupID = core.GroupID
+
+// VnodeID identifies a vnode in the algorithmic DHTs.
+type VnodeID = core.VnodeID
+
+// VnodeName is a cluster vnode's canonical snode_id.vnode_id name.
+type VnodeName = cluster.VnodeName
+
+// Partition is a binary-aligned subset of the hash range R_h.
+type Partition = hashspace.Partition
+
+// Options configures the algorithmic DHTs.  Pmin controls the grain of
+// balancement inside a scope; Vmin controls group size (local approach
+// only).  Both must be powers of two (§4.1).  Seed makes every run
+// reproducible.
+type Options struct {
+	Pmin int
+	Vmin int
+	Seed int64
+}
+
+// ClusterOptions configures a live cluster.
+type ClusterOptions struct {
+	Pmin int
+	Vmin int
+	Seed int64
+	// RPCTimeout bounds internal request/response exchanges (default 30s).
+	RPCTimeout time.Duration
+}
+
+// NewLocal returns an empty local-approach DHT.
+func NewLocal(o Options) (*LocalDHT, error) {
+	return core.New(core.Config{Pmin: o.Pmin, Vmin: o.Vmin}, rand.New(rand.NewSource(o.Seed)))
+}
+
+// NewGlobal returns an empty global-approach DHT (Vmin is ignored).
+func NewGlobal(o Options) (*GlobalDHT, error) {
+	return global.New(o.Pmin, rand.New(rand.NewSource(o.Seed)))
+}
+
+// NewConsistentHashing returns an empty Consistent Hashing ring with k
+// points per unit of node weight.
+func NewConsistentHashing(k int, seed int64) (*ConsistentHashing, error) {
+	return ch.New(k, rand.New(rand.NewSource(seed)))
+}
+
+// NewCluster starts a cluster over an in-memory message fabric — the
+// default for experiments and tests.
+func NewCluster(o ClusterOptions) (*Cluster, error) {
+	return cluster.New(cluster.Config{
+		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
+	}, transport.NewMem())
+}
+
+// NewClusterTCP starts a cluster whose snodes communicate over real TCP
+// connections bound to the given host (e.g. "127.0.0.1").
+func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
+	return cluster.New(cluster.Config{
+		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
+	}, transport.NewTCP(host))
+}
+
+// Hash maps an arbitrary key to the hash range R_h.
+func Hash(key []byte) uint64 { return hashspace.Hash(key) }
+
+// HashString is Hash for string keys.
+func HashString(key string) uint64 { return hashspace.HashString(key) }

@@ -1,0 +1,85 @@
+// Elastic membership: the base model's dynamic features (§1) on a live
+// cluster — nodes join, change their enrollment level as their resources
+// shift, and leave gracefully, while the DHT stays balanced and no data is
+// lost.  The run prints the migration cost of every reconfiguration, the
+// storage/time side of the paper's quality-vs-resources tradeoff (§4.1.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbdht"
+	"dbdht/internal/metrics"
+)
+
+func report(c *dbdht.Cluster, phase string, prevKeys int64) int64 {
+	if err := c.Ping(); err != nil {
+		log.Fatal(err)
+	}
+	snap := c.Snapshot()
+	quotas := snap.VnodeQuotas()
+	st := c.StatsTotal()
+	fmt.Printf("%-34s vnodes=%3d  σ̄(Qv)=%6.2f%%  keys moved so far=%d (+%d)\n",
+		phase, len(snap.Vnodes), 100*metrics.RelStdDev(quotas), st.KeysMoved, st.KeysMoved-prevKeys)
+	return st.KeysMoved
+}
+
+func main() {
+	c, err := dbdht.NewCluster(dbdht.ClusterOptions{Pmin: 16, Vmin: 4, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Phase 1: three nodes, three vnodes each, plus a working set.
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range c.Snodes() {
+		if _, err := c.SetEnrollment(id, 3); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		if err := c.Put(fmt.Sprintf("key-%d", i), []byte("payload")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	moved := report(c, "3 nodes x 3 vnodes + 3000 keys", 0)
+
+	// Phase 2: a powerful node joins and enrolls heavily.
+	big, err := c.AddSnode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.SetEnrollment(big, 6); err != nil {
+		log.Fatal(err)
+	}
+	moved = report(c, fmt.Sprintf("node %d joins with 6 vnodes", big), moved)
+
+	// Phase 3: an original node is repurposed — its enrollment halves.
+	victim := c.Snodes()[0]
+	if _, err := c.SetEnrollment(victim, 1); err != nil {
+		log.Fatal(err)
+	}
+	moved = report(c, fmt.Sprintf("node %d shrinks to 1 vnode", victim), moved)
+
+	// Phase 4: another node leaves the cluster entirely.
+	leaver := c.Snodes()[1]
+	if err := c.RemoveSnode(leaver); err != nil {
+		log.Fatal(err)
+	}
+	moved = report(c, fmt.Sprintf("node %d leaves gracefully", leaver), moved)
+	_ = moved
+
+	// All 3000 keys survived four reconfigurations.
+	for i := 0; i < 3000; i++ {
+		if _, found, err := c.Get(fmt.Sprintf("key-%d", i)); err != nil || !found {
+			log.Fatalf("key-%d lost: %v %v", i, err, found)
+		}
+	}
+	fmt.Println("all 3000 keys intact after join, re-enrollment and leave")
+}

@@ -1,0 +1,78 @@
+// Heterogeneous cluster: the base model's motivating feature (§1) — the
+// share of the DHT handled by each cluster node tracks the resources it
+// enrolls.  A node's enrollment level is its vnode count, so a node with
+// twice the capacity enrolls twice the vnodes and ends up with twice the
+// quota.  The same experiment on weighted Consistent Hashing shows the
+// deterministic model tracking weights far more tightly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dbdht"
+	"dbdht/internal/metrics"
+)
+
+func main() {
+	// A 16-node cluster from three machine generations: weights 1, 2 and 4
+	// (total enrollment 32 vnodes).
+	weights := []int{4, 4, 4, 4, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1}
+
+	d, err := dbdht.NewLocal(dbdht.Options{Pmin: 32, Vmin: 16, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Node i enrolls weights[i] vnodes; remember which vnode serves whom.
+	owner := map[dbdht.VnodeID]int{}
+	for node, w := range weights {
+		for j := 0; j < w; j++ {
+			id, _, err := d.AddVnode()
+			if err != nil {
+				log.Fatal(err)
+			}
+			owner[id] = node
+		}
+	}
+
+	// Node shares: sum of the node's vnode quotas.
+	quotas := d.VnodeQuotas()
+	shares := make([]float64, len(weights))
+	i := 0
+	for _, q := range quotas {
+		shares[owner[dbdht.VnodeID(i)]] += q
+		i++
+	}
+
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	fmt.Println("node  weight  ideal %  actual %  actual/ideal")
+	norm := make([]float64, len(weights))
+	for n, w := range weights {
+		ideal := float64(w) / float64(total)
+		norm[n] = shares[n] / ideal
+		fmt.Printf("%4d  %6d  %7.2f  %8.2f  %12.3f\n", n, w, 100*ideal, 100*shares[n], norm[n])
+	}
+	fmt.Printf("\nweight-tracking error σ̄ (0 = perfectly proportional): %.2f%%\n",
+		100*metrics.RelStdDevAround(norm, 1))
+
+	// Contrast with weighted Consistent Hashing (32 points per weight unit).
+	ring, err := dbdht.NewConsistentHashing(32, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range weights {
+		if _, err := ring.AddNode(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	chShares := ring.Quotas()
+	chNorm := make([]float64, len(weights))
+	for n, w := range weights {
+		chNorm[n] = chShares[n] / (float64(w) / float64(total))
+	}
+	fmt.Printf("weighted Consistent Hashing error σ̄:              %.2f%%\n",
+		100*metrics.RelStdDevAround(chNorm, 1))
+}

@@ -1,0 +1,32 @@
+package balance
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkPlanCreate measures the §2.5 reassignment plan over PDR tables
+// of the sizes a group's LPDR reaches (Vmax for the largest figure-6
+// configuration is 1024, i.e. the whole DHT in one group).
+func BenchmarkPlanCreate(b *testing.B) {
+	for _, size := range []int{16, 64, 1024} {
+		b.Run("V="+strconv.Itoa(size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				t := NewTable[int](func(a, c int) bool { return a < c })
+				for v := 0; v < size; v++ {
+					t.Add(v)
+					if _, _, err := t.PlanCreate(v, 32); err != nil {
+						b.Fatal(err)
+					}
+				}
+				t.Add(size)
+				b.StartTimer()
+				if _, _, err := t.PlanCreate(size, 32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

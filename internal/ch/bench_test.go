@@ -1,0 +1,52 @@
+package ch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAddNode measures one CH join (k=32 points) with incremental
+// quota maintenance, on a 1024-node ring.
+func BenchmarkAddNode(b *testing.B) {
+	r, err := New(32, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n := 0; n < 1024; n++ {
+		if _, err := r.AddNode(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.AddNode(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookup measures ring lookups on a 1024-node ring.
+func BenchmarkLookup(b *testing.B) {
+	r, err := New(32, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n := 0; n < 1024; n++ {
+		if _, err := r.AddNode(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	idx := make([]uint64, 1024)
+	for i := range idx {
+		idx[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Lookup(idx[i%len(idx)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package ch implements the Consistent Hashing reference model of Karger et
+// al. (STOC'97, the paper's reference [4]) that §4.3 of Rufino et al.
+// compares against: a ring of randomly placed points (virtual servers), each
+// physical node owning the arcs that start at its points, so partitions have
+// *random* sizes — in contrast to the equal-size, bounded-count partitions
+// of the cluster-oriented model.
+//
+// The weighted variant of Dabek et al. (SOSP'01, reference [3]) is obtained
+// by giving a node a number of points proportional to its weight.
+//
+// Quotas are maintained incrementally: inserting a point splits exactly one
+// existing arc, removing a point merges its arc into the predecessor's, so
+// each join/leave costs O(k log P) instead of a full O(P) recomputation.
+// Tests cross-check the incremental accounting against brute force.
+package ch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"dbdht/internal/metrics"
+)
+
+// NodeID identifies a physical node on the ring.
+type NodeID int
+
+type point struct {
+	pos  uint64
+	node NodeID
+}
+
+// Ring is a consistent-hashing ring.  Not safe for concurrent use.
+type Ring struct {
+	k      int // points per unit of weight ("partitions per node", §4.3)
+	rng    *rand.Rand
+	points []point // sorted by pos; positions are unique
+	taken  map[uint64]struct{}
+	quotas map[NodeID]float64
+	nextID NodeID
+}
+
+// New returns an empty ring placing k points per unit of node weight.  The
+// paper's figure 9 uses k = 32 and k = 64 with homogeneous (weight-1) nodes.
+func New(k int, rng *rand.Rand) (*Ring, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ch: points per node must be ≥ 1, got %d", k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("ch: rng must not be nil")
+	}
+	return &Ring{
+		k:      k,
+		rng:    rng,
+		taken:  make(map[uint64]struct{}),
+		quotas: make(map[NodeID]float64),
+	}, nil
+}
+
+// K returns the points-per-weight parameter.
+func (r *Ring) K() int { return r.k }
+
+// Nodes returns the number of physical nodes.
+func (r *Ring) Nodes() int { return len(r.quotas) }
+
+// Points returns the total number of ring points (virtual servers).
+func (r *Ring) Points() int { return len(r.points) }
+
+// frac converts an arc length to a fraction of the ring.
+func frac(arc uint64) float64 { return math.Ldexp(float64(arc), -64) }
+
+// AddNode joins a node of the given positive integer weight, placing
+// weight·k random points, and returns its id.  Homogeneous clusters use
+// weight 1; the heterogeneous variant of [3] uses proportional weights.
+func (r *Ring) AddNode(weight int) (NodeID, error) {
+	if weight < 1 {
+		return 0, fmt.Errorf("ch: node weight must be ≥ 1, got %d", weight)
+	}
+	id := r.nextID
+	r.nextID++
+	r.quotas[id] = 0
+	for i := 0; i < weight*r.k; i++ {
+		r.insertPoint(id)
+	}
+	return id, nil
+}
+
+// insertPoint places one fresh, unique random point for the node and updates
+// the two affected quotas.
+func (r *Ring) insertPoint(id NodeID) {
+	var pos uint64
+	for {
+		pos = r.rng.Uint64()
+		if _, dup := r.taken[pos]; !dup {
+			break
+		}
+	}
+	r.taken[pos] = struct{}{}
+	if len(r.points) == 0 {
+		r.points = append(r.points, point{pos, id})
+		r.quotas[id] += 1.0
+		return
+	}
+	// i is where the new point lands in sorted order.
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].pos >= pos })
+	pred := r.points[(i-1+len(r.points))%len(r.points)]
+	succ := r.points[i%len(r.points)]
+	// The new point carves [pos, succ.pos) out of pred's arc; uint64
+	// subtraction wraps correctly around the ring.
+	stolen := frac(succ.pos - pos)
+	r.quotas[pred.node] -= stolen
+	r.quotas[id] += stolen
+	r.points = append(r.points, point{})
+	copy(r.points[i+1:], r.points[i:])
+	r.points[i] = point{pos, id}
+}
+
+// RemoveNode withdraws a node; each of its arcs merges into the predecessor
+// point's arc.  Removing the last node empties the ring.
+func (r *Ring) RemoveNode(id NodeID) error {
+	if _, ok := r.quotas[id]; !ok {
+		return fmt.Errorf("ch: node %d not on ring", id)
+	}
+	if r.Nodes() == 1 {
+		r.points = r.points[:0]
+		r.taken = make(map[uint64]struct{})
+		delete(r.quotas, id)
+		return nil
+	}
+	// Walk the ring once; every maximal run of points owned by id hands its
+	// combined arc to the preceding surviving point's owner.
+	kept := r.points[:0:0]
+	for _, p := range r.points {
+		if p.node != id {
+			kept = append(kept, p)
+		} else {
+			delete(r.taken, p.pos)
+		}
+	}
+	if len(kept) == 0 {
+		return fmt.Errorf("ch: internal: survivors own no points")
+	}
+	// Recompute the quota gained by each surviving arc that absorbed space.
+	// Simple exact approach: rebuild quotas from the kept points (O(P));
+	// removals are rare compared to joins in the paper's workloads.
+	quotas := make(map[NodeID]float64, len(r.quotas)-1)
+	for n := range r.quotas {
+		if n != id {
+			quotas[n] = 0
+		}
+	}
+	for i, p := range kept {
+		next := kept[(i+1)%len(kept)]
+		arc := next.pos - p.pos
+		if len(kept) == 1 {
+			quotas[p.node] = 1.0
+			break
+		}
+		quotas[p.node] += frac(arc)
+	}
+	r.points = kept
+	r.quotas = quotas
+	return nil
+}
+
+// Lookup returns the node responsible for ring position i: the owner of the
+// nearest point at or before i, wrapping around.
+func (r *Ring) Lookup(i uint64) (NodeID, bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	j := sort.Search(len(r.points), func(k int) bool { return r.points[k].pos > i })
+	// Predecessor of i is points[j-1]; j==0 wraps to the last point.
+	return r.points[(j-1+len(r.points))%len(r.points)].node, true
+}
+
+// Quota returns the fraction of the ring owned by a node.
+func (r *Ring) Quota(id NodeID) (float64, bool) {
+	q, ok := r.quotas[id]
+	return q, ok
+}
+
+// Quotas returns Q_n for every node in ascending node order (§4.3).
+func (r *Ring) Quotas() []float64 {
+	ids := make([]NodeID, 0, len(r.quotas))
+	for id := range r.quotas {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = r.quotas[id]
+	}
+	return out
+}
+
+// QualityOfBalancement returns σ̄(Q_n, Q̄_n) — the metric figure 9 plots for
+// the CH curves — as a fraction.
+func (r *Ring) QualityOfBalancement() float64 {
+	return metrics.RelStdDev(r.Quotas())
+}
+
+// bruteQuotas recomputes all quotas from scratch; exported to tests via
+// export_test.go to validate the incremental accounting.
+func (r *Ring) bruteQuotas() map[NodeID]float64 {
+	out := make(map[NodeID]float64, len(r.quotas))
+	for id := range r.quotas {
+		out[id] = 0
+	}
+	if len(r.points) == 1 {
+		out[r.points[0].node] = 1.0
+		return out
+	}
+	for i, p := range r.points {
+		next := r.points[(i+1)%len(r.points)]
+		out[p.node] += frac(next.pos - p.pos)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package ch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newRing(t *testing.T, k int, seed int64) *Ring {
+	t.Helper()
+	r, err := New(k, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := New(8, nil); err == nil {
+		t.Fatal("nil rng must be rejected")
+	}
+	r := newRing(t, 8, 1)
+	if r.K() != 8 {
+		t.Fatalf("K = %d", r.K())
+	}
+}
+
+func TestFirstNodeOwnsRing(t *testing.T) {
+	r := newRing(t, 16, 2)
+	id, err := r.AddNode(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, ok := r.Quota(id)
+	if !ok || math.Abs(q-1) > 1e-9 {
+		t.Fatalf("first node quota = %v,%v", q, ok)
+	}
+	if r.Points() != 16 || r.Nodes() != 1 {
+		t.Fatalf("points=%d nodes=%d", r.Points(), r.Nodes())
+	}
+}
+
+func TestQuotasSumToOne(t *testing.T) {
+	r := newRing(t, 32, 3)
+	for n := 0; n < 50; n++ {
+		if _, err := r.AddNode(1); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, q := range r.Quotas() {
+			sum += q
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("after %d nodes: quotas sum to %v", n+1, sum)
+		}
+	}
+}
+
+func TestIncrementalMatchesBruteForce(t *testing.T) {
+	r := newRing(t, 8, 5)
+	for n := 0; n < 40; n++ {
+		if _, err := r.AddNode(1 + n%3); err != nil {
+			t.Fatal(err)
+		}
+		brute := r.BruteQuotas()
+		for id, want := range brute {
+			got, ok := r.Quota(id)
+			if !ok || math.Abs(got-want) > 1e-9 {
+				t.Fatalf("after %d joins: node %d incremental %v ≠ brute %v", n+1, id, got, want)
+			}
+		}
+	}
+}
+
+func TestWeightedNodesGetProportionalPoints(t *testing.T) {
+	r := newRing(t, 16, 7)
+	if _, err := r.AddNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.Points() != 16+48 {
+		t.Fatalf("points = %d, want 64", r.Points())
+	}
+	if _, err := r.AddNode(0); err == nil {
+		t.Fatal("weight 0 must be rejected")
+	}
+}
+
+// With many nodes, a weight-w node's expected quota is w/Σw; check the
+// heavier node indeed holds a visibly larger share.
+func TestWeightBiasesQuota(t *testing.T) {
+	r := newRing(t, 64, 11)
+	var heavy NodeID
+	for n := 0; n < 20; n++ {
+		w := 1
+		if n == 10 {
+			w = 8
+		}
+		id, err := r.AddNode(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 10 {
+			heavy = id
+		}
+	}
+	qh, _ := r.Quota(heavy)
+	// Expected share 8/27 ≈ 0.296; a uniform node would have 1/27 ≈ 0.037.
+	if qh < 0.15 {
+		t.Fatalf("heavy node quota %v suspiciously small", qh)
+	}
+}
+
+func TestLookupMatchesArcOwnership(t *testing.T) {
+	r := newRing(t, 4, 13)
+	for n := 0; n < 10; n++ {
+		if _, err := r.AddNode(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lookups at each point's exact position map to that point's node.
+	for _, p := range r.points {
+		if got, ok := r.Lookup(p.pos); !ok || got != p.node {
+			t.Fatalf("Lookup(point %d) = %v,%v want %v", p.pos, got, ok, p.node)
+		}
+	}
+	// Positions before the first point wrap to the last point's owner.
+	first := r.points[0]
+	last := r.points[len(r.points)-1]
+	if first.pos > 0 {
+		if got, _ := r.Lookup(first.pos - 1); got != last.node {
+			t.Fatalf("wraparound lookup = %v, want %v", got, last.node)
+		}
+	}
+	empty := newRing(t, 4, 14)
+	if _, ok := empty.Lookup(0); ok {
+		t.Fatal("lookup on empty ring must miss")
+	}
+}
+
+func TestLookupQuotaConsistency(t *testing.T) {
+	// Sampling lookups uniformly should hit nodes roughly proportionally to
+	// their quotas (sanity link between Lookup and quota accounting).
+	r := newRing(t, 32, 17)
+	for n := 0; n < 8; n++ {
+		r.AddNode(1)
+	}
+	counts := make(map[NodeID]int)
+	rng := rand.New(rand.NewSource(99))
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		id, _ := r.Lookup(rng.Uint64())
+		counts[id]++
+	}
+	for id, c := range counts {
+		q, _ := r.Quota(id)
+		got := float64(c) / samples
+		if math.Abs(got-q) > 0.01 {
+			t.Fatalf("node %d: sampled share %v vs quota %v", id, got, q)
+		}
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	r := newRing(t, 8, 19)
+	var ids []NodeID
+	for n := 0; n < 12; n++ {
+		id, _ := r.AddNode(1)
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for len(ids) > 0 {
+		i := rng.Intn(len(ids))
+		if err := r.RemoveNode(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids[:i], ids[i+1:]...)
+		sum := 0.0
+		for _, q := range r.Quotas() {
+			sum += q
+		}
+		if len(ids) > 0 && math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("%d nodes left: quotas sum to %v", len(ids), sum)
+		}
+		brute := r.BruteQuotas()
+		for id, want := range brute {
+			got, _ := r.Quota(id)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("node %d: %v ≠ brute %v", id, got, want)
+			}
+		}
+	}
+	if r.Nodes() != 0 || r.Points() != 0 {
+		t.Fatalf("ring not empty: %d nodes, %d points", r.Nodes(), r.Points())
+	}
+	if err := r.RemoveNode(0); err == nil {
+		t.Fatal("removing absent node must fail")
+	}
+}
+
+// The k·log₂N effect: more points per node yield a tighter distribution.
+func TestMorePointsImproveBalance(t *testing.T) {
+	avgQuality := func(k int) float64 {
+		tot := 0.0
+		for seed := int64(0); seed < 10; seed++ {
+			r := newRing(t, k, 100+seed)
+			for n := 0; n < 128; n++ {
+				r.AddNode(1)
+			}
+			tot += r.QualityOfBalancement()
+		}
+		return tot / 10
+	}
+	q8, q64 := avgQuality(8), avgQuality(64)
+	if q64 >= q8 {
+		t.Fatalf("σ̄(k=64)=%v must beat σ̄(k=8)=%v", q64, q8)
+	}
+}
+
+// Property: quotas are always non-negative and the ring always resolves.
+func TestQuotaNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r, err := New(4, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for n := 0; n < 30; n++ {
+			if _, err := r.AddNode(1 + rng.Intn(3)); err != nil {
+				return false
+			}
+		}
+		for _, q := range r.Quotas() {
+			if q < 0 || q > 1 {
+				return false
+			}
+		}
+		_, ok := r.Lookup(rng.Uint64())
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,5 @@
+package ch
+
+// BruteQuotas exposes the from-scratch quota computation so tests can verify
+// the incremental arc accounting.
+func (r *Ring) BruteQuotas() map[NodeID]float64 { return r.bruteQuotas() }

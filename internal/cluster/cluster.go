@@ -1,0 +1,565 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
+	"dbdht/internal/hashspace"
+)
+
+// clientID is the fabric endpoint the Cluster handle itself occupies.
+const clientID transport.NodeID = -1
+
+// Cluster is the client handle to a running DHT cluster: it manages snode
+// membership and enrollment and offers the key/value data plane.  It is
+// safe for concurrent use; operations on different groups proceed in
+// parallel inside the cluster (§3.1).
+type Cluster struct {
+	cfg Config
+	net transport.Network
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan any
+	opSeq   atomic.Uint64
+
+	mu           sync.Mutex
+	snodes       map[transport.NodeID]*Snode
+	order        []transport.NodeID
+	nextID       transport.NodeID
+	bootstrapped bool
+	firstOwner   ownerRef
+	rng          *rand.Rand
+
+	retiredMu sync.Mutex
+	retired   StatsSnapshot // counters of snodes that left the cluster
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// foldStats accumulates a departing snode's counters so cluster-wide totals
+// are monotonic across membership changes.
+func (a *StatsSnapshot) fold(b StatsSnapshot) {
+	a.MsgsIn += b.MsgsIn
+	a.Forwards += b.Forwards
+	a.PartitionsSent += b.PartitionsSent
+	a.KeysMoved += b.KeysMoved
+	a.SplitAlls += b.SplitAlls
+	a.GroupSplits += b.GroupSplits
+	a.JoinsLed += b.JoinsLed
+	a.LeavesLed += b.LeavesLed
+	a.DataOps += b.DataOps
+	a.Requeues += b.Requeues
+}
+
+// New starts an empty cluster over the given fabric (use transport.NewMem()
+// for simulations, transport.NewTCP for a real network).
+func New(cfg Config, net transport.Network) (*Cluster, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	inbox, err := net.Register(clientID)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		net:     net,
+		pending: make(map[uint64]chan any),
+		snodes:  make(map[transport.NodeID]*Snode),
+		nextID:  1,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		done:    make(chan struct{}),
+	}
+	go c.loop(inbox)
+	return c, nil
+}
+
+// loop routes responses to waiting client calls.
+func (c *Cluster) loop(inbox <-chan transport.Envelope) {
+	defer close(c.done)
+	for env := range inbox {
+		var op uint64
+		switch m := env.Msg.(type) {
+		case createVnodeResp:
+			op = m.Op
+		case leaveVnodeResp:
+			op = m.Op
+		case dataResp:
+			op = m.Op
+		case pingResp:
+			op = m.Op
+		case lookupResp:
+			op = m.Op
+		default:
+			continue
+		}
+		c.pendMu.Lock()
+		ch, ok := c.pending[op]
+		c.pendMu.Unlock()
+		if ok {
+			select {
+			case ch <- env.Msg:
+			default:
+			}
+		}
+	}
+}
+
+// rpc issues one correlated request from the client endpoint.
+func (c *Cluster) rpc(to transport.NodeID, build func(op uint64) any) (any, error) {
+	op := c.opSeq.Add(1)
+	ch := make(chan any, 1)
+	c.pendMu.Lock()
+	c.pending[op] = ch
+	c.pendMu.Unlock()
+	defer func() {
+		c.pendMu.Lock()
+		delete(c.pending, op)
+		c.pendMu.Unlock()
+	}()
+	if err := c.net.Send(transport.Envelope{From: clientID, To: to, Msg: build(op)}); err != nil {
+		return nil, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-time.After(c.cfg.RPCTimeout):
+		return nil, fmt.Errorf("cluster: client rpc to %d timed out", to)
+	}
+}
+
+// AddSnode joins a fresh snode to the cluster and returns its id.
+func (c *Cluster) AddSnode() (transport.NodeID, error) {
+	c.mu.Lock()
+	id := c.nextID
+	c.nextID++
+	cfg := c.cfg
+	cfg.Seed = c.cfg.Seed ^ int64(id)<<17
+	boot := c.firstOwner
+	haveBoot := c.bootstrapped
+	c.mu.Unlock()
+	s, err := newSnode(id, cfg, c.net)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.snodes[id] = s
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+	if haveBoot {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: boot}})
+	}
+	return id, nil
+}
+
+// Snodes returns the live snode ids in join order.
+func (c *Cluster) Snodes() []transport.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]transport.NodeID(nil), c.order...)
+}
+
+// CreateVnode asks the given snode to enroll one more vnode (§3.6) and
+// returns the vnode's canonical name and the group it joined.
+func (c *Cluster) CreateVnode(at transport.NodeID) (VnodeName, core.GroupID, error) {
+	c.mu.Lock()
+	if _, ok := c.snodes[at]; !ok {
+		c.mu.Unlock()
+		return VnodeName{}, core.GroupID{}, fmt.Errorf("cluster: snode %d not in cluster", at)
+	}
+	bootstrap := !c.bootstrapped
+	if bootstrap {
+		c.bootstrapped = true // optimistic; reverted on failure
+	}
+	c.mu.Unlock()
+	v, err := c.rpc(at, func(op uint64) any {
+		return createVnodeReq{Op: op, ReplyTo: clientID, Bootstrap: bootstrap}
+	})
+	if err != nil {
+		if bootstrap {
+			c.mu.Lock()
+			c.bootstrapped = false
+			c.mu.Unlock()
+		}
+		return VnodeName{}, core.GroupID{}, err
+	}
+	resp := v.(createVnodeResp)
+	if resp.Err != "" {
+		if bootstrap {
+			c.mu.Lock()
+			c.bootstrapped = false
+			c.mu.Unlock()
+		}
+		return VnodeName{}, core.GroupID{}, fmt.Errorf("cluster: create vnode at %d: %s", at, resp.Err)
+	}
+	if bootstrap {
+		owner := ownerRef{Vnode: resp.Vnode, Host: at}
+		c.mu.Lock()
+		c.firstOwner = owner
+		ids := append([]transport.NodeID(nil), c.order...)
+		c.mu.Unlock()
+		for _, id := range ids {
+			_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: owner}})
+		}
+	}
+	return resp.Vnode, resp.Group, nil
+}
+
+// RemoveVnode dissolves one vnode (dynamic leave), reassigning its
+// partitions and data within its group.
+func (c *Cluster) RemoveVnode(name VnodeName) error {
+	const maxRetries = 16
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		v, err := c.rpc(name.Snode, func(op uint64) any {
+			return leaveVnodeReq{Op: op, Vnode: name, ReplyTo: clientID}
+		})
+		if err != nil {
+			return err
+		}
+		resp := v.(leaveVnodeResp)
+		if resp.Retry {
+			continue
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("cluster: remove vnode %v: %s", name, resp.Err)
+		}
+		return nil
+	}
+	return fmt.Errorf("cluster: remove vnode %v: retries exhausted", name)
+}
+
+// SetEnrollment adjusts how many vnodes the snode hosts — the base model's
+// dynamic enrollment level (feature (b) of §1).  It returns the hosted
+// count after adjustment.
+func (c *Cluster) SetEnrollment(at transport.NodeID, target int) (int, error) {
+	if target < 0 {
+		return 0, fmt.Errorf("cluster: enrollment must be ≥ 0, got %d", target)
+	}
+	c.mu.Lock()
+	s, ok := c.snodes[at]
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("cluster: snode %d not in cluster", at)
+	}
+	for {
+		hosted := s.hostedVnodes()
+		switch {
+		case len(hosted) < target:
+			if _, _, err := c.CreateVnode(at); err != nil {
+				return len(hosted), err
+			}
+		case len(hosted) > target:
+			if err := c.RemoveVnode(hosted[len(hosted)-1]); err != nil {
+				return len(hosted), err
+			}
+		default:
+			return target, nil
+		}
+	}
+}
+
+// RemoveSnode gracefully withdraws an snode: all its vnodes leave, its led
+// groups hand leadership to other members, and it disconnects.
+func (c *Cluster) RemoveSnode(id transport.NodeID) error {
+	c.mu.Lock()
+	s, ok := c.snodes[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("cluster: snode %d not in cluster", id)
+	}
+	for _, name := range s.hostedVnodes() {
+		if err := c.RemoveVnode(name); err != nil {
+			return err
+		}
+	}
+	if err := s.relinquishLeadership(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	delete(c.snodes, id)
+	for i, o := range c.order {
+		if o == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	survivors := append([]transport.NodeID(nil), c.order...)
+	needNewBoot := c.firstOwner.Host == id
+	c.mu.Unlock()
+	// Bequeath the leaver's custody table so no routing chain dangles.
+	leaving := snodeLeavingMsg{Leaving: id, Routes: s.routingTable()}
+	for _, sid := range survivors {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: sid, Msg: leaving})
+	}
+	if needNewBoot {
+		if err := c.reseedBootstrap(survivors); err != nil {
+			return err
+		}
+	}
+	c.retiredMu.Lock()
+	c.retired.fold(s.stats.snapshot())
+	c.retiredMu.Unlock()
+	s.stop()
+	return nil
+}
+
+// reseedBootstrap points every snode's fallback route at a live vnode after
+// the previous bootstrap owner's host left.
+func (c *Cluster) reseedBootstrap(survivors []transport.NodeID) error {
+	c.mu.Lock()
+	var owner ownerRef
+	found := false
+	for _, sid := range survivors {
+		if s, ok := c.snodes[sid]; ok {
+			if hosted := s.hostedVnodes(); len(hosted) > 0 {
+				owner = ownerRef{Vnode: hosted[0], Host: sid}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		// No vnodes remain anywhere: the DHT is empty again.
+		c.bootstrapped = false
+		c.firstOwner = ownerRef{}
+		c.mu.Unlock()
+		return nil
+	}
+	c.firstOwner = owner
+	c.mu.Unlock()
+	for _, sid := range survivors {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: sid, Msg: bootstrapInfo{Owner: owner}})
+	}
+	return nil
+}
+
+// entry picks a random snode as the entry point for a data operation.
+func (c *Cluster) entry() (transport.NodeID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.order) == 0 {
+		return 0, fmt.Errorf("cluster: no snodes")
+	}
+	return c.order[c.rng.Intn(len(c.order))], nil
+}
+
+// Put stores a key/value pair.
+func (c *Cluster) Put(key string, value []byte) error {
+	at, err := c.entry()
+	if err != nil {
+		return err
+	}
+	v, err := c.rpc(at, func(op uint64) any {
+		return putReq{Op: op, Key: key, Value: value, ReplyTo: clientID}
+	})
+	if err != nil {
+		return err
+	}
+	if resp := v.(dataResp); resp.Err != "" {
+		return fmt.Errorf("cluster: put %q: %s", key, resp.Err)
+	}
+	return nil
+}
+
+// Get fetches a key; found is false for absent keys.
+func (c *Cluster) Get(key string) (value []byte, found bool, err error) {
+	at, err := c.entry()
+	if err != nil {
+		return nil, false, err
+	}
+	v, err := c.rpc(at, func(op uint64) any {
+		return getReq{Op: op, Key: key, ReplyTo: clientID}
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	resp := v.(dataResp)
+	if resp.Err != "" {
+		return nil, false, fmt.Errorf("cluster: get %q: %s", key, resp.Err)
+	}
+	return resp.Value, resp.Found, nil
+}
+
+// Delete removes a key; found reports whether it existed.
+func (c *Cluster) Delete(key string) (found bool, err error) {
+	at, err := c.entry()
+	if err != nil {
+		return false, err
+	}
+	v, err := c.rpc(at, func(op uint64) any {
+		return delReq{Op: op, Key: key, ReplyTo: clientID}
+	})
+	if err != nil {
+		return false, err
+	}
+	resp := v.(dataResp)
+	if resp.Err != "" {
+		return false, fmt.Errorf("cluster: delete %q: %s", key, resp.Err)
+	}
+	return resp.Found, nil
+}
+
+// Lookup resolves the vnode responsible for a key.
+func (c *Cluster) Lookup(key string) (VnodeName, error) {
+	at, err := c.entry()
+	if err != nil {
+		return VnodeName{}, err
+	}
+	v, err := c.rpc(at, func(op uint64) any {
+		return lookupReq{Op: op, R: hashspace.HashString(key), ReplyTo: clientID}
+	})
+	if err != nil {
+		return VnodeName{}, err
+	}
+	resp := v.(lookupResp)
+	if resp.Err != "" {
+		return VnodeName{}, fmt.Errorf("cluster: lookup %q: %s", key, resp.Err)
+	}
+	return resp.Owner, nil
+}
+
+// Ping round-trips every snode's inbox, draining previously queued
+// fire-and-forget traffic on each (client → snode) pair.
+func (c *Cluster) Ping() error {
+	for _, id := range c.Snodes() {
+		v, err := c.rpc(id, func(op uint64) any {
+			return pingReq{Op: op, ReplyTo: clientID}
+		})
+		if err != nil {
+			return err
+		}
+		if _, ok := v.(pingResp); !ok {
+			return fmt.Errorf("cluster: unexpected ping reply %T", v)
+		}
+	}
+	return nil
+}
+
+// Close stops every snode and the fabric.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() {
+		c.mu.Lock()
+		snodes := make([]*Snode, 0, len(c.snodes))
+		for _, s := range c.snodes {
+			snodes = append(snodes, s)
+		}
+		c.mu.Unlock()
+		for _, s := range snodes {
+			s.stop()
+		}
+		c.net.Close()
+	})
+}
+
+// --- introspection (tests, examples, benches) ---
+
+// hostedVnodes returns the names of the vnodes hosted at this snode, in
+// creation order.
+func (s *Snode) hostedVnodes() []VnodeName {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]VnodeName, 0, len(s.vnodes))
+	for name, vs := range s.vnodes {
+		if vs.joined {
+			out = append(out, name)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// VnodeInfo is one vnode's materialized state in a snapshot.
+type VnodeInfo struct {
+	Name       VnodeName
+	Host       transport.NodeID
+	Group      core.GroupID
+	Level      uint8
+	Partitions []hashspace.Partition
+	Keys       int
+}
+
+// Snapshot is a cluster-wide state dump for verification and metrics.
+type Snapshot struct {
+	Vnodes   []VnodeInfo
+	Replicas map[transport.NodeID][]lpdrState
+	Leaders  map[core.GroupID]transport.NodeID
+}
+
+// Snapshot collects the materialized state of every snode.  The cluster
+// should be quiescent (no in-flight operations) for a consistent picture.
+func (c *Cluster) Snapshot() Snapshot {
+	c.mu.Lock()
+	snodes := make([]*Snode, 0, len(c.snodes))
+	for _, id := range c.order {
+		snodes = append(snodes, c.snodes[id])
+	}
+	c.mu.Unlock()
+	snap := Snapshot{
+		Replicas: make(map[transport.NodeID][]lpdrState),
+		Leaders:  make(map[core.GroupID]transport.NodeID),
+	}
+	for _, s := range snodes {
+		s.mu.Lock()
+		for name, vs := range s.vnodes {
+			if !vs.joined {
+				continue
+			}
+			info := VnodeInfo{Name: name, Host: s.id, Group: vs.group, Level: vs.level}
+			for p, bucket := range vs.parts {
+				info.Partitions = append(info.Partitions, p)
+				info.Keys += len(bucket)
+			}
+			sort.Slice(info.Partitions, func(i, j int) bool {
+				return info.Partitions[i].Prefix < info.Partitions[j].Prefix
+			})
+			snap.Vnodes = append(snap.Vnodes, info)
+		}
+		for _, rep := range s.replicas {
+			snap.Replicas[s.id] = append(snap.Replicas[s.id], *rep)
+		}
+		for gid := range s.led {
+			snap.Leaders[gid] = s.id
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(snap.Vnodes, func(i, j int) bool { return snap.Vnodes[i].Name.Less(snap.Vnodes[j].Name) })
+	return snap
+}
+
+// VnodeQuotas computes Q_v for every vnode from a snapshot, in name order.
+func (snap Snapshot) VnodeQuotas() []float64 {
+	out := make([]float64, len(snap.Vnodes))
+	for i, v := range snap.Vnodes {
+		q := 0.0
+		for _, p := range v.Partitions {
+			q += p.Quota()
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// StatsTotal aggregates every snode's runtime counters.
+func (c *Cluster) StatsTotal() StatsSnapshot {
+	c.mu.Lock()
+	snodes := make([]*Snode, 0, len(c.snodes))
+	for _, s := range c.snodes {
+		snodes = append(snodes, s)
+	}
+	c.mu.Unlock()
+	c.retiredMu.Lock()
+	tot := c.retired
+	c.retiredMu.Unlock()
+	for _, s := range snodes {
+		tot.fold(s.stats.snapshot())
+	}
+	return tot
+}

@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"dbdht/internal/balance"
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
+)
+
+// groupOp is one serialized balancement event for a led group.
+type groupOp struct {
+	join  *joinGroupReq
+	leave *leaveVnodeReq
+}
+
+// ledGroup is the authoritative state of a group at its leader: the LPDR as
+// a balance table plus each member's host.  All mutations happen on the
+// group's worker goroutine, which serializes balancement events within the
+// group while other groups progress on their own leaders — the paper's
+// parallelism model (§3.1).
+type ledGroup struct {
+	id    core.GroupID
+	level uint8
+	table *balance.Table[VnodeName]
+	host  map[VnodeName]transport.NodeID
+	ops   *queue[groupOp]
+	dead  bool
+}
+
+// installLeaderLocked makes this snode the leader of the group described by
+// st and starts its worker.  Caller holds s.mu.
+func (s *Snode) installLeaderLocked(st lpdrState) {
+	lg := &ledGroup{
+		id:    st.Group,
+		level: st.Level,
+		table: balance.NewTable[VnodeName](func(a, b VnodeName) bool { return a.Less(b) }),
+		host:  make(map[VnodeName]transport.NodeID, len(st.Members)),
+		ops:   newQueue[groupOp](),
+	}
+	for _, m := range st.Members {
+		if err := lg.table.Add(m.Vnode); err != nil {
+			panic(fmt.Sprintf("cluster: duplicate member %v in group init", m.Vnode))
+		}
+		if err := lg.table.SetCount(m.Vnode, m.Count); err != nil {
+			panic(fmt.Sprintf("cluster: invalid count for %v: %v", m.Vnode, err))
+		}
+		lg.host[m.Vnode] = m.Host
+	}
+	s.led[st.Group] = lg
+	go s.groupWorker(lg)
+}
+
+// handleGroupInit accepts leadership of a (child) group after a split or a
+// leadership handoff.
+func (s *Snode) handleGroupInit(m groupInit) {
+	s.mu.Lock()
+	if _, dup := s.led[m.State.Group]; dup {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, groupInitResp{Op: m.Op, Err: fmt.Sprintf("group %v already led at %d", m.State.Group, s.id)})
+		return
+	}
+	st := m.State
+	st.Leader = s.id
+	s.replicas[st.Group] = &st
+	s.installLeaderLocked(st)
+	s.mu.Unlock()
+	// Announce the new group (and the dissolution of its parent, if this
+	// init came from a split) to every member host.
+	var dissolved []core.GroupID
+	if st.Group.Len > 0 {
+		dissolved = append(dissolved, parentGroup(st.Group))
+	}
+	s.broadcastSync(st, dissolved)
+	s.send(m.ReplyTo, groupInitResp{Op: m.Op})
+}
+
+// parentGroup strips the most-significant digit of a child identifier.
+func parentGroup(g core.GroupID) core.GroupID {
+	return core.GroupID{Bits: g.Bits &^ (1 << (g.Len - 1)), Len: g.Len - 1}
+}
+
+// routeJoin steers a join request: process if led here, forward if the
+// leader is known, otherwise ask the initiator to retry.
+func (s *Snode) routeJoin(m joinGroupReq) {
+	s.mu.Lock()
+	if lg, ok := s.led[m.Group]; ok && !lg.dead {
+		ok := lg.ops.push(groupOp{join: &m})
+		s.mu.Unlock()
+		if !ok {
+			s.send(m.ReplyTo, joinGroupResp{Op: m.Op, Retry: true})
+		}
+		return
+	}
+	rep, ok := s.replicas[m.Group]
+	s.mu.Unlock()
+	if ok && rep.Leader != s.id && m.Hops < s.cfg.MaxHops {
+		m.Hops++
+		s.stats.Forwards.Add(1)
+		s.send(rep.Leader, m)
+		return
+	}
+	s.send(m.ReplyTo, joinGroupResp{Op: m.Op, Retry: true})
+}
+
+// routeLeave steers a vnode-leave request analogously.  A request arriving
+// at the vnode's host without group information is annotated first.
+func (s *Snode) routeLeave(m leaveVnodeReq) {
+	s.mu.Lock()
+	if m.Group == (core.GroupID{}) || m.Hops == 0 {
+		if vs, ok := s.vnodes[m.Vnode]; ok && vs.joined {
+			m.Group = vs.group
+		}
+	}
+	if lg, ok := s.led[m.Group]; ok && !lg.dead {
+		ok := lg.ops.push(groupOp{leave: &m})
+		s.mu.Unlock()
+		if !ok {
+			s.send(m.ReplyTo, leaveVnodeResp{Op: m.Op, Retry: true})
+		}
+		return
+	}
+	rep, ok := s.replicas[m.Group]
+	s.mu.Unlock()
+	if ok && rep.Leader != s.id && m.Hops < s.cfg.MaxHops {
+		m.Hops++
+		s.stats.Forwards.Add(1)
+		s.send(rep.Leader, m)
+		return
+	}
+	s.send(m.ReplyTo, leaveVnodeResp{Op: m.Op, Retry: true})
+}
+
+// groupWorker serializes one group's balancement events.
+func (s *Snode) groupWorker(lg *ledGroup) {
+	for {
+		op, ok := lg.ops.pop()
+		if !ok {
+			return
+		}
+		s.mu.Lock()
+		dead := lg.dead
+		s.mu.Unlock()
+		if dead {
+			// The group dissolved (split) while this op was queued.
+			if op.join != nil {
+				s.send(op.join.ReplyTo, joinGroupResp{Op: op.join.Op, Retry: true})
+			}
+			if op.leave != nil {
+				s.send(op.leave.ReplyTo, leaveVnodeResp{Op: op.leave.Op, Retry: true})
+			}
+			continue
+		}
+		switch {
+		case op.join != nil:
+			s.leaderJoin(lg, *op.join)
+		case op.leave != nil:
+			s.leaderLeave(lg, *op.leave)
+		}
+	}
+}
+
+// memberHosts returns the deduplicated hosts of a group's members.
+func (lg *ledGroup) memberHosts() []transport.NodeID {
+	seen := make(map[transport.NodeID]struct{}, len(lg.host))
+	for _, h := range lg.host {
+		seen[h] = struct{}{}
+	}
+	out := make([]transport.NodeID, 0, len(seen))
+	for h := range seen {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// state serializes the group's LPDR for syncs and inits.
+func (lg *ledGroup) state(leader transport.NodeID) lpdrState {
+	st := lpdrState{Group: lg.id, Level: lg.level, Leader: leader}
+	for _, v := range lg.table.Keys() {
+		c, _ := lg.table.Count(v)
+		st.Members = append(st.Members, memberInfo{Vnode: v, Host: lg.host[v], Count: c})
+	}
+	return st
+}
+
+// broadcastSync refreshes every member host's replica, including the
+// leader's own (a leader need not host any member vnode, so it would miss a
+// fabric-only broadcast).
+func (s *Snode) broadcastSync(st lpdrState, dissolved []core.GroupID) {
+	msg := lpdrSyncMsg{State: st, Dissolved: dissolved}
+	s.handleSync(msg)
+	hosts := make(map[transport.NodeID]struct{})
+	for _, m := range st.Members {
+		hosts[m.Host] = struct{}{}
+	}
+	delete(hosts, s.id)
+	for h := range hosts {
+		s.send(h, msg)
+	}
+}
+
+// leaderJoin runs the §2.5 creation algorithm for one new vnode inside the
+// led group, splitting the group first if it is full (§3.7).
+func (s *Snode) leaderJoin(lg *ledGroup, m joinGroupReq) {
+	if lg.table.Len() >= s.cfg.vmax() {
+		s.splitLedGroup(lg, m)
+		return
+	}
+	fail := func(err string) {
+		s.send(m.ReplyTo, joinGroupResp{Op: m.Op, Err: err})
+	}
+	if _, exists := lg.table.Count(m.NewVnode); exists {
+		fail(fmt.Sprintf("vnode %v already in group %v", m.NewVnode, lg.id))
+		return
+	}
+	if err := lg.table.Add(m.NewVnode); err != nil {
+		fail(err.Error())
+		return
+	}
+	lg.host[m.NewVnode] = m.NewHost
+	split, moves, err := lg.table.PlanCreate(m.NewVnode, s.cfg.Pmin)
+	if split {
+		lg.level++
+		for _, h := range lg.memberHosts() {
+			v, rerr := s.rpc(h, func(op uint64) any {
+				return splitAllReq{Op: op, Group: lg.id, NewLevel: lg.level, ReplyTo: s.id}
+			})
+			if rerr != nil {
+				fail(rerr.Error())
+				return
+			}
+			if resp := v.(splitAllResp); resp.Err != "" {
+				fail(resp.Err)
+				return
+			}
+		}
+	}
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if lg.table.Len() == 1 {
+		// First vnode of a scope is bootstrapped elsewhere; a led group is
+		// never empty, so this cannot happen.
+		fail("internal: join into empty group")
+		return
+	}
+	for _, mv := range moves {
+		if err := s.orderTransfer(lg, mv.From, mv.To); err != nil {
+			fail(err.Error())
+			return
+		}
+	}
+	s.stats.JoinsLed.Add(1)
+	s.broadcastSync(lg.state(s.id), nil)
+	s.send(m.ReplyTo, joinGroupResp{Op: m.Op, Group: lg.id})
+}
+
+// orderTransfer executes one planned handover: instruct the victim's host,
+// wait for completion.
+func (s *Snode) orderTransfer(lg *ledGroup, from, to VnodeName) error {
+	fromHost, ok := lg.host[from]
+	if !ok {
+		return fmt.Errorf("cluster: no host for victim %v", from)
+	}
+	toHost, ok := lg.host[to]
+	if !ok {
+		return fmt.Errorf("cluster: no host for receiver %v", to)
+	}
+	v, err := s.rpc(fromHost, func(op uint64) any {
+		return transferReq{Op: op, Group: lg.id, From: from, To: to, ToHost: toHost, Level: lg.level, ReplyTo: s.id}
+	})
+	if err != nil {
+		return err
+	}
+	if resp := v.(transferResp); resp.Err != "" {
+		return fmt.Errorf("cluster: transfer %v→%v: %s", from, to, resp.Err)
+	}
+	return nil
+}
+
+// splitLedGroup divides a full group into two random halves of Vmin vnodes
+// (§3.7), hands each child to its leader, then forwards the pending join to
+// a randomly chosen child.
+func (s *Snode) splitLedGroup(lg *ledGroup, m joinGroupReq) {
+	members := lg.table.Keys()
+	s.randShuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+	loID, hiID := lg.id.Split()
+	halves := map[core.GroupID][]VnodeName{
+		loID: members[:s.cfg.Vmin],
+		hiID: members[s.cfg.Vmin:],
+	}
+	childLeaders := make(map[core.GroupID]transport.NodeID, 2)
+	for _, childID := range []core.GroupID{loID, hiID} {
+		half := halves[childID]
+		st := lpdrState{Group: childID, Level: lg.level}
+		minName := half[0]
+		for _, v := range half {
+			if v.Less(minName) {
+				minName = v
+			}
+			c, _ := lg.table.Count(v)
+			st.Members = append(st.Members, memberInfo{Vnode: v, Host: lg.host[v], Count: c})
+		}
+		leader := lg.host[minName]
+		childLeaders[childID] = leader
+		st.Leader = leader
+		v, err := s.rpc(leader, func(op uint64) any {
+			return groupInit{Op: op, State: st, ReplyTo: s.id}
+		})
+		if err != nil {
+			s.send(m.ReplyTo, joinGroupResp{Op: m.Op, Err: err.Error()})
+			return
+		}
+		if resp := v.(groupInitResp); resp.Err != "" {
+			s.send(m.ReplyTo, joinGroupResp{Op: m.Op, Err: resp.Err})
+			return
+		}
+	}
+	// The parent group is gone; retire its worker after the queue drains.
+	s.mu.Lock()
+	lg.dead = true
+	delete(s.led, lg.id)
+	s.mu.Unlock()
+	s.stats.GroupSplits.Add(1)
+	// One of the two children, randomly chosen, receives the new vnode.
+	chosen := loID
+	if s.randIntn(2) == 1 {
+		chosen = hiID
+	}
+	fwd := m
+	fwd.Group = chosen
+	fwd.Hops++
+	s.send(childLeaders[chosen], fwd)
+}
+
+// leaderLeave dissolves one vnode inside the led group: ship its partitions
+// to the planned destinations, then flatten.  Merging (halving P_g) is
+// skipped — a group scope rarely owns complete sibling pairs (see
+// scope.ErrIncompleteTiling), so G4′'s upper bound is soft here exactly as
+// in package core.
+func (s *Snode) leaderLeave(lg *ledGroup, m leaveVnodeReq) {
+	fail := func(err string) {
+		s.send(m.ReplyTo, leaveVnodeResp{Op: m.Op, Err: err})
+	}
+	if _, ok := lg.table.Count(m.Vnode); !ok {
+		fail(fmt.Sprintf("vnode %v not in group %v", m.Vnode, lg.id))
+		return
+	}
+	if lg.table.Len() == 1 {
+		fail(fmt.Sprintf("vnode %v is the last member of group %v; group dissolution is undefined in the model", m.Vnode, lg.id))
+		return
+	}
+	vnodeHost := lg.host[m.Vnode]
+	dests, err := lg.table.PlanRemove(m.Vnode)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	refs := make([]ownerRef, len(dests))
+	for i, d := range dests {
+		refs[i] = ownerRef{Vnode: d, Host: lg.host[d]}
+	}
+	v, err := s.rpc(vnodeHost, func(op uint64) any {
+		return shipVnodeReq{Op: op, Vnode: m.Vnode, Dests: refs, ReplyTo: s.id}
+	})
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if resp := v.(shipVnodeResp); resp.Err != "" {
+		fail(resp.Err)
+		return
+	}
+	delete(lg.host, m.Vnode)
+	for _, mv := range lg.table.Flatten(s.cfg.Pmin) {
+		if err := s.orderTransfer(lg, mv.From, mv.To); err != nil {
+			fail(err.Error())
+			return
+		}
+	}
+	s.stats.LeavesLed.Add(1)
+	s.broadcastSync(lg.state(s.id), nil)
+	s.send(m.ReplyTo, leaveVnodeResp{Op: m.Op})
+}
+
+// relinquishLeadership hands every group this snode leads to another member
+// host, in preparation for the snode leaving the cluster.  Groups whose
+// only member hosts are this snode cannot be handed off and are reported.
+func (s *Snode) relinquishLeadership() error {
+	s.mu.Lock()
+	groups := make([]*ledGroup, 0, len(s.led))
+	for _, lg := range s.led {
+		groups = append(groups, lg)
+	}
+	s.mu.Unlock()
+	for _, lg := range groups {
+		s.mu.Lock()
+		if lg.dead {
+			s.mu.Unlock()
+			continue
+		}
+		var target transport.NodeID
+		found := false
+		// Successor: host of the smallest member vnode not hosted here.
+		for _, v := range lg.table.Keys() {
+			if h := lg.host[v]; h != s.id {
+				target, found = h, true
+				break
+			}
+		}
+		if !found {
+			s.mu.Unlock()
+			return fmt.Errorf("cluster: group %v has no member host other than %d", lg.id, s.id)
+		}
+		st := lg.state(target)
+		lg.dead = true
+		delete(s.led, lg.id)
+		lg.ops.close()
+		s.mu.Unlock()
+		v, err := s.rpc(target, func(op uint64) any {
+			return groupInit{Op: op, State: st, ReplyTo: s.id}
+		})
+		if err != nil {
+			return err
+		}
+		if resp := v.(groupInitResp); resp.Err != "" {
+			return fmt.Errorf("cluster: handoff of %v to %d: %s", lg.id, target, resp.Err)
+		}
+	}
+	return nil
+}

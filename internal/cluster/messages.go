@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"encoding/gob"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
+	"dbdht/internal/hashspace"
+)
+
+// Protocol messages.  Every request carries Op (the sender's correlation
+// id) and ReplyTo (the endpoint awaiting the matching response); forwarded
+// requests keep both, so whichever snode completes the operation answers
+// the original requester directly.  All types are gob-registered so the
+// same protocol runs unchanged over the TCP fabric.
+
+// memberInfo is one LPDR row: a vnode, its host and its partition count.
+type memberInfo struct {
+	Vnode VnodeName
+	Host  transport.NodeID
+	Count int
+}
+
+// lpdrState is a serialized LPDR replica: the paper's per-group table of
+// partitions per vnode (§3.2) plus the group's splitlevel and leader.
+type lpdrState struct {
+	Group   core.GroupID
+	Level   uint8
+	Leader  transport.NodeID
+	Members []memberInfo
+}
+
+// --- lookup (§3.6: find the vnode holding the partition containing r) ---
+
+type lookupReq struct {
+	Op      uint64
+	R       uint64
+	ReplyTo transport.NodeID
+	Hops    int
+}
+
+type lookupResp struct {
+	Op        uint64
+	Owner     VnodeName
+	Host      transport.NodeID
+	Partition hashspace.Partition
+	Group     core.GroupID
+	Leader    transport.NodeID
+	Err       string
+}
+
+// --- vnode creation (§2.5 + §3.6/§3.7) ---
+
+type createVnodeReq struct {
+	Op        uint64
+	ReplyTo   transport.NodeID
+	Bootstrap bool // first vnode of the DHT: creates group 0 locally
+}
+
+type createVnodeResp struct {
+	Op    uint64
+	Vnode VnodeName
+	Group core.GroupID
+	Err   string
+}
+
+// joinGroupReq asks a group leader to admit a new (empty) vnode.
+type joinGroupReq struct {
+	Op       uint64
+	Group    core.GroupID
+	NewVnode VnodeName
+	NewHost  transport.NodeID
+	ReplyTo  transport.NodeID
+	Hops     int
+}
+
+type joinGroupResp struct {
+	Op    uint64
+	Group core.GroupID // group actually joined (a child after a split)
+	Retry bool         // leadership moved; re-resolve and retry
+	Err   string
+}
+
+// --- vnode removal (dynamic leave; base-model feature (c)) ---
+
+type leaveVnodeReq struct {
+	Op      uint64
+	Vnode   VnodeName
+	Group   core.GroupID
+	ReplyTo transport.NodeID
+	Hops    int
+}
+
+type leaveVnodeResp struct {
+	Op    uint64
+	Retry bool
+	Err   string
+}
+
+// --- intra-group rebalancement (leader → member hosts) ---
+
+// splitAllReq orders a host to binary-split every partition of its vnodes
+// belonging to the group (§2.5's scope-wide split, data re-bucketed by the
+// next hash bit).
+type splitAllReq struct {
+	Op       uint64
+	Group    core.GroupID
+	NewLevel uint8
+	ReplyTo  transport.NodeID
+}
+
+type splitAllResp struct {
+	Op  uint64
+	Err string
+}
+
+// transferReq orders the host of From to hand one partition (its choice,
+// per §2.5 step 4a) to vnode To hosted at ToHost.
+type transferReq struct {
+	Op      uint64
+	Group   core.GroupID
+	From    VnodeName
+	To      VnodeName
+	ToHost  transport.NodeID
+	Level   uint8
+	ReplyTo transport.NodeID
+}
+
+type transferResp struct {
+	Op        uint64
+	Partition hashspace.Partition
+	Keys      int
+	Err       string
+}
+
+// shipVnodeReq orders the host of a leaving vnode to ship each of its
+// partitions (in sorted order) to the planned destinations.
+type shipVnodeReq struct {
+	Op      uint64
+	Vnode   VnodeName
+	Dests   []ownerRef
+	ReplyTo transport.NodeID
+}
+
+type shipVnodeResp struct {
+	Op  uint64
+	Err string
+}
+
+// partitionData carries one partition's contents to its new owner.
+type partitionData struct {
+	Op        uint64
+	Group     core.GroupID
+	To        VnodeName
+	Partition hashspace.Partition
+	Level     uint8
+	Data      map[string][]byte
+	ReplyTo   transport.NodeID
+}
+
+type partitionAck struct {
+	Op  uint64
+	Err string
+}
+
+// --- group management ---
+
+// groupInit hands a freshly created (child) group's authoritative state to
+// its leader after a group split (§3.7).
+type groupInit struct {
+	Op      uint64
+	State   lpdrState
+	ReplyTo transport.NodeID
+}
+
+type groupInitResp struct {
+	Op  uint64
+	Err string
+}
+
+// lpdrSyncMsg is the fire-and-forget replica refresh every member host (and
+// the join initiator) receives once a balancement event completes — the
+// paper's "all copies of the LPDR become synchronized" (§3.6).
+type lpdrSyncMsg struct {
+	State     lpdrState
+	Dissolved []core.GroupID // parent groups dropped by a split
+}
+
+// bootstrapInfo seeds an snode's fallback route: the first vnode of the DHT
+// (or a current owner), from which every custody chain is reachable.
+type bootstrapInfo struct {
+	Owner ownerRef
+}
+
+// routeEntry is one custody pointer: the partition as it was when it left
+// its host, and where it went.
+type routeEntry struct {
+	Partition hashspace.Partition
+	Ref       ownerRef
+}
+
+// snodeLeavingMsg announces a graceful snode departure.  Survivors drop
+// every forwarding pointer aimed at the leaver and adopt the leaver's own
+// custody table, so every routing chain that used to pass through the
+// leaver now skips it.
+type snodeLeavingMsg struct {
+	Leaving transport.NodeID
+	Routes  []routeEntry
+}
+
+// --- data plane ---
+
+type putReq struct {
+	Op      uint64
+	Key     string
+	Value   []byte
+	ReplyTo transport.NodeID
+	Hops    int
+}
+
+type getReq struct {
+	Op      uint64
+	Key     string
+	ReplyTo transport.NodeID
+	Hops    int
+}
+
+type delReq struct {
+	Op      uint64
+	Key     string
+	ReplyTo transport.NodeID
+	Hops    int
+}
+
+type dataResp struct {
+	Op    uint64
+	Value []byte
+	Found bool
+	Err   string
+}
+
+// pingReq/pingResp let tests and clients quiesce an snode's inbox.
+type pingReq struct {
+	Op      uint64
+	ReplyTo transport.NodeID
+}
+
+type pingResp struct {
+	Op uint64
+}
+
+func init() {
+	for _, m := range []any{
+		lookupReq{}, lookupResp{},
+		createVnodeReq{}, createVnodeResp{},
+		joinGroupReq{}, joinGroupResp{},
+		leaveVnodeReq{}, leaveVnodeResp{},
+		splitAllReq{}, splitAllResp{},
+		transferReq{}, transferResp{},
+		shipVnodeReq{}, shipVnodeResp{},
+		partitionData{}, partitionAck{},
+		groupInit{}, groupInitResp{},
+		lpdrSyncMsg{}, bootstrapInfo{}, snodeLeavingMsg{},
+		putReq{}, getReq{}, delReq{}, dataResp{},
+		pingReq{}, pingResp{},
+	} {
+		gob.Register(m)
+	}
+}

@@ -1,0 +1,56 @@
+// Package cluster is the runtime substrate of the model: it turns the
+// algorithmic local approach (package core) into a live system of *software
+// nodes* — the paper's snodes (§2.1.1) — that exchange protocol messages
+// over a transport fabric, store real key/value data in their partitions,
+// and rebalance by actually shipping partition contents between cluster
+// nodes.
+//
+// The architecture follows the paper §3 directly:
+//
+//   - every snode is an actor (goroutine + unbounded inbox) hosting vnodes;
+//   - each group of vnodes has a *leader* snode holding the authoritative
+//     LPDR; balancement events within a group are serialized by its leader,
+//     while different groups progress in parallel — the paper's central
+//     parallelism claim;
+//   - vnode creation follows §3.6: draw r ∈ R_h, route a lookup to the
+//     victim vnode, ask the victim group's leader to run the §2.5 algorithm
+//     over its LPDR, splitting the group first when it is full (§3.7);
+//   - lookups route by *custody forwarding*: when a partition leaves a
+//     host, the host keeps a tombstone pointing at the new owner, so any
+//     stale request chases the chain of custody to the current owner.
+//
+// Faithful to §5, there is no fault tolerance: the fabric is reliable and
+// nodes do not crash (graceful leave is supported).
+package cluster
+
+import (
+	"fmt"
+
+	"dbdht/internal/cluster/transport"
+)
+
+// VnodeName is a vnode's canonical, DHT-wide unique name.  Per the paper
+// (§3.6, footnote 2) vnodes are identified as snode_id.vnode_id.
+type VnodeName struct {
+	Snode transport.NodeID
+	Local int
+}
+
+// Less orders canonical names (snode id, then local id).  The smallest name
+// in a group determines nothing protocol-visible beyond deterministic
+// tie-breaks in the LPDR.
+func (n VnodeName) Less(o VnodeName) bool {
+	if n.Snode != o.Snode {
+		return n.Snode < o.Snode
+	}
+	return n.Local < o.Local
+}
+
+// String renders the canonical snode_id.vnode_id form.
+func (n VnodeName) String() string { return fmt.Sprintf("%d.%d", n.Snode, n.Local) }
+
+// ownerRef is a forwarding target: a vnode and the snode hosting it.
+type ownerRef struct {
+	Vnode VnodeName
+	Host  transport.NodeID
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import "sync"
+
+// queue is a small unbounded FIFO used for per-group leader work: the actor
+// loop must never block when enqueueing an operation, and a group can have
+// an arbitrary backlog of pending joins (the paper serializes balancement
+// events within a group, §3.6).
+type queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	wake   chan struct{}
+	closed bool
+}
+
+func newQueue[T any]() *queue[T] {
+	return &queue[T]{wake: make(chan struct{}, 1)}
+}
+
+// push enqueues an item; it reports false if the queue is closed.
+func (q *queue[T]) push(item T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pop blocks until an item is available or the queue closes; ok is false
+// only on close-and-drained.
+func (q *queue[T]) pop() (item T, ok bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			item = q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return item, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			var zero T
+			return zero, false
+		}
+		<-q.wake
+	}
+}
+
+// close marks the queue closed; pending items are still popped.
+func (q *queue[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}

@@ -1,0 +1,871 @@
+package cluster
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
+	"dbdht/internal/hashspace"
+)
+
+// Config parameterizes a cluster DHT.  Pmin and Vmin are the model's two
+// parameters (§4.1); the rest tune the runtime.
+type Config struct {
+	Pmin int
+	Vmin int
+	// RPCTimeout bounds every internal request/response exchange
+	// (default 30s — generous, because the model assumes a reliable
+	// cluster network and a timeout indicates a bug, not a failure).
+	RPCTimeout time.Duration
+	// MaxHops bounds lookup/forwarding chains (default 512).
+	MaxHops int
+	// Seed derives each snode's private RNG.
+	Seed int64
+	// Transfer selects the victim-partition policy.  §2.5 step 4a says
+	// "choose a victim partition" without fixing the choice; the policy is
+	// invisible to balancement quality (all partitions in a scope have the
+	// same size) but changes the *migration cost* in moved keys.
+	Transfer TransferPolicy
+}
+
+// TransferPolicy is the victim-partition selection rule.
+type TransferPolicy int
+
+const (
+	// TransferRandom picks uniformly among the victim's partitions (the
+	// default; matches the simulator).
+	TransferRandom TransferPolicy = iota
+	// TransferFewestKeys picks the partition currently storing the fewest
+	// keys, minimizing data movement per handover.
+	TransferFewestKeys
+)
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Pmin < 1 || c.Pmin&(c.Pmin-1) != 0 {
+		return c, fmt.Errorf("cluster: Pmin must be a positive power of two, got %d", c.Pmin)
+	}
+	if c.Vmin < 1 || c.Vmin&(c.Vmin-1) != 0 {
+		return c, fmt.Errorf("cluster: Vmin must be a positive power of two, got %d", c.Vmin)
+	}
+	if c.RPCTimeout == 0 {
+		c.RPCTimeout = 30 * time.Second
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 512
+	}
+	return c, nil
+}
+
+// vmax returns 2·Vmin (invariant L2).
+func (c Config) vmax() int { return 2 * c.Vmin }
+
+// Stats counts an snode's runtime work; fields are atomic so samplers never
+// contend with the actor.
+type Stats struct {
+	MsgsIn         atomic.Int64
+	Forwards       atomic.Int64
+	PartitionsSent atomic.Int64
+	KeysMoved      atomic.Int64
+	SplitAlls      atomic.Int64
+	GroupSplits    atomic.Int64
+	JoinsLed       atomic.Int64
+	LeavesLed      atomic.Int64
+	DataOps        atomic.Int64
+	Requeues       atomic.Int64
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	MsgsIn, Forwards, PartitionsSent, KeysMoved int64
+	SplitAlls, GroupSplits, JoinsLed, LeavesLed int64
+	DataOps, Requeues                           int64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		MsgsIn: s.MsgsIn.Load(), Forwards: s.Forwards.Load(),
+		PartitionsSent: s.PartitionsSent.Load(), KeysMoved: s.KeysMoved.Load(),
+		SplitAlls: s.SplitAlls.Load(), GroupSplits: s.GroupSplits.Load(),
+		JoinsLed: s.JoinsLed.Load(), LeavesLed: s.LeavesLed.Load(),
+		DataOps: s.DataOps.Load(), Requeues: s.Requeues.Load(),
+	}
+}
+
+// vnodeState is one hosted vnode: its group binding, its partitions at the
+// group's splitlevel, and the stored data, bucketed per partition so a
+// partition transfer ships one bucket.
+type vnodeState struct {
+	name   VnodeName
+	group  core.GroupID
+	level  uint8
+	joined bool
+	parts  map[hashspace.Partition]map[string][]byte
+	frozen map[hashspace.Partition]bool // mid-transfer: reads ok, writes requeued
+}
+
+// Snode is one software node (§2.1.1): an actor hosting vnodes, holding
+// LPDR replicas for the groups its vnodes belong to, and — when it leads a
+// group — running that group's balancement events serially while other
+// groups proceed in parallel on their own leaders.
+type Snode struct {
+	id    transport.NodeID
+	cfg   Config
+	net   transport.Network
+	inbox <-chan transport.Envelope
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu        sync.Mutex
+	vnodes    map[VnodeName]*vnodeState
+	nextLocal int
+	tombs     map[hashspace.Partition]ownerRef // custody forwarding pointers
+	tombLvls  map[uint8]int
+	cache     map[hashspace.Partition]ownerRef // requester-side accelerator
+	cacheLvls map[uint8]int
+	boot      ownerRef
+	hasBoot   bool
+	replicas  map[core.GroupID]*lpdrState
+	led       map[core.GroupID]*ledGroup
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan any
+	opSeq   atomic.Uint64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+
+	stats Stats
+}
+
+// newSnode registers and starts an snode actor on the fabric.
+func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, error) {
+	inbox, err := net.Register(id)
+	if err != nil {
+		return nil, err
+	}
+	s := &Snode{
+		id:        id,
+		cfg:       cfg,
+		net:       net,
+		inbox:     inbox,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id)*0x9E3779B97F4A7C15))),
+		vnodes:    make(map[VnodeName]*vnodeState),
+		tombs:     make(map[hashspace.Partition]ownerRef),
+		tombLvls:  make(map[uint8]int),
+		cache:     make(map[hashspace.Partition]ownerRef),
+		cacheLvls: make(map[uint8]int),
+		replicas:  make(map[core.GroupID]*lpdrState),
+		led:       make(map[core.GroupID]*ledGroup),
+		pending:   make(map[uint64]chan any),
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+// ID returns the snode's fabric endpoint id.
+func (s *Snode) ID() transport.NodeID { return s.id }
+
+// stop terminates the actor; in-flight operations fail with timeouts.
+func (s *Snode) stop() {
+	s.stopOnce.Do(func() {
+		close(s.stopCh)
+		s.net.Unregister(s.id)
+		<-s.done
+		s.mu.Lock()
+		for _, lg := range s.led {
+			lg.ops.close()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// randUint64 draws from the snode's private RNG safely.
+func (s *Snode) randUint64() uint64 {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Uint64()
+}
+
+func (s *Snode) randIntn(n int) int {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	return s.rng.Intn(n)
+}
+
+func (s *Snode) randShuffle(n int, swap func(i, j int)) {
+	s.rngMu.Lock()
+	defer s.rngMu.Unlock()
+	s.rng.Shuffle(n, swap)
+}
+
+// send fires one message; errors mean the destination left the fabric,
+// which the failure-free model treats as a programming error surfaced to
+// callers via timeouts.
+func (s *Snode) send(to transport.NodeID, msg any) {
+	_ = s.net.Send(transport.Envelope{From: s.id, To: to, Msg: msg})
+}
+
+// rpc sends a correlated request and waits for its response.
+func (s *Snode) rpc(to transport.NodeID, build func(op uint64) any) (any, error) {
+	op := s.opSeq.Add(1)
+	ch := make(chan any, 1)
+	s.pendMu.Lock()
+	s.pending[op] = ch
+	s.pendMu.Unlock()
+	defer func() {
+		s.pendMu.Lock()
+		delete(s.pending, op)
+		s.pendMu.Unlock()
+	}()
+	if err := s.net.Send(transport.Envelope{From: s.id, To: to, Msg: build(op)}); err != nil {
+		return nil, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-time.After(s.cfg.RPCTimeout):
+		return nil, fmt.Errorf("cluster: snode %d: rpc to %d timed out", s.id, to)
+	case <-s.stopCh:
+		return nil, fmt.Errorf("cluster: snode %d stopping", s.id)
+	}
+}
+
+// deliver routes a response to the goroutine awaiting it.
+func (s *Snode) deliver(op uint64, v any) {
+	s.pendMu.Lock()
+	ch, ok := s.pending[op]
+	s.pendMu.Unlock()
+	if ok {
+		select {
+		case ch <- v:
+		default:
+		}
+	}
+}
+
+// loop is the actor: it dispatches every inbound message.  Fast handlers
+// run inline; handlers that perform nested RPCs run in their own goroutine
+// so the actor never blocks on the fabric.
+func (s *Snode) loop() {
+	defer close(s.done)
+	for env := range s.inbox {
+		s.stats.MsgsIn.Add(1)
+		switch m := env.Msg.(type) {
+		case lookupResp:
+			s.deliver(m.Op, m)
+		case joinGroupResp:
+			s.deliver(m.Op, m)
+		case leaveVnodeResp:
+			s.deliver(m.Op, m)
+		case splitAllResp:
+			s.deliver(m.Op, m)
+		case transferResp:
+			s.deliver(m.Op, m)
+		case shipVnodeResp:
+			s.deliver(m.Op, m)
+		case partitionAck:
+			s.deliver(m.Op, m)
+		case groupInitResp:
+			s.deliver(m.Op, m)
+		case pingResp:
+			s.deliver(m.Op, m)
+		case createVnodeResp:
+			s.deliver(m.Op, m)
+		case dataResp:
+			s.deliver(m.Op, m)
+		case lookupReq:
+			s.handleLookup(m)
+		case putReq:
+			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, m.Value, opPut, m.Hops, env.Msg)
+		case getReq:
+			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, nil, opGet, m.Hops, env.Msg)
+		case delReq:
+			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, nil, opDel, m.Hops, env.Msg)
+		case createVnodeReq:
+			go s.handleCreateVnode(m)
+		case joinGroupReq:
+			s.routeJoin(m)
+		case leaveVnodeReq:
+			s.routeLeave(m)
+		case splitAllReq:
+			go s.handleSplitAll(m)
+		case transferReq:
+			go s.handleTransfer(m)
+		case shipVnodeReq:
+			go s.handleShipVnode(m)
+		case partitionData:
+			go s.handleInstall(m)
+		case groupInit:
+			s.handleGroupInit(m)
+		case lpdrSyncMsg:
+			s.handleSync(m)
+		case bootstrapInfo:
+			s.mu.Lock()
+			s.boot = m.Owner
+			s.hasBoot = true
+			s.mu.Unlock()
+		case snodeLeavingMsg:
+			s.handleSnodeLeaving(m)
+		case pingReq:
+			s.send(m.ReplyTo, pingResp{Op: m.Op})
+		}
+	}
+}
+
+// ownsLocked returns the hosted vnode and partition owning hash index h, if
+// any.  Caller holds s.mu.
+func (s *Snode) ownsLocked(h hashspace.Index) (*vnodeState, hashspace.Partition, bool) {
+	for _, vs := range s.vnodes {
+		p := hashspace.Containing(h, vs.level)
+		if _, ok := vs.parts[p]; ok {
+			return vs, p, true
+		}
+	}
+	return nil, hashspace.Partition{}, false
+}
+
+// forwardTargetLocked picks the next hop for hash index h: the deepest
+// custody tombstone covering h, falling back to the bootstrap owner.  Only
+// custody pointers are followed on forwarded requests — they advance
+// strictly along the chain of custody, guaranteeing termination; the
+// requester-side cache (useCache) may only seed the first hop.
+func (s *Snode) forwardTargetLocked(h hashspace.Index, useCache bool) (ownerRef, bool) {
+	if ref, ok := probeLevels(h, s.tombs, s.tombLvls); ok {
+		return ref, true
+	}
+	if useCache {
+		if ref, ok := probeLevels(h, s.cache, s.cacheLvls); ok {
+			return ref, true
+		}
+	}
+	if s.hasBoot {
+		return s.boot, true
+	}
+	return ownerRef{}, false
+}
+
+// probeLevels finds the deepest entry of a partition-keyed map covering h.
+func probeLevels(h hashspace.Index, m map[hashspace.Partition]ownerRef, lvls map[uint8]int) (ownerRef, bool) {
+	levels := make([]uint8, 0, len(lvls))
+	for l := range lvls {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+	for _, l := range levels {
+		if ref, ok := m[hashspace.Containing(h, l)]; ok {
+			return ref, true
+		}
+	}
+	return ownerRef{}, false
+}
+
+// setTomb records a custody pointer, replacing any coverage at other levels
+// implicitly (probes prefer deeper entries, which are newer).
+func (s *Snode) setTombLocked(p hashspace.Partition, ref ownerRef) {
+	if _, ok := s.tombs[p]; !ok {
+		s.tombLvls[p.Level]++
+	}
+	s.tombs[p] = ref
+}
+
+func (s *Snode) delTombLocked(p hashspace.Partition) {
+	if _, ok := s.tombs[p]; ok {
+		delete(s.tombs, p)
+		s.tombLvls[p.Level]--
+		if s.tombLvls[p.Level] == 0 {
+			delete(s.tombLvls, p.Level)
+		}
+	}
+}
+
+func (s *Snode) setCacheLocked(p hashspace.Partition, ref ownerRef) {
+	if _, ok := s.cache[p]; !ok {
+		s.cacheLvls[p.Level]++
+	}
+	s.cache[p] = ref
+}
+
+// handleLookup implements §3.6's owner location with custody forwarding.
+func (s *Snode) handleLookup(m lookupReq) {
+	s.mu.Lock()
+	if vs, p, ok := s.ownsLocked(m.R); ok {
+		leader := transport.NodeID(0)
+		group := vs.group
+		if rep, ok := s.replicas[vs.group]; ok {
+			leader = rep.Leader
+		}
+		s.mu.Unlock()
+		s.send(m.ReplyTo, lookupResp{
+			Op: m.Op, Owner: vs.name, Host: s.id, Partition: p,
+			Group: group, Leader: leader,
+		})
+		return
+	}
+	if m.Hops >= s.cfg.MaxHops {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, lookupResp{Op: m.Op, Err: fmt.Sprintf("lookup exceeded %d hops", m.Hops)})
+		return
+	}
+	ref, ok := s.forwardTargetLocked(m.R, m.Hops == 0)
+	s.mu.Unlock()
+	if !ok {
+		s.send(m.ReplyTo, lookupResp{Op: m.Op, Err: "no route: empty DHT view"})
+		return
+	}
+	m.Hops++
+	s.stats.Forwards.Add(1)
+	s.send(ref.Host, m)
+}
+
+// resolveOwner runs a lookup for hash index r from this snode.
+func (s *Snode) resolveOwner(r uint64) (lookupResp, error) {
+	v, err := s.rpc(s.id, func(op uint64) any {
+		return lookupReq{Op: op, R: r, ReplyTo: s.id}
+	})
+	if err != nil {
+		return lookupResp{}, err
+	}
+	resp := v.(lookupResp)
+	if resp.Err != "" {
+		return lookupResp{}, fmt.Errorf("cluster: lookup: %s", resp.Err)
+	}
+	s.mu.Lock()
+	s.setCacheLocked(resp.Partition, ownerRef{Vnode: resp.Owner, Host: resp.Host})
+	s.mu.Unlock()
+	return resp, nil
+}
+
+type dataOp int
+
+const (
+	opGet dataOp = iota
+	opPut
+	opDel
+)
+
+// handleData serves or forwards a data-plane operation.
+func (s *Snode) handleData(from transport.NodeID, op uint64, replyTo transport.NodeID, key string, value []byte, kind dataOp, hops int, raw any) {
+	h := hashspace.HashString(key)
+	s.mu.Lock()
+	if vs, p, ok := s.ownsLocked(h); ok {
+		if vs.frozen[p] && kind != opGet {
+			// Partition mid-transfer: writes must wait for the new owner.
+			s.mu.Unlock()
+			s.stats.Requeues.Add(1)
+			go func() {
+				time.Sleep(200 * time.Microsecond)
+				s.send(s.id, raw)
+			}()
+			return
+		}
+		s.stats.DataOps.Add(1)
+		var resp dataResp
+		bucket := vs.parts[p]
+		switch kind {
+		case opGet:
+			v, found := bucket[key]
+			resp = dataResp{Op: op, Value: append([]byte(nil), v...), Found: found}
+		case opPut:
+			bucket[key] = append([]byte(nil), value...)
+			resp = dataResp{Op: op, Found: true}
+		case opDel:
+			_, found := bucket[key]
+			delete(bucket, key)
+			resp = dataResp{Op: op, Found: found}
+		}
+		s.mu.Unlock()
+		s.send(replyTo, resp)
+		return
+	}
+	if hops >= s.cfg.MaxHops {
+		s.mu.Unlock()
+		s.send(replyTo, dataResp{Op: op, Err: fmt.Sprintf("data op exceeded %d hops", hops)})
+		return
+	}
+	ref, ok := s.forwardTargetLocked(h, hops == 0)
+	s.mu.Unlock()
+	if !ok {
+		s.send(replyTo, dataResp{Op: op, Err: "no route: empty DHT view"})
+		return
+	}
+	s.stats.Forwards.Add(1)
+	switch m := raw.(type) {
+	case putReq:
+		m.Hops = hops + 1
+		s.send(ref.Host, m)
+	case getReq:
+		m.Hops = hops + 1
+		s.send(ref.Host, m)
+	case delReq:
+		m.Hops = hops + 1
+		s.send(ref.Host, m)
+	}
+	_ = from
+}
+
+// handleSplitAll performs the scope-wide binary split on this host's
+// vnodes of the group: every partition splits in two and stored keys are
+// re-bucketed by their next hash bit (§2.5 materialized on real data).
+func (s *Snode) handleSplitAll(m splitAllReq) {
+	s.mu.Lock()
+	for _, vs := range s.vnodes {
+		if !vs.joined || vs.group != m.Group || vs.level >= m.NewLevel {
+			continue
+		}
+		next := make(map[hashspace.Partition]map[string][]byte, 2*len(vs.parts))
+		for p, bucket := range vs.parts {
+			lo, hi := p.Split()
+			loB := make(map[string][]byte)
+			hiB := make(map[string][]byte)
+			for k, v := range bucket {
+				if lo.Contains(hashspace.HashString(k)) {
+					loB[k] = v
+				} else {
+					hiB[k] = v
+				}
+			}
+			next[lo] = loB
+			next[hi] = hiB
+		}
+		vs.parts = next
+		vs.level = m.NewLevel
+	}
+	s.mu.Unlock()
+	s.stats.SplitAlls.Add(1)
+	s.send(m.ReplyTo, splitAllResp{Op: m.Op})
+}
+
+// handleTransfer hands one partition of the victim vnode to the new owner:
+// freeze → ship snapshot → on ack, drop data and leave a custody tombstone.
+func (s *Snode) handleTransfer(m transferReq) {
+	s.mu.Lock()
+	vs, ok := s.vnodes[m.From]
+	if !ok {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, transferResp{Op: m.Op, Err: fmt.Sprintf("vnode %v not hosted at %d", m.From, s.id)})
+		return
+	}
+	if vs.level != m.Level {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, transferResp{Op: m.Op, Err: fmt.Sprintf("vnode %v at level %d, leader expects %d", m.From, vs.level, m.Level)})
+		return
+	}
+	// Pick the victim partition (the paper leaves the choice open): any
+	// non-frozen partition, selected per the configured policy.
+	var candidates []hashspace.Partition
+	for p := range vs.parts {
+		if !vs.frozen[p] {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, transferResp{Op: m.Op, Err: fmt.Sprintf("vnode %v has no transferable partition", m.From)})
+		return
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Level != candidates[j].Level {
+			return candidates[i].Level < candidates[j].Level
+		}
+		return candidates[i].Prefix < candidates[j].Prefix
+	})
+	var p hashspace.Partition
+	switch s.cfg.Transfer {
+	case TransferFewestKeys:
+		p = candidates[0]
+		for _, c := range candidates[1:] {
+			if len(vs.parts[c]) < len(vs.parts[p]) {
+				p = c
+			}
+		}
+	default:
+		p = candidates[s.randIntn(len(candidates))]
+	}
+	if vs.frozen == nil {
+		vs.frozen = make(map[hashspace.Partition]bool)
+	}
+	vs.frozen[p] = true
+	snapshot := vs.parts[p]
+	s.mu.Unlock()
+
+	if err := s.shipPartition(m.Group, m.To, m.ToHost, p, m.Level, snapshot); err != nil {
+		s.mu.Lock()
+		delete(vs.frozen, p)
+		s.mu.Unlock()
+		s.send(m.ReplyTo, transferResp{Op: m.Op, Err: err.Error()})
+		return
+	}
+	s.mu.Lock()
+	delete(vs.parts, p)
+	delete(vs.frozen, p)
+	s.setTombLocked(p, ownerRef{Vnode: m.To, Host: m.ToHost})
+	s.mu.Unlock()
+	s.stats.PartitionsSent.Add(1)
+	s.stats.KeysMoved.Add(int64(len(snapshot)))
+	s.send(m.ReplyTo, transferResp{Op: m.Op, Partition: p, Keys: len(snapshot)})
+}
+
+// shipPartition sends one partition's contents and waits for the ack.
+func (s *Snode) shipPartition(g core.GroupID, to VnodeName, toHost transport.NodeID, p hashspace.Partition, level uint8, data map[string][]byte) error {
+	v, err := s.rpc(toHost, func(op uint64) any {
+		return partitionData{Op: op, Group: g, To: to, Partition: p, Level: level, Data: data, ReplyTo: s.id}
+	})
+	if err != nil {
+		return err
+	}
+	if ack := v.(partitionAck); ack.Err != "" {
+		return fmt.Errorf("cluster: install at %d: %s", toHost, ack.Err)
+	}
+	return nil
+}
+
+// handleInstall receives a partition into a hosted vnode, creating the
+// vnode state on first contact (a new vnode receives partitions before its
+// join completes).
+func (s *Snode) handleInstall(m partitionData) {
+	s.mu.Lock()
+	vs, ok := s.vnodes[m.To]
+	if !ok {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, partitionAck{Op: m.Op, Err: fmt.Sprintf("vnode %v not allocated at %d", m.To, s.id)})
+		return
+	}
+	if vs.parts == nil {
+		vs.parts = make(map[hashspace.Partition]map[string][]byte)
+	}
+	data := m.Data
+	if data == nil {
+		data = make(map[string][]byte)
+	}
+	vs.parts[m.Partition] = data
+	vs.level = m.Level
+	vs.group = m.Group
+	// Owning again supersedes any old custody pointer for this region.
+	s.delTombLocked(m.Partition)
+	s.mu.Unlock()
+	s.send(m.ReplyTo, partitionAck{Op: m.Op})
+}
+
+// handleShipVnode ships every partition of a leaving vnode to the leader's
+// planned destinations (sorted partition order ↔ dests order).
+func (s *Snode) handleShipVnode(m shipVnodeReq) {
+	s.mu.Lock()
+	vs, ok := s.vnodes[m.Vnode]
+	if !ok {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, shipVnodeResp{Op: m.Op, Err: fmt.Sprintf("vnode %v not hosted at %d", m.Vnode, s.id)})
+		return
+	}
+	parts := make([]hashspace.Partition, 0, len(vs.parts))
+	for p := range vs.parts {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].Prefix < parts[j].Prefix })
+	if len(parts) != len(m.Dests) {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, shipVnodeResp{Op: m.Op, Err: fmt.Sprintf("vnode %v has %d partitions, plan has %d dests", m.Vnode, len(parts), len(m.Dests))})
+		return
+	}
+	if vs.frozen == nil {
+		vs.frozen = make(map[hashspace.Partition]bool)
+	}
+	for _, p := range parts {
+		vs.frozen[p] = true
+	}
+	group, level := vs.group, vs.level
+	s.mu.Unlock()
+
+	for i, p := range parts {
+		s.mu.Lock()
+		snapshot := vs.parts[p]
+		s.mu.Unlock()
+		dest := m.Dests[i]
+		if err := s.shipPartition(group, dest.Vnode, dest.Host, p, level, snapshot); err != nil {
+			s.send(m.ReplyTo, shipVnodeResp{Op: m.Op, Err: err.Error()})
+			return
+		}
+		s.mu.Lock()
+		delete(vs.parts, p)
+		delete(vs.frozen, p)
+		s.setTombLocked(p, dest)
+		s.mu.Unlock()
+		s.stats.PartitionsSent.Add(1)
+		s.stats.KeysMoved.Add(int64(len(snapshot)))
+	}
+	s.mu.Lock()
+	delete(s.vnodes, m.Vnode)
+	s.mu.Unlock()
+	s.send(m.ReplyTo, shipVnodeResp{Op: m.Op})
+}
+
+// routingTable snapshots this snode's custody pointers, to be bequeathed to
+// the survivors on graceful leave.
+func (s *Snode) routingTable() []routeEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]routeEntry, 0, len(s.tombs))
+	for p, ref := range s.tombs {
+		out = append(out, routeEntry{Partition: p, Ref: ref})
+	}
+	return out
+}
+
+// handleSnodeLeaving repairs routing after a graceful departure: pointers
+// at the leaver are dropped and the leaver's custody table is adopted, so
+// chains that passed through it now skip it.  Entries we already have (our
+// own custody history, or ownership) take precedence.
+func (s *Snode) handleSnodeLeaving(m snodeLeavingMsg) {
+	s.mu.Lock()
+	for p, ref := range s.tombs {
+		if ref.Host == m.Leaving {
+			s.delTombLocked(p)
+		}
+	}
+	for p, ref := range s.cache {
+		if ref.Host == m.Leaving {
+			delete(s.cache, p)
+			s.cacheLvls[p.Level]--
+			if s.cacheLvls[p.Level] == 0 {
+				delete(s.cacheLvls, p.Level)
+			}
+		}
+	}
+	for _, r := range m.Routes {
+		if r.Ref.Host == m.Leaving {
+			continue // self-referential leftovers are useless
+		}
+		if _, have := s.tombs[r.Partition]; !have {
+			s.setTombLocked(r.Partition, r.Ref)
+		}
+	}
+	if s.hasBoot && s.boot.Host == m.Leaving {
+		s.hasBoot = false // the cluster handle re-seeds shortly after
+	}
+	s.mu.Unlock()
+}
+
+// handleSync installs an LPDR replica refresh.
+func (s *Snode) handleSync(m lpdrSyncMsg) {
+	s.mu.Lock()
+	st := m.State
+	s.replicas[st.Group] = &st
+	for _, d := range m.Dissolved {
+		delete(s.replicas, d)
+	}
+	for _, mem := range st.Members {
+		if vs, ok := s.vnodes[mem.Vnode]; ok && mem.Host == s.id {
+			vs.group = st.Group
+			vs.level = st.Level
+			vs.joined = true
+		}
+	}
+	s.mu.Unlock()
+}
+
+// handleCreateVnode runs the client-facing vnode creation (§3.6).
+func (s *Snode) handleCreateVnode(m createVnodeReq) {
+	s.mu.Lock()
+	name := VnodeName{Snode: s.id, Local: s.nextLocal}
+	s.nextLocal++
+	s.mu.Unlock()
+
+	if m.Bootstrap {
+		if err := s.bootstrapFirstVnode(name); err != nil {
+			s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Err: err.Error()})
+			return
+		}
+		s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Vnode: name, Group: core.GroupID{}})
+		return
+	}
+
+	// Allocate the (empty) vnode so partition installs can land.
+	s.mu.Lock()
+	s.vnodes[name] = &vnodeState{
+		name:   name,
+		parts:  make(map[hashspace.Partition]map[string][]byte),
+		frozen: make(map[hashspace.Partition]bool),
+	}
+	s.mu.Unlock()
+
+	const maxRetries = 16
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		r := s.randUint64()
+		lr, err := s.resolveOwner(r)
+		if err != nil {
+			s.abandonVnode(name)
+			s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Err: err.Error()})
+			return
+		}
+		v, err := s.rpc(lr.Host, func(op uint64) any {
+			return joinGroupReq{Op: op, Group: lr.Group, NewVnode: name, NewHost: s.id, ReplyTo: s.id}
+		})
+		if err != nil {
+			s.abandonVnode(name)
+			s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Err: err.Error()})
+			return
+		}
+		resp := v.(joinGroupResp)
+		if resp.Retry {
+			continue // leadership moved under us; re-resolve
+		}
+		if resp.Err != "" {
+			s.abandonVnode(name)
+			s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Err: resp.Err})
+			return
+		}
+		s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Vnode: name, Group: resp.Group})
+		return
+	}
+	s.abandonVnode(name)
+	s.send(m.ReplyTo, createVnodeResp{Op: m.Op, Err: "join retries exhausted"})
+}
+
+// abandonVnode discards a never-joined vnode allocation after a failure.
+func (s *Snode) abandonVnode(name VnodeName) {
+	s.mu.Lock()
+	if vs, ok := s.vnodes[name]; ok && !vs.joined && len(vs.parts) == 0 {
+		delete(s.vnodes, name)
+	}
+	s.mu.Unlock()
+}
+
+// bootstrapFirstVnode creates group 0 around the DHT's first vnode: the
+// whole of R_h pre-split into Pmin partitions (invariant G4's floor), this
+// snode leading.
+func (s *Snode) bootstrapFirstVnode(name VnodeName) error {
+	level := uint8(bits.TrailingZeros(uint(s.cfg.Pmin)))
+	parts := make(map[hashspace.Partition]map[string][]byte, s.cfg.Pmin)
+	for pre := uint64(0); pre < uint64(s.cfg.Pmin); pre++ {
+		parts[hashspace.Partition{Prefix: pre, Level: level}] = make(map[string][]byte)
+	}
+	g0 := core.GroupID{}
+	s.mu.Lock()
+	if len(s.vnodes) != 0 || len(s.led) != 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: snode %d is not empty; cannot bootstrap", s.id)
+	}
+	s.vnodes[name] = &vnodeState{
+		name: name, group: g0, level: level, joined: true,
+		parts: parts, frozen: make(map[hashspace.Partition]bool),
+	}
+	st := lpdrState{
+		Group: g0, Level: level, Leader: s.id,
+		Members: []memberInfo{{Vnode: name, Host: s.id, Count: s.cfg.Pmin}},
+	}
+	s.replicas[g0] = &st
+	s.boot = ownerRef{Vnode: name, Host: s.id}
+	s.hasBoot = true
+	s.installLeaderLocked(st)
+	s.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a fabric whose messages travel over real TCP connections encoded
+// with encoding/gob.  Endpoints listen on ephemeral loopback ports; the
+// fabric object doubles as the address registry (on a physical cluster this
+// registry is the deployment's static node list — the paper's model assumes
+// cluster membership is known, §5).
+//
+// One connection per ordered (From, To) pair, dialed lazily, preserves the
+// FIFO-per-pair guarantee Network requires.
+type TCP struct {
+	mu        sync.RWMutex
+	addr      string // listen address, e.g. "127.0.0.1:0"
+	endpoints map[NodeID]*tcpEndpoint
+	closed    bool
+}
+
+type tcpEndpoint struct {
+	id       NodeID
+	lis      net.Listener
+	box      *mailbox
+	mu       sync.Mutex
+	conns    map[NodeID]*outConn // ordered-pair outbound connections
+	shutdown chan struct{}
+	wg       sync.WaitGroup
+}
+
+type outConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	c   net.Conn
+}
+
+// NewTCP returns a TCP fabric listening on the given host (usually
+// "127.0.0.1"); each registered endpoint gets its own ephemeral port.
+func NewTCP(host string) *TCP {
+	return &TCP{addr: host + ":0", endpoints: make(map[NodeID]*tcpEndpoint)}
+}
+
+// Register implements Network: it starts a listener and accept loop for the
+// endpoint.
+func (t *TCP) Register(id NodeID) (<-chan Envelope, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if _, dup := t.endpoints[id]; dup {
+		return nil, fmt.Errorf("transport: node %d already registered", id)
+	}
+	lis, err := net.Listen("tcp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen for node %d: %w", id, err)
+	}
+	ep := &tcpEndpoint{
+		id:       id,
+		lis:      lis,
+		box:      newMailbox(0),
+		conns:    make(map[NodeID]*outConn),
+		shutdown: make(chan struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	t.endpoints[id] = ep
+	return ep.box.out, nil
+}
+
+func (ep *tcpEndpoint) acceptLoop() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		ep.wg.Add(1)
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *tcpEndpoint) readLoop(conn net.Conn) {
+	defer ep.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		if !ep.box.push(env) {
+			return
+		}
+	}
+}
+
+// Unregister implements Network.
+func (t *TCP) Unregister(id NodeID) error {
+	t.mu.Lock()
+	ep, ok := t.endpoints[id]
+	if ok {
+		delete(t.endpoints, id)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: node %d not registered", id)
+	}
+	ep.close()
+	return nil
+}
+
+func (ep *tcpEndpoint) close() {
+	ep.lis.Close()
+	ep.mu.Lock()
+	for _, oc := range ep.conns {
+		oc.c.Close()
+	}
+	ep.conns = make(map[NodeID]*outConn)
+	ep.mu.Unlock()
+	ep.box.close()
+}
+
+// Send implements Network.  The sender's endpoint dials (or reuses) its
+// connection to the destination and gob-encodes the envelope.
+func (t *TCP) Send(env Envelope) error {
+	t.mu.RLock()
+	src, okSrc := t.endpoints[env.From]
+	dst, okDst := t.endpoints[env.To]
+	t.mu.RUnlock()
+	if !okDst {
+		return fmt.Errorf("transport: destination %d not registered", env.To)
+	}
+	if !okSrc {
+		return fmt.Errorf("transport: sender %d not registered", env.From)
+	}
+	oc, err := src.connTo(env.To, dst.lis.Addr().String())
+	if err != nil {
+		return err
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if err := oc.enc.Encode(&env); err != nil {
+		// Drop the broken connection so the next send redials.
+		src.mu.Lock()
+		if src.conns[env.To] == oc {
+			delete(src.conns, env.To)
+		}
+		src.mu.Unlock()
+		oc.c.Close()
+		return fmt.Errorf("transport: send %d→%d: %w", env.From, env.To, err)
+	}
+	return nil
+}
+
+func (ep *tcpEndpoint) connTo(to NodeID, addr string) (*outConn, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if oc, ok := ep.conns[to]; ok {
+		return oc, nil
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d→%d: %w", ep.id, to, err)
+	}
+	oc := &outConn{enc: gob.NewEncoder(c), c: c}
+	ep.conns[to] = oc
+	return oc, nil
+}
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	eps := t.endpoints
+	t.endpoints = make(map[NodeID]*tcpEndpoint)
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+// Package transport provides the message fabric the cluster runtime's
+// snodes communicate over.  The paper's model assumes the basic properties
+// of a cluster interconnect — reliable delivery, short one-hop paths, high
+// bandwidth, no partitions (§5) — so the abstraction is deliberately small:
+// asynchronous, reliable, FIFO-per-sender-receiver-pair message passing.
+//
+// Two implementations are provided: an in-memory fabric built on unbounded
+// mailboxes (the default for simulations and tests) and a TCP fabric using
+// encoding/gob over loopback or real interfaces, demonstrating that the
+// protocol layer runs over a real network stack.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NodeID identifies an endpoint on the fabric: a cluster node hosting an
+// snode, or a client endpoint.
+type NodeID int
+
+// Envelope is one message in flight.
+type Envelope struct {
+	From, To NodeID
+	// Msg is the payload.  For the TCP fabric every concrete payload type
+	// must be registered with encoding/gob (the cluster package registers
+	// its protocol messages in init).
+	Msg any
+}
+
+// Network is the fabric interface.
+type Network interface {
+	// Register joins an endpoint to the fabric and returns its inbox.  The
+	// inbox channel is closed when the network shuts down.  Registering an
+	// id twice is an error.
+	Register(id NodeID) (<-chan Envelope, error)
+	// Unregister removes an endpoint; its inbox is closed and subsequent
+	// sends to it fail.
+	Unregister(id NodeID) error
+	// Send delivers env.Msg to env.To.  Delivery is asynchronous, reliable
+	// and FIFO per (From, To) pair.  Send never blocks on slow receivers.
+	Send(env Envelope) error
+	// Close shuts the fabric down, closing every inbox.
+	Close() error
+}
+
+// mailbox is an unbounded FIFO delivering into a channel.  Unboundedness
+// removes the send-blocks-receive deadlocks a bounded actor fabric invites,
+// matching the paper's reliable-cluster-network assumption.  A non-zero
+// latency models the interconnect's one-way delay: each envelope becomes
+// deliverable latency after it was pushed (FIFO order is preserved because
+// the delay is uniform).
+type mailbox struct {
+	mu      sync.Mutex
+	queue   []timedEnvelope
+	wake    chan struct{}
+	out     chan Envelope
+	closed  bool
+	latency time.Duration
+}
+
+type timedEnvelope struct {
+	env Envelope
+	due time.Time
+}
+
+func newMailbox(latency time.Duration) *mailbox {
+	m := &mailbox{
+		wake:    make(chan struct{}, 1),
+		out:     make(chan Envelope),
+		latency: latency,
+	}
+	go m.pump()
+	return m
+}
+
+// push enqueues an envelope; returns false if the mailbox is closed.
+func (m *mailbox) push(env Envelope) bool {
+	te := timedEnvelope{env: env}
+	if m.latency > 0 {
+		te.due = time.Now().Add(m.latency)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.queue = append(m.queue, te)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// pump moves queued envelopes to the out channel, preserving order and
+// honouring each envelope's delivery time.
+func (m *mailbox) pump() {
+	defer close(m.out)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 {
+			if m.closed {
+				m.mu.Unlock()
+				return
+			}
+			m.mu.Unlock()
+			<-m.wake
+			m.mu.Lock()
+		}
+		batch := m.queue
+		m.queue = nil
+		m.mu.Unlock()
+		for _, te := range batch {
+			if m.latency > 0 {
+				if wait := time.Until(te.due); wait > 0 {
+					time.Sleep(wait)
+				}
+			}
+			m.out <- te.env
+		}
+	}
+}
+
+// close marks the mailbox closed and wakes the pump; queued envelopes are
+// still delivered before the out channel closes.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Mem is the in-memory fabric.
+type Mem struct {
+	mu      sync.RWMutex
+	boxes   map[NodeID]*mailbox
+	closed  bool
+	latency time.Duration
+}
+
+// NewMem returns an empty in-memory fabric with zero message latency.
+func NewMem() *Mem {
+	return &Mem{boxes: make(map[NodeID]*mailbox)}
+}
+
+// NewMemLatency returns an in-memory fabric that delivers every message
+// after the given one-way delay, modeling a cluster interconnect (tens of
+// microseconds on the gigabit networks of the paper's era).  Used by the
+// parallelism ablation benchmarks, where serialization cost is latency-
+// dominated.
+func NewMemLatency(oneWay time.Duration) *Mem {
+	return &Mem{boxes: make(map[NodeID]*mailbox), latency: oneWay}
+}
+
+// Register implements Network.
+func (n *Mem) Register(id NodeID) (<-chan Envelope, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if _, dup := n.boxes[id]; dup {
+		return nil, fmt.Errorf("transport: node %d already registered", id)
+	}
+	mb := newMailbox(n.latency)
+	n.boxes[id] = mb
+	return mb.out, nil
+}
+
+// Unregister implements Network.
+func (n *Mem) Unregister(id NodeID) error {
+	n.mu.Lock()
+	mb, ok := n.boxes[id]
+	if ok {
+		delete(n.boxes, id)
+	}
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: node %d not registered", id)
+	}
+	mb.close()
+	return nil
+}
+
+// Send implements Network.
+func (n *Mem) Send(env Envelope) error {
+	n.mu.RLock()
+	mb, ok := n.boxes[env.To]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("transport: destination %d not registered", env.To)
+	}
+	if !mb.push(env) {
+		return fmt.Errorf("transport: destination %d shutting down", env.To)
+	}
+	return nil
+}
+
+// Close implements Network.
+func (n *Mem) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	boxes := n.boxes
+	n.boxes = make(map[NodeID]*mailbox)
+	n.mu.Unlock()
+	for _, mb := range boxes {
+		mb.close()
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+type testMsg struct {
+	Seq int
+	S   string
+}
+
+func init() { gob.Register(testMsg{}) }
+
+// networks under test, by constructor.
+func fabrics() map[string]func() Network {
+	return map[string]func() Network{
+		"mem": func() Network { return NewMem() },
+		"tcp": func() Network { return NewTCP("127.0.0.1") },
+	}
+}
+
+func recvOne(t *testing.T, ch <-chan Envelope) Envelope {
+	t.Helper()
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			t.Fatal("inbox closed unexpectedly")
+		}
+		return env
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+	}
+	panic("unreachable")
+}
+
+func TestSendReceive(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			in1, err := n.Register(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := n.Register(2); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Send(Envelope{From: 2, To: 1, Msg: testMsg{Seq: 7, S: "hi"}}); err != nil {
+				t.Fatal(err)
+			}
+			env := recvOne(t, in1)
+			got, ok := env.Msg.(testMsg)
+			if !ok || got.Seq != 7 || got.S != "hi" || env.From != 2 || env.To != 1 {
+				t.Fatalf("got %+v", env)
+			}
+		})
+	}
+}
+
+func TestFIFOPerPair(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			in, err := n.Register(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := n.Register(2); err != nil {
+				t.Fatal(err)
+			}
+			const count = 500
+			for i := 0; i < count; i++ {
+				if err := n.Send(Envelope{From: 2, To: 1, Msg: testMsg{Seq: i}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < count; i++ {
+				env := recvOne(t, in)
+				if got := env.Msg.(testMsg).Seq; got != i {
+					t.Fatalf("out of order: got %d at position %d", got, i)
+				}
+			}
+		})
+	}
+}
+
+func TestManySendersNoLoss(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			in, err := n.Register(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const senders, each = 8, 200
+			for s := 1; s <= senders; s++ {
+				if _, err := n.Register(NodeID(s)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var wg sync.WaitGroup
+			for s := 1; s <= senders; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						if err := n.Send(Envelope{From: NodeID(s), To: 0, Msg: testMsg{Seq: i}}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			seen := make(map[NodeID]int)
+			for i := 0; i < senders*each; i++ {
+				env := recvOne(t, in)
+				seq := env.Msg.(testMsg).Seq
+				if seq != seen[env.From] {
+					t.Fatalf("sender %d: got seq %d, want %d (per-pair FIFO)", env.From, seq, seen[env.From])
+				}
+				seen[env.From]++
+			}
+		})
+	}
+}
+
+func TestSendToUnknown(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if _, err := n.Register(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Send(Envelope{From: 1, To: 99, Msg: testMsg{}}); err == nil {
+				t.Fatal("send to unregistered node must fail")
+			}
+		})
+	}
+}
+
+func TestDuplicateRegister(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			if _, err := n.Register(1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := n.Register(1); err == nil {
+				t.Fatal("duplicate register must fail")
+			}
+		})
+	}
+}
+
+func TestUnregisterClosesInbox(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			in, err := n.Register(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Unregister(1); err != nil {
+				t.Fatal(err)
+			}
+			select {
+			case _, ok := <-in:
+				if ok {
+					t.Fatal("expected closed inbox")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("inbox did not close")
+			}
+			if err := n.Unregister(1); err == nil {
+				t.Fatal("double unregister must fail")
+			}
+		})
+	}
+}
+
+func TestCloseClosesAllInboxes(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			var ins []<-chan Envelope
+			for i := 0; i < 4; i++ {
+				in, err := n.Register(NodeID(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				ins = append(ins, in)
+			}
+			if err := n.Close(); err != nil {
+				t.Fatal(err)
+			}
+			for i, in := range ins {
+				select {
+				case _, ok := <-in:
+					if ok {
+						t.Fatalf("inbox %d delivered after close", i)
+					}
+				case <-time.After(5 * time.Second):
+					t.Fatalf("inbox %d did not close", i)
+				}
+			}
+			if _, err := n.Register(9); err == nil {
+				t.Fatal("register after close must fail")
+			}
+			if err := n.Close(); err != nil {
+				t.Fatal("double close must be a no-op")
+			}
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for name, mk := range fabrics() {
+		t.Run(name, func(t *testing.T) {
+			n := mk()
+			defer n.Close()
+			in, err := n.Register(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := n.Send(Envelope{From: 1, To: 1, Msg: testMsg{Seq: 42}}); err != nil {
+				t.Fatal(err)
+			}
+			if got := recvOne(t, in).Msg.(testMsg).Seq; got != 42 {
+				t.Fatalf("self-send got %d", got)
+			}
+		})
+	}
+}
+
+func TestMailboxBuffersWithoutReceiver(t *testing.T) {
+	// Unbounded mailboxes must accept arbitrary backlog without blocking
+	// the sender (deadlock freedom for the actor runtime).
+	n := NewMem()
+	defer n.Close()
+	in, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Register(2)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100000; i++ {
+			if err := n.Send(Envelope{From: 2, To: 1, Msg: testMsg{Seq: i}}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sender blocked; mailbox not unbounded")
+	}
+	for i := 0; i < 100000; i++ {
+		if got := recvOne(t, in).Msg.(testMsg).Seq; got != i {
+			t.Fatalf("lost or reordered at %d (got %d)", i, got)
+		}
+	}
+}
+
+func TestTCPSendFromUnregistered(t *testing.T) {
+	n := NewTCP("127.0.0.1")
+	defer n.Close()
+	if _, err := n.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send(Envelope{From: 5, To: 1, Msg: testMsg{}}); err == nil {
+		t.Fatal("tcp send from unregistered sender must fail")
+	}
+}
+
+func TestEnvelopeStringTypes(t *testing.T) {
+	// Envelope must carry arbitrary registered payloads for the TCP fabric.
+	gob.Register(map[string][]byte{})
+	n := NewTCP("127.0.0.1")
+	defer n.Close()
+	in, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Register(2)
+	payload := map[string][]byte{"k": []byte("v")}
+	if err := n.Send(Envelope{From: 2, To: 1, Msg: payload}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, in)
+	got, ok := env.Msg.(map[string][]byte)
+	if !ok || string(got["k"]) != "v" {
+		t.Fatalf("payload mangled: %+v", env.Msg)
+	}
+	_ = fmt.Sprintf("%v", env)
+}
+
+func TestMemLatencyDelaysDelivery(t *testing.T) {
+	n := NewMemLatency(20 * time.Millisecond)
+	defer n.Close()
+	in, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register(2); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := n.Send(Envelope{From: 2, To: 1, Msg: testMsg{Seq: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	env := recvOne(t, in)
+	if env.Msg.(testMsg).Seq != 1 {
+		t.Fatal("wrong message")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delivered after %v, want ≥ ~20ms", elapsed)
+	}
+	// FIFO is preserved under latency.
+	for i := 0; i < 20; i++ {
+		if err := n.Send(Envelope{From: 2, To: 1, Msg: testMsg{Seq: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if got := recvOne(t, in).Msg.(testMsg).Seq; got != i {
+			t.Fatalf("reordered under latency: got %d at %d", got, i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAddVnode measures the cost of one vnode creation — the local
+// approach's central operation — on an already-large DHT.
+func BenchmarkAddVnode(b *testing.B) {
+	d, err := New(Config{Pmin: 32, Vmin: 32}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if _, _, err := d.AddVnode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.AddVnode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookup measures key location on a 1024-vnode DHT.
+func BenchmarkLookup(b *testing.B) {
+	d, err := New(Config{Pmin: 32, Vmin: 32}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		if _, _, err := d.AddVnode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	idx := make([]uint64, 1024)
+	for i := range idx {
+		idx[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup(idx[i%len(idx)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkGrowTo1024 measures a full figure-4-style run: 1024 consecutive
+// creations from scratch.
+func BenchmarkGrowTo1024(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d, err := New(Config{Pmin: 32, Vmin: 32}, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for v := 0; v < 1024; v++ {
+			if _, _, err := d.AddVnode(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+// Package core implements the *local approach* of Rufino et al. (IPDPS
+// 2004) — the paper's primary contribution.  The global set of vnodes is
+// fully divided into mutually exclusive groups (invariant L1); each group
+// balances itself with the same σ-decreasing algorithm the global approach
+// uses, but restricted to its own Local Partition Distribution Record, so
+// balancement events in different groups proceed independently and in
+// parallel (§3.1).  Group membership fluctuates within strict bounds
+// Vmin ≤ V_g ≤ Vmax = 2·Vmin (invariant L2), and full groups split in two,
+// generating identifiers with the decentralized binary scheme of §3.7.1.
+package core
+
+import "fmt"
+
+// GroupID is the decentralized binary group identifier of §3.7.1.  The
+// first group of a DHT carries the zero value (displayed "0", per figure 3).
+// When a group splits, each child inherits the parent's binary identifier
+// prefixed (as new most-significant digit) with 0 or 1, so only the snode
+// coordinating the split participates in naming — no global agreement
+// needed.  Len counts the digits; Bits holds their value.
+type GroupID struct {
+	// Bits is the numeric value of the binary identifier (figure 3 shows
+	// both the binary string and this base-10 value).
+	Bits uint64
+	// Len is the number of binary digits; the first group has Len 0.
+	Len uint8
+}
+
+// Split returns the two child identifiers: the parent's digits prefixed by
+// 0 and by 1 respectively.  Prefixing digit b onto an identifier of length
+// n yields value b·2ⁿ + Bits, exactly reproducing figure 3 (e.g. "10"₂ = 2
+// splits into "010"₂ = 2 and "110"₂ = 6).
+func (g GroupID) Split() (lo, hi GroupID) {
+	if g.Len >= 63 {
+		panic(fmt.Sprintf("core: group identifier %v too deep to split", g))
+	}
+	lo = GroupID{Bits: g.Bits, Len: g.Len + 1}
+	hi = GroupID{Bits: g.Bits | 1<<g.Len, Len: g.Len + 1}
+	return lo, hi
+}
+
+// Less orders identifiers deterministically (by length, then value); the
+// runtime uses it for reproducible tie-breaking, not for any protocol
+// purpose.
+func (g GroupID) Less(o GroupID) bool {
+	if g.Len != o.Len {
+		return g.Len < o.Len
+	}
+	return g.Bits < o.Bits
+}
+
+// String renders the binary identifier as in figure 3 ("0", "10", "110");
+// the first group renders as "0".
+func (g GroupID) String() string {
+	if g.Len == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%0*b", int(g.Len), g.Bits)
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestFigure3Identifiers replays the exact split tree of the paper's
+// figure 3 and checks every binary string and base-10 value.
+func TestFigure3Identifiers(t *testing.T) {
+	g0 := GroupID{}
+	if g0.String() != "0" || g0.Bits != 0 {
+		t.Fatalf("first group = %q (%d)", g0.String(), g0.Bits)
+	}
+	a, b := g0.Split()
+	if a.String() != "0" || a.Bits != 0 || b.String() != "1" || b.Bits != 1 {
+		t.Fatalf("level-1 ids = %q(%d), %q(%d)", a.String(), a.Bits, b.String(), b.Bits)
+	}
+	a0, a1 := a.Split()
+	b0, b1 := b.Split()
+	wants := []struct {
+		g    GroupID
+		str  string
+		bits uint64
+	}{
+		{a0, "00", 0}, {a1, "10", 2}, {b0, "01", 1}, {b1, "11", 3},
+	}
+	for _, w := range wants {
+		if w.g.String() != w.str || w.g.Bits != w.bits {
+			t.Errorf("got %q(%d), want %q(%d)", w.g.String(), w.g.Bits, w.str, w.bits)
+		}
+	}
+	// Third level, exactly the eight identifiers of figure 3.
+	var l3 []GroupID
+	for _, g := range []GroupID{a0, a1, b0, b1} {
+		x, y := g.Split()
+		l3 = append(l3, x, y)
+	}
+	wantStr := map[string]uint64{
+		"000": 0, "100": 4, "010": 2, "110": 6,
+		"001": 1, "101": 5, "011": 3, "111": 7,
+	}
+	seen := map[string]bool{}
+	for _, g := range l3 {
+		want, ok := wantStr[g.String()]
+		if !ok {
+			t.Errorf("unexpected level-3 id %q", g.String())
+			continue
+		}
+		if g.Bits != want {
+			t.Errorf("id %q has value %d, want %d", g.String(), g.Bits, want)
+		}
+		seen[g.String()] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("level-3 ids not all distinct: %v", seen)
+	}
+}
+
+// Property: any sequence of splits from the root yields globally unique
+// identifiers — the decentralization claim of §3.7.1.
+func TestGroupIDUniquenessUnderRandomSplits(t *testing.T) {
+	f := func(choices []bool) bool {
+		live := []GroupID{{}}
+		seen := map[GroupID]bool{{}: true}
+		for _, pickHi := range choices {
+			if len(live) == 0 {
+				return true
+			}
+			// Split the first live group; keep one child live per choice to
+			// vary the shapes of the tree.
+			g := live[0]
+			live = live[1:]
+			lo, hi := g.Split()
+			if seen[lo] || seen[hi] {
+				return false
+			}
+			seen[lo], seen[hi] = true, true
+			if pickHi {
+				live = append(live, hi, lo)
+			} else {
+				live = append(live, lo, hi)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupIDLess(t *testing.T) {
+	g := GroupID{}
+	a, b := g.Split()
+	if !g.Less(a) || a.Less(g) {
+		t.Fatal("shorter id must order first")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("same-length ids order by value")
+	}
+	if a.Less(a) {
+		t.Fatal("Less must be irreflexive")
+	}
+}
+
+func TestGroupIDSplitDepthLimit(t *testing.T) {
+	g := GroupID{Len: 63}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("splitting a depth-63 id must panic")
+		}
+	}()
+	g.Split()
+}

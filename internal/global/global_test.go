@@ -1,0 +1,162 @@
+package global
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newDHT(t *testing.T, pmin int, seed int64) *DHT {
+	t.Helper()
+	d, err := New(pmin, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func grow(t *testing.T, d *DHT, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := d.AddVnode(); err != nil {
+			t.Fatalf("AddVnode #%d: %v", i, err)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(12, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("non-power-of-two Pmin must fail")
+	}
+	d := newDHT(t, 32, 1)
+	if d.Pmin() != 32 || d.Pmax() != 64 {
+		t.Fatalf("Pmin/Pmax = %d/%d", d.Pmin(), d.Pmax())
+	}
+}
+
+func TestGrowthInvariants(t *testing.T) {
+	d := newDHT(t, 8, 2)
+	for i := 0; i < 150; i++ {
+		grow(t, d, 1)
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("after vnode %d: %v", i, err)
+		}
+	}
+	if d.Vnodes() != 150 {
+		t.Fatalf("V = %d", d.Vnodes())
+	}
+	p := d.Partitions()
+	if p&(p-1) != 0 {
+		t.Fatalf("G2 violated: P=%d", p)
+	}
+}
+
+// Invariant G5 and the sawtooth of the global approach: σ̄ = 0 exactly at
+// every power-of-two V, positive in between.
+func TestSawtoothQuality(t *testing.T) {
+	d := newDHT(t, 16, 3)
+	for v := 1; v <= 128; v++ {
+		grow(t, d, 1)
+		q := d.QualityOfBalancement()
+		if v&(v-1) == 0 {
+			if q > 1e-12 {
+				t.Fatalf("V=%d: σ̄=%v, want 0", v, q)
+			}
+			if c, _ := d.PartitionCount(d.VnodeIDs()[0]); c != 16 {
+				t.Fatalf("V=%d: first vnode has %d partitions, want Pmin", v, c)
+			}
+		} else if v > 1 && q == 0 {
+			t.Fatalf("V=%d: σ̄=0 unexpected off powers of two", v)
+		}
+	}
+}
+
+func TestQuotasSumToOne(t *testing.T) {
+	d := newDHT(t, 8, 5)
+	grow(t, d, 77)
+	sum := 0.0
+	for _, q := range d.Quotas() {
+		sum += q
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("quotas sum to %v", sum)
+	}
+}
+
+func TestGPDRMatchesCounts(t *testing.T) {
+	d := newDHT(t, 8, 7)
+	grow(t, d, 20)
+	gpdr := d.GPDR()
+	if len(gpdr) != 20 {
+		t.Fatalf("GPDR has %d entries", len(gpdr))
+	}
+	total := 0
+	for v, c := range gpdr {
+		got, ok := d.PartitionCount(v)
+		if !ok || got != c {
+			t.Fatalf("GPDR[%d]=%d but PartitionCount=%d,%v", v, c, got, ok)
+		}
+		if len(d.PartitionsOf(v)) != c {
+			t.Fatalf("materialized partitions of %d ≠ GPDR", v)
+		}
+		total += c
+	}
+	if total != d.Partitions() {
+		t.Fatalf("GPDR total %d ≠ P %d", total, d.Partitions())
+	}
+}
+
+func TestLookupResolvesEverywhere(t *testing.T) {
+	d := newDHT(t, 8, 11)
+	grow(t, d, 33)
+	f := func(i uint64) bool {
+		_, ok := d.Lookup(i)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.LookupKey([]byte("k")); !ok {
+		t.Fatal("LookupKey must resolve")
+	}
+}
+
+func TestRemoveVnodeGlobal(t *testing.T) {
+	d := newDHT(t, 8, 13)
+	grow(t, d, 40)
+	rng := rand.New(rand.NewSource(1))
+	for d.Vnodes() > 1 {
+		ids := d.VnodeIDs()
+		if err := d.RemoveVnode(ids[rng.Intn(len(ids))]); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatalf("V=%d: %v", d.Vnodes(), err)
+		}
+	}
+	if err := d.RemoveVnode(d.VnodeIDs()[0]); err == nil {
+		t.Fatal("removing last vnode must fail")
+	}
+}
+
+func TestLevelGrowsLogarithmically(t *testing.T) {
+	d := newDHT(t, 8, 17)
+	grow(t, d, 64)
+	// P = Pmin * 64 = 512 ⇒ level = 9.
+	if d.Level() != 9 {
+		t.Fatalf("level = %d, want 9", d.Level())
+	}
+	if d.Partitions() != 512 {
+		t.Fatalf("P = %d, want 512", d.Partitions())
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	d := newDHT(t, 8, 19)
+	grow(t, d, 10)
+	st := d.Stats()
+	if st.Handovers == 0 || st.Splits == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

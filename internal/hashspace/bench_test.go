@@ -1,0 +1,55 @@
+package hashspace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkHash(b *testing.B) {
+	key := []byte("benchmark-key-0123456789")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash(key)
+	}
+}
+
+func BenchmarkContaining(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	idx := make([]Index, 1024)
+	for i := range idx {
+		idx[i] = rng.Uint64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Containing(idx[i%len(idx)], 12)
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	p := Partition{Prefix: 0b1011, Level: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Split()
+	}
+}
+
+func BenchmarkSetLookup(b *testing.B) {
+	s := NewSet()
+	for pre := uint64(0); pre < 1<<10; pre++ {
+		if err := s.Add(Partition{Prefix: pre, Level: 10}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	idx := make([]Index, 1024)
+	for i := range idx {
+		idx[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Lookup(idx[i%len(idx)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

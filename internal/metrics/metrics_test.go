@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty must be 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Fatal("mean of 1..4 must be 2.5")
+	}
+}
+
+func TestStdDevKnownValues(t *testing.T) {
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almost(got, 2) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := RelStdDev(xs); !almost(got, 2.0/5.0) {
+		t.Fatalf("RelStdDev = %v, want 0.4", got)
+	}
+}
+
+func TestStdDevAroundIdealCenter(t *testing.T) {
+	// Deviation around an ideal center differs from around the mean.
+	xs := []float64{1, 1, 1, 1}
+	if got := StdDevAround(xs, 2); !almost(got, 1) {
+		t.Fatalf("StdDevAround = %v, want 1", got)
+	}
+	if got := RelStdDevAround(xs, 2); !almost(got, 0.5) {
+		t.Fatalf("RelStdDevAround = %v, want 0.5", got)
+	}
+	if RelStdDevAround(xs, 0) != 0 {
+		t.Fatal("zero center must yield 0 by convention")
+	}
+}
+
+func TestRelStdDevZeroMean(t *testing.T) {
+	if RelStdDev([]float64{0, 0, 0}) != 0 {
+		t.Fatal("all-zero population is balanced by convention")
+	}
+	if RelStdDev(nil) != 0 {
+		t.Fatal("empty population is balanced by convention")
+	}
+}
+
+// Paper §2.4: if Y_i = c·X_i then σ̄(Y) = σ̄(X) — the scale invariance that
+// lets the global approach use partition counts in place of quotas.
+func TestRelStdDevScaleInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		c := 0.5 + rng.Float64()*10
+		for i := range xs {
+			xs[i] = 1 + rng.Float64()*100
+			ys[i] = c * xs[i]
+		}
+		return math.Abs(RelStdDev(xs)-RelStdDev(ys)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		var w Welford
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*10 + 50
+			w.Add(xs[i])
+		}
+		return w.N() == n &&
+			math.Abs(w.Mean()-Mean(xs)) < 1e-9 &&
+			math.Abs(w.StdDev()-StdDev(xs)) < 1e-9 &&
+			math.Abs(w.RelStdDev()-RelStdDev(xs)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n1, n2 := rng.Intn(30), rng.Intn(30)
+		var a, b, all Welford
+		for i := 0; i < n1; i++ {
+			x := rng.Float64() * 100
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < n2; i++ {
+			x := rng.Float64() * 100
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.StdDev()-all.StdDev()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.StdDev() != 0 || w.RelStdDev() != 0 || w.Variance() != 0 {
+		t.Fatal("empty Welford must report zeros")
+	}
+	var other Welford
+	other.Add(5)
+	w.Merge(other)
+	if w.N() != 1 || w.Mean() != 5 {
+		t.Fatal("merging into empty must copy")
+	}
+	var empty Welford
+	w.Merge(empty)
+	if w.N() != 1 {
+		t.Fatal("merging empty must be a no-op")
+	}
+}
+
+func TestSeriesAtLastTail(t *testing.T) {
+	s := Series{Label: "t", X: []int{1, 2, 3, 4}, Y: []float64{10, 20, 30, 40}}
+	if v, err := s.At(3); err != nil || v != 30 {
+		t.Fatalf("At(3) = %v,%v", v, err)
+	}
+	if _, err := s.At(99); err == nil {
+		t.Fatal("At(absent) must error")
+	}
+	if s.Last() != 40 {
+		t.Fatal("Last mismatch")
+	}
+	if got := s.Tail(0.5); !almost(got, 35) {
+		t.Fatalf("Tail(0.5) = %v, want 35", got)
+	}
+	if got := s.Tail(1.0); !almost(got, 25) {
+		t.Fatalf("Tail(1.0) = %v, want 25", got)
+	}
+	if s.Tail(0) != 0 {
+		t.Fatal("Tail(0) must be 0")
+	}
+	if got := s.Tail(2); !almost(got, 25) {
+		t.Fatalf("Tail(>1) must clamp to full mean, got %v", got)
+	}
+}
+
+func TestSeriesLastPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Last on empty series must panic")
+		}
+	}()
+	(&Series{}).Last()
+}
+
+func TestMeanSeries(t *testing.T) {
+	runs := []Series{
+		{Label: "a", X: []int{1, 2}, Y: []float64{1, 3}},
+		{Label: "a", X: []int{1, 2}, Y: []float64{3, 5}},
+	}
+	m, err := MeanSeries(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(m.Y[0], 2) || !almost(m.Y[1], 4) {
+		t.Fatalf("MeanSeries Y = %v", m.Y)
+	}
+	if _, err := MeanSeries(nil); err == nil {
+		t.Fatal("MeanSeries of no runs must error")
+	}
+	if _, err := MeanSeries([]Series{{X: []int{1}, Y: []float64{1}}, {X: []int{2}, Y: []float64{1}}}); err == nil {
+		t.Fatal("mismatched X axes must error")
+	}
+	if _, err := MeanSeries([]Series{{X: []int{1}, Y: []float64{1}}, {X: []int{1, 2}, Y: []float64{1, 2}}}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
+}
+
+func TestSeriesTailSinglePoint(t *testing.T) {
+	s := Series{X: []int{1}, Y: []float64{7}}
+	if got := s.Tail(0.1); got != 7 {
+		t.Fatalf("Tail of single point = %v", got)
+	}
+	if s.Last() != 7 {
+		t.Fatal("Last of single point")
+	}
+}
+
+func TestWelfordSingleValue(t *testing.T) {
+	var w Welford
+	w.Add(42)
+	if w.Mean() != 42 || w.StdDev() != 0 {
+		t.Fatalf("single value: mean=%v sd=%v", w.Mean(), w.StdDev())
+	}
+}

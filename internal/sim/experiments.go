@@ -1,0 +1,322 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbdht/internal/ch"
+	"dbdht/internal/core"
+	"dbdht/internal/global"
+	"dbdht/internal/metrics"
+)
+
+// LocalQuality measures σ̄(Q_v, Q̄_v) of the local approach after each of
+// o.Vnodes consecutive vnode creations, averaged over o.Runs seeds.  This is
+// one line of figure 4 (Pmin = Vmin) or figure 6 (Pmin fixed, Vmin varies).
+// Values are fractions; the figures plot them ×100.
+func LocalQuality(pmin, vmin int, o Options) (metrics.Series, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return metrics.Series{}, err
+	}
+	label := fmt.Sprintf("local Pmin=%d Vmin=%d", pmin, vmin)
+	return average(o, func(run int) (metrics.Series, error) {
+		d, err := core.New(core.Config{Pmin: pmin, Vmin: vmin}, rand.New(rand.NewSource(o.Seed+int64(run))))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := metrics.Series{Label: label}
+		for v := 1; v <= o.Vnodes; v++ {
+			if _, _, err := d.AddVnode(); err != nil {
+				return metrics.Series{}, err
+			}
+			if v%o.SampleEvery == 0 || v == o.Vnodes {
+				s.X = append(s.X, v)
+				s.Y = append(s.Y, d.QualityOfBalancement())
+			}
+		}
+		return s, nil
+	})
+}
+
+// GlobalQuality is LocalQuality for the global approach (package global):
+// the baseline the local curves are compared against in §4.2, and the
+// degenerate Vmin=512 line of figure 6.
+func GlobalQuality(pmin int, o Options) (metrics.Series, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return metrics.Series{}, err
+	}
+	label := fmt.Sprintf("global Pmin=%d", pmin)
+	return average(o, func(run int) (metrics.Series, error) {
+		d, err := global.New(pmin, rand.New(rand.NewSource(o.Seed+int64(run))))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := metrics.Series{Label: label}
+		for v := 1; v <= o.Vnodes; v++ {
+			if _, err := d.AddVnode(); err != nil {
+				return metrics.Series{}, err
+			}
+			if v%o.SampleEvery == 0 || v == o.Vnodes {
+				s.X = append(s.X, v)
+				s.Y = append(s.Y, d.QualityOfBalancement())
+			}
+		}
+		return s, nil
+	})
+}
+
+// GroupEvolution bundles the three curves of §4.2.1 recorded during one
+// growth experiment: the real and ideal overall number of groups (figure 7)
+// and the quality of the balancement *between* groups σ̄(Q_g, Q̄_g)
+// (figure 8).
+type GroupEvolution struct {
+	Real    metrics.Series
+	Ideal   metrics.Series
+	Quality metrics.Series
+}
+
+// Groups runs the local approach and records the group-evolution curves.
+func Groups(pmin, vmin int, o Options) (GroupEvolution, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return GroupEvolution{}, err
+	}
+	vmax := 2 * vmin
+	type triple struct{ real, ideal, quality metrics.Series }
+	runs := make([]triple, o.Runs)
+	_, err = runAll(o, func(run int) (metrics.Series, error) {
+		d, err := core.New(core.Config{Pmin: pmin, Vmin: vmin}, rand.New(rand.NewSource(o.Seed+int64(run))))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		tr := &runs[run]
+		for v := 1; v <= o.Vnodes; v++ {
+			if _, _, err := d.AddVnode(); err != nil {
+				return metrics.Series{}, err
+			}
+			if v%o.SampleEvery == 0 || v == o.Vnodes {
+				tr.real.X = append(tr.real.X, v)
+				tr.real.Y = append(tr.real.Y, float64(d.Groups()))
+				tr.ideal.X = append(tr.ideal.X, v)
+				tr.ideal.Y = append(tr.ideal.Y, float64(idealGroups(v, vmax)))
+				tr.quality.X = append(tr.quality.X, v)
+				tr.quality.Y = append(tr.quality.Y, d.GroupBalancement())
+			}
+		}
+		return metrics.Series{}, nil
+	})
+	if err != nil {
+		return GroupEvolution{}, err
+	}
+	collect := func(pick func(*triple) metrics.Series, label string) (metrics.Series, error) {
+		all := make([]metrics.Series, len(runs))
+		for i := range runs {
+			all[i] = pick(&runs[i])
+			all[i].Label = label
+		}
+		return metrics.MeanSeries(all)
+	}
+	var out GroupEvolution
+	if out.Real, err = collect(func(t *triple) metrics.Series { return t.real }, "Greal"); err != nil {
+		return out, err
+	}
+	if out.Ideal, err = collect(func(t *triple) metrics.Series { return t.ideal }, "Gideal"); err != nil {
+		return out, err
+	}
+	if out.Quality, err = collect(func(t *triple) metrics.Series { return t.quality }, "sigma(Qg)"); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// CHQuality measures σ̄(Q_n, Q̄_n) of Consistent Hashing as homogeneous
+// nodes join one by one — the CH curves of figure 9 (k = 32 and 64
+// partitions/node in the paper).
+func CHQuality(k int, o Options) (metrics.Series, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return metrics.Series{}, err
+	}
+	label := fmt.Sprintf("CH %d pts/node", k)
+	return average(o, func(run int) (metrics.Series, error) {
+		r, err := ch.New(k, rand.New(rand.NewSource(o.Seed+int64(run))))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		s := metrics.Series{Label: label}
+		for n := 1; n <= o.Vnodes; n++ {
+			if _, err := r.AddNode(1); err != nil {
+				return metrics.Series{}, err
+			}
+			if n%o.SampleEvery == 0 || n == o.Vnodes {
+				s.X = append(s.X, n)
+				s.Y = append(s.Y, r.QualityOfBalancement())
+			}
+		}
+		return s, nil
+	})
+}
+
+// ThetaPoint is one point of figure 5.
+type ThetaPoint struct {
+	Vmin  int
+	Sigma float64 // σ̄(Q_v) at V = o.Vnodes for Pmin = Vmin
+	Theta float64
+}
+
+// Theta computes the figure-5 tradeoff θ = α·V̂min + β·σ̄̂ for the candidate
+// values of Vmin (with Pmin = Vmin, as §4.1 establishes), where both terms
+// are normalized by their maximum over the candidate set and α + β = 1.
+// The paper uses α = β = 0.5 and finds the minimum at Vmin = 32.
+func Theta(vmins []int, alpha float64, o Options) ([]ThetaPoint, error) {
+	if len(vmins) == 0 {
+		return nil, fmt.Errorf("sim: no Vmin candidates")
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("sim: alpha must be in [0,1], got %v", alpha)
+	}
+	beta := 1 - alpha
+	out := make([]ThetaPoint, len(vmins))
+	maxV, maxS := 0.0, 0.0
+	for i, vm := range vmins {
+		s, err := LocalQuality(vm, vm, o)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ThetaPoint{Vmin: vm, Sigma: s.Last()}
+		if float64(vm) > maxV {
+			maxV = float64(vm)
+		}
+		if out[i].Sigma > maxS {
+			maxS = out[i].Sigma
+		}
+	}
+	for i := range out {
+		nv := float64(out[i].Vmin) / maxV
+		ns := 0.0
+		if maxS > 0 {
+			ns = out[i].Sigma / maxS
+		}
+		out[i].Theta = alpha*nv + beta*ns
+	}
+	return out, nil
+}
+
+// PlateauRatio quantifies the §4.1.1 observation that "each time Pmin and
+// Vmin double, σ̄(Q_v) decreases by nearly 30%": it returns the 2nd-zone
+// plateau value (mean of the last tailFrac of the curve) for each candidate
+// and the consecutive ratios plateau[i+1]/plateau[i].
+func PlateauRatio(vmins []int, tailFrac float64, o Options) (plateaus []float64, ratios []float64, err error) {
+	for _, vm := range vmins {
+		s, err := LocalQuality(vm, vm, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		plateaus = append(plateaus, s.Tail(tailFrac))
+	}
+	for i := 1; i < len(plateaus); i++ {
+		if plateaus[i-1] == 0 {
+			return nil, nil, fmt.Errorf("sim: zero plateau for Vmin=%d", vmins[i-1])
+		}
+		ratios = append(ratios, plateaus[i]/plateaus[i-1])
+	}
+	return plateaus, ratios, nil
+}
+
+// PminEffect quantifies the §4.1 observation that "increasing Pmin beyond
+// the same value of Vmin decreases σ̄(Q_v) by a very marginal amount": it
+// returns the plateau σ̄ for Pmin = Vmin and for Pmin = mult·Vmin.
+func PminEffect(vmin, mult int, tailFrac float64, o Options) (atVmin, beyond float64, err error) {
+	if mult < 2 {
+		return 0, 0, fmt.Errorf("sim: mult must be ≥ 2, got %d", mult)
+	}
+	base, err := LocalQuality(vmin, vmin, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	big, err := LocalQuality(mult*vmin, vmin, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base.Tail(tailFrac), big.Tail(tailFrac), nil
+}
+
+// HeteroQuality measures how well each model honours heterogeneous node
+// weights (base-model feature (a): the share of the DHT handled by a node
+// is a function of its resources).  weights[i] is node i's relative
+// capacity; node i enrolls weights[i] vnodes (our model) or weights[i]·k
+// ring points (weighted CH per reference [3]).  The returned value is
+// σ̄ of the normalized shares Q_n/(w_n/Σw), measured around the ideal 1,
+// averaged over o.Runs (lower is better; 0 is perfectly
+// proportional).
+func HeteroQuality(weights []int, pmin, vmin, chK int, o Options) (local, consistent float64, err error) {
+	o, err = o.withDefaults()
+	if err != nil {
+		return 0, 0, err
+	}
+	total := 0
+	for i, w := range weights {
+		if w < 1 {
+			return 0, 0, fmt.Errorf("sim: weight %d of node %d must be ≥ 1", w, i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("sim: no nodes")
+	}
+	localRuns, err := average(o, func(run int) (metrics.Series, error) {
+		d, err := core.New(core.Config{Pmin: pmin, Vmin: vmin}, rand.New(rand.NewSource(o.Seed+int64(run))))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		// Node n hosts one vnode per unit of weight; vnode ids are assigned
+		// sequentially, so record each node's id range.
+		owner := make([]int, 0, total)
+		for n, w := range weights {
+			for j := 0; j < w; j++ {
+				if _, _, err := d.AddVnode(); err != nil {
+					return metrics.Series{}, err
+				}
+				owner = append(owner, n)
+			}
+		}
+		qv := d.VnodeQuotas()
+		shares := make([]float64, len(weights))
+		for i, q := range qv {
+			shares[owner[i]] += q
+		}
+		return metrics.Series{X: []int{0}, Y: []float64{normalizedDeviation(shares, weights, total)}}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	chRuns, err := average(o, func(run int) (metrics.Series, error) {
+		r, err := ch.New(chK, rand.New(rand.NewSource(o.Seed+int64(run))))
+		if err != nil {
+			return metrics.Series{}, err
+		}
+		for _, w := range weights {
+			if _, err := r.AddNode(w); err != nil {
+				return metrics.Series{}, err
+			}
+		}
+		return metrics.Series{X: []int{0}, Y: []float64{normalizedDeviation(r.Quotas(), weights, total)}}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return localRuns.Y[0], chRuns.Y[0], nil
+}
+
+// normalizedDeviation returns σ̄ of shares[i]/(weights[i]/total) around the
+// ideal value 1.
+func normalizedDeviation(shares []float64, weights []int, total int) float64 {
+	norm := make([]float64, len(shares))
+	for i := range shares {
+		ideal := float64(weights[i]) / float64(total)
+		norm[i] = shares[i] / ideal
+	}
+	return metrics.RelStdDevAround(norm, 1)
+}

@@ -1,0 +1,116 @@
+// Package sim is the experiment harness for the evaluation section (§4) of
+// Rufino et al. (IPDPS 2004).  Each driver regenerates one figure: it runs
+// the relevant model for a configured number of consecutive vnode creations,
+// measures the paper's metric after every creation, repeats over many
+// independently-seeded runs ("all the results presented are averages of 100
+// runs of the same test") and returns the point-wise mean curve.
+//
+// Runs are independent, so the harness fans them out across a bounded pool
+// of goroutines — one of the few places in the repository where parallelism
+// is a harness concern rather than the model under study.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dbdht/internal/metrics"
+)
+
+// Options configures an experiment.
+type Options struct {
+	// Runs is the number of independently seeded repetitions to average
+	// (100 in the paper).
+	Runs int
+	// Vnodes is how many consecutive vnode creations each run performs
+	// (1024 in the paper; 8192 for the §4.1.1 stability check).
+	Vnodes int
+	// Seed is the base seed; run i derives its generator from Seed+i, so a
+	// fixed Seed reproduces a figure bit-for-bit.
+	Seed int64
+	// SampleEvery records the metric at every k-th creation (and always at
+	// the final one).  1 — the default when 0 — records every step, as the
+	// paper's figures do.
+	SampleEvery int
+	// Workers bounds the goroutine pool; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Runs < 1 {
+		return o, fmt.Errorf("sim: Runs must be ≥ 1, got %d", o.Runs)
+	}
+	if o.Vnodes < 1 {
+		return o, fmt.Errorf("sim: Vnodes must be ≥ 1, got %d", o.Vnodes)
+	}
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 1
+	}
+	if o.SampleEvery < 0 {
+		return o, fmt.Errorf("sim: SampleEvery must be ≥ 0, got %d", o.SampleEvery)
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers < 1 {
+		return o, fmt.Errorf("sim: Workers must be ≥ 0, got %d", o.Workers)
+	}
+	return o, nil
+}
+
+// sampledX returns the x axis for the configured sampling.
+func (o Options) sampledX() []int {
+	var xs []int
+	for v := 1; v <= o.Vnodes; v++ {
+		if v%o.SampleEvery == 0 || v == o.Vnodes {
+			xs = append(xs, v)
+		}
+	}
+	return xs
+}
+
+// runAll executes one experiment function per run index across the worker
+// pool and returns the per-run results in run order.  The first error wins.
+func runAll(o Options, fn func(run int) (metrics.Series, error)) ([]metrics.Series, error) {
+	out := make([]metrics.Series, o.Runs)
+	errs := make([]error, o.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.Workers)
+	for run := 0; run < o.Runs; run++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(run int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[run], errs[run] = fn(run)
+		}(run)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// average runs fn across all seeds and averages the resulting curves.
+func average(o Options, fn func(run int) (metrics.Series, error)) (metrics.Series, error) {
+	runs, err := runAll(o, fn)
+	if err != nil {
+		return metrics.Series{}, err
+	}
+	return metrics.MeanSeries(runs)
+}
+
+// idealGroups returns G_ideal(V): the number of groups "should double every
+// time V crosses a power of two boundary" above Vmax (§4.2.1, figure 7).
+func idealGroups(v, vmax int) int {
+	g := 1
+	for v > vmax {
+		v = (v + 1) / 2
+		g *= 2
+	}
+	return g
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// Small-but-meaningful options: fewer runs/vnodes than the paper for test
+// speed; the full-scale figures are produced by cmd/dhtsim and the benches.
+func testOpts() Options {
+	return Options{Runs: 8, Vnodes: 256, Seed: 1, SampleEvery: 1}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	for _, bad := range []Options{
+		{Runs: 0, Vnodes: 10},
+		{Runs: 1, Vnodes: 0},
+		{Runs: 1, Vnodes: 1, SampleEvery: -1},
+		{Runs: 1, Vnodes: 1, Workers: -1},
+	} {
+		if _, err := bad.withDefaults(); err == nil {
+			t.Errorf("options %+v must be invalid", bad)
+		}
+	}
+	o, err := (Options{Runs: 1, Vnodes: 1}).withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.SampleEvery != 1 || o.Workers < 1 {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+}
+
+func TestIdealGroups(t *testing.T) {
+	cases := []struct{ v, vmax, want int }{
+		{1, 64, 1}, {64, 64, 1}, {65, 64, 2}, {128, 64, 2},
+		{129, 64, 4}, {256, 64, 4}, {257, 64, 8}, {512, 64, 8},
+		{513, 64, 16}, {1024, 64, 16},
+		{8, 8, 1}, {9, 8, 2}, {17, 8, 4},
+	}
+	for _, c := range cases {
+		if got := idealGroups(c.v, c.vmax); got != c.want {
+			t.Errorf("idealGroups(%d,%d) = %d, want %d", c.v, c.vmax, got, c.want)
+		}
+	}
+}
+
+func TestLocalQualityShape(t *testing.T) {
+	s, err := LocalQuality(16, 16, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.X) != 256 {
+		t.Fatalf("series has %d points", len(s.X))
+	}
+	// Zone 1: while V ≤ Vmax=32 there is one group; at V=32 balance is
+	// perfect (σ̄ averages to 0 across runs because it is 0 in each run).
+	if v, err := s.At(32); err != nil || v > 1e-9 {
+		t.Fatalf("σ̄ at V=Vmax = %v, %v; want 0", v, err)
+	}
+	// Zone 2: after groups appear, σ̄ sits on a positive plateau.
+	if tail := s.Tail(0.25); tail <= 0.005 {
+		t.Fatalf("2nd-zone plateau %v suspiciously low", tail)
+	}
+}
+
+func TestGlobalQualitySawtooth(t *testing.T) {
+	s, err := GlobalQuality(16, Options{Runs: 3, Vnodes: 128, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{2, 4, 8, 16, 32, 64, 128} {
+		if y, err := s.At(v); err != nil || y > 1e-9 {
+			t.Fatalf("global σ̄ at power-of-two V=%d is %v, want 0", v, y)
+		}
+	}
+	if y, _ := s.At(96); y <= 0 {
+		t.Fatal("global σ̄ between powers of two must be positive")
+	}
+}
+
+// Figure 4's headline ordering: larger Pmin=Vmin ⇒ lower plateau.
+func TestFigure4Ordering(t *testing.T) {
+	o := testOpts()
+	s8, err := LocalQuality(8, 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s32, err := LocalQuality(32, 32, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s8.Tail(0.25) <= s32.Tail(0.25) {
+		t.Fatalf("plateau(8,8)=%v must exceed plateau(32,32)=%v", s8.Tail(0.25), s32.Tail(0.25))
+	}
+}
+
+// Figure 6: with Pmin fixed, smaller Vmin degrades σ̄; Vmin big enough for a
+// single group matches the global approach exactly (same seeds).
+func TestFigure6DegenerateMatchesGlobal(t *testing.T) {
+	o := Options{Runs: 4, Vnodes: 128, Seed: 3}
+	local, err := LocalQuality(32, 128, o) // Vmax=256 > 128 ⇒ one group
+	if err != nil {
+		t.Fatal(err)
+	}
+	glob, err := GlobalQuality(32, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local.Y {
+		if math.Abs(local.Y[i]-glob.Y[i]) > 1e-12 {
+			t.Fatalf("V=%d: local(one group)=%v ≠ global=%v", local.X[i], local.Y[i], glob.Y[i])
+		}
+	}
+}
+
+func TestGroupsEvolution(t *testing.T) {
+	ge, err := Groups(8, 8, Options{Runs: 4, Vnodes: 128, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One group up to Vmax=16.
+	if y, _ := ge.Real.At(16); y != 1 {
+		t.Fatalf("Greal at V=16 = %v, want 1", y)
+	}
+	if y, _ := ge.Ideal.At(16); y != 1 {
+		t.Fatalf("Gideal at V=16 = %v, want 1", y)
+	}
+	// By V=128 the ideal is 8 groups; the real count must be in the
+	// vicinity (between total/Vmax and total/Vmin).
+	if y, _ := ge.Ideal.At(128); y != 8 {
+		t.Fatalf("Gideal at V=128 = %v, want 8", y)
+	}
+	real128, _ := ge.Real.At(128)
+	if real128 < 4 || real128 > 16 {
+		t.Fatalf("Greal at V=128 = %v, outside [4,16]", real128)
+	}
+	// σ̄(Qg) is 0 while one group exists, positive later.
+	if y, _ := ge.Quality.At(8); y != 0 {
+		t.Fatalf("σ̄(Qg) with one group = %v", y)
+	}
+	if ge.Quality.Tail(0.25) <= 0 {
+		t.Fatal("σ̄(Qg) must be positive once groups multiply")
+	}
+}
+
+func TestCHQualityDecreasingInK(t *testing.T) {
+	o := Options{Runs: 6, Vnodes: 128, Seed: 5}
+	s32, err := CHQuality(32, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s64, err := CHQuality(64, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s64.Tail(0.5) >= s32.Tail(0.5) {
+		t.Fatalf("CH: k=64 (%v) must beat k=32 (%v)", s64.Tail(0.5), s32.Tail(0.5))
+	}
+	// CH never reaches the 0-σ̄ states the balanced model hits.
+	if s32.Last() <= 0 {
+		t.Fatal("CH σ̄ must stay positive")
+	}
+}
+
+func TestTheta(t *testing.T) {
+	pts, err := Theta([]int{8, 16, 32}, 0.5, Options{Runs: 4, Vnodes: 128, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// θ is normalized: every component within [0,1], so θ ∈ [0,1].
+	for _, p := range pts {
+		if p.Theta < 0 || p.Theta > 1 {
+			t.Fatalf("θ(%d) = %v out of range", p.Vmin, p.Theta)
+		}
+	}
+	// The largest Vmin candidate has V̂min = 1, so θ ≥ α there.
+	last := pts[len(pts)-1]
+	if last.Theta < 0.5 {
+		t.Fatalf("θ(max Vmin) = %v, must be ≥ α = 0.5", last.Theta)
+	}
+	if _, err := Theta(nil, 0.5, testOpts()); err == nil {
+		t.Fatal("empty candidate set must error")
+	}
+	if _, err := Theta([]int{8}, 2, testOpts()); err == nil {
+		t.Fatal("alpha out of range must error")
+	}
+}
+
+func TestPlateauRatioRoughly70Percent(t *testing.T) {
+	plateaus, ratios, err := PlateauRatio([]int{8, 16, 32}, 0.25, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plateaus) != 3 || len(ratios) != 2 {
+		t.Fatalf("sizes: %d plateaus, %d ratios", len(plateaus), len(ratios))
+	}
+	// §4.1.1: each doubling drops σ̄ by "nearly 30%" ⇒ ratio ≈ 0.7.  Allow a
+	// generous band at test scale.
+	for i, r := range ratios {
+		if r < 0.4 || r > 0.95 {
+			t.Fatalf("ratio[%d] = %v, outside plausible band around 0.7", i, r)
+		}
+	}
+}
+
+func TestHeteroQuality(t *testing.T) {
+	weights := []int{1, 1, 2, 4, 8, 1, 2, 1}
+	local, consistent, err := HeteroQuality(weights, 8, 8, 32, Options{Runs: 4, Vnodes: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local < 0 || consistent < 0 {
+		t.Fatalf("negative deviations: %v, %v", local, consistent)
+	}
+	// The balanced model should track weights at least as well as CH.
+	if local > consistent*1.5 {
+		t.Fatalf("local %v much worse than CH %v", local, consistent)
+	}
+	if _, _, err := HeteroQuality([]int{0}, 8, 8, 32, testOpts()); err == nil {
+		t.Fatal("zero weight must be rejected")
+	}
+}
+
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	o1 := Options{Runs: 4, Vnodes: 64, Seed: 9, Workers: 1}
+	oN := Options{Runs: 4, Vnodes: 64, Seed: 9, Workers: 4}
+	a, err := LocalQuality(8, 8, o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LocalQuality(8, 8, oN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatalf("worker count changed results at V=%d: %v vs %v", a.X[i], a.Y[i], b.Y[i])
+		}
+	}
+}
+
+func TestSampling(t *testing.T) {
+	s, err := LocalQuality(8, 8, Options{Runs: 2, Vnodes: 100, Seed: 10, SampleEvery: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{32, 64, 96, 100}
+	if len(s.X) != len(want) {
+		t.Fatalf("sampled X = %v", s.X)
+	}
+	for i := range want {
+		if s.X[i] != want[i] {
+			t.Fatalf("sampled X = %v, want %v", s.X, want)
+		}
+	}
+}
+
+// §4.1: raising Pmin beyond Vmin buys only a marginal improvement — the
+// reason the paper presents figure 4 with Pmin = Vmin only.
+func TestPminBeyondVminMarginal(t *testing.T) {
+	base, beyond, err := PminEffect(16, 4, 0.25, Options{Runs: 6, Vnodes: 256, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Very marginal": quadrupling Pmin alone moves the plateau by well
+	// under the ~30% a joint (Pmin, Vmin) doubling gives — in either
+	// direction, since at test scale the effect is noise-level.
+	if diff := math.Abs(beyond-base) / base; diff > 0.2 {
+		t.Fatalf("Pmin beyond Vmin changed plateau by %.0f%% (%v -> %v); expected marginal", 100*diff, base, beyond)
+	}
+	if _, _, err := PminEffect(16, 1, 0.25, Options{Runs: 1, Vnodes: 8}); err == nil {
+		t.Fatal("mult < 2 must fail")
+	}
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dbdht/internal/core"
+	"dbdht/internal/hashspace"
+	"dbdht/internal/metrics"
+	"dbdht/internal/workload"
+)
+
+// SkewResult summarizes how data-plane load spreads across vnodes under a
+// key-popularity distribution.
+type SkewResult struct {
+	// SigmaAccess is σ̄ of per-vnode access counts (0 = every vnode serves
+	// the same number of operations).
+	SigmaAccess float64
+	// HottestShare is the fraction of all accesses absorbed by the single
+	// most-loaded vnode.
+	HottestShare float64
+	// SigmaQuota is σ̄(Q_v) of the underlying DHT, for reference: the model
+	// balances *quotas*, and under skew that no longer balances *load*.
+	SigmaQuota float64
+}
+
+// AccessSkew quantifies the paper's §5/§6 caveat — the model assumes
+// uniform access and rebalances only on membership change — by driving ops
+// through a grown DHT under uniform and zipfian key popularity and
+// measuring the per-vnode load imbalance.  Results are averaged over
+// o.Runs.
+func AccessSkew(pmin, vmin, vnodes, keys, ops int, zipfS float64, o Options) (uniform, zipf SkewResult, err error) {
+	o, err = o.withDefaults()
+	if err != nil {
+		return SkewResult{}, SkewResult{}, err
+	}
+	if keys < 1 || ops < 1 || vnodes < 1 {
+		return SkewResult{}, SkewResult{}, fmt.Errorf("sim: keys, ops and vnodes must be ≥ 1")
+	}
+	measure := func(run int, gen workload.KeyGen, d *core.DHT) (SkewResult, error) {
+		_ = run
+		counts := make(map[core.VnodeID]int)
+		for i := 0; i < ops; i++ {
+			key := gen.Next()
+			v, ok := d.Lookup(hashspace.HashString(key))
+			if !ok {
+				return SkewResult{}, fmt.Errorf("sim: lookup failed for %q", key)
+			}
+			counts[v]++
+		}
+		loads := make([]float64, 0, d.Vnodes())
+		hottest := 0
+		for _, id := range allVnodes(d) {
+			c := counts[id]
+			loads = append(loads, float64(c))
+			if c > hottest {
+				hottest = c
+			}
+		}
+		return SkewResult{
+			SigmaAccess:  metrics.RelStdDev(loads),
+			HottestShare: float64(hottest) / float64(ops),
+			SigmaQuota:   d.QualityOfBalancement(),
+		}, nil
+	}
+	type accum struct{ sa, hs, sq float64 }
+	runOne := func(run int, zipfian bool) (SkewResult, error) {
+		rng := rand.New(rand.NewSource(o.Seed + int64(run)))
+		d, err := core.New(core.Config{Pmin: pmin, Vmin: vmin}, rng)
+		if err != nil {
+			return SkewResult{}, err
+		}
+		for v := 0; v < vnodes; v++ {
+			if _, _, err := d.AddVnode(); err != nil {
+				return SkewResult{}, err
+			}
+		}
+		wrng := rand.New(rand.NewSource(o.Seed + 7919 + int64(run)))
+		var gen workload.KeyGen
+		if zipfian {
+			gen, err = workload.NewZipf(wrng, zipfS, keys)
+		} else {
+			gen, err = workload.NewUniform(wrng, keys)
+		}
+		if err != nil {
+			return SkewResult{}, err
+		}
+		return measure(run, gen, d)
+	}
+	var au, az accum
+	for run := 0; run < o.Runs; run++ {
+		ru, err := runOne(run, false)
+		if err != nil {
+			return SkewResult{}, SkewResult{}, err
+		}
+		rz, err := runOne(run, true)
+		if err != nil {
+			return SkewResult{}, SkewResult{}, err
+		}
+		au.sa += ru.SigmaAccess
+		au.hs += ru.HottestShare
+		au.sq += ru.SigmaQuota
+		az.sa += rz.SigmaAccess
+		az.hs += rz.HottestShare
+		az.sq += rz.SigmaQuota
+	}
+	n := float64(o.Runs)
+	uniform = SkewResult{SigmaAccess: au.sa / n, HottestShare: au.hs / n, SigmaQuota: au.sq / n}
+	zipf = SkewResult{SigmaAccess: az.sa / n, HottestShare: az.hs / n, SigmaQuota: az.sq / n}
+	return uniform, zipf, nil
+}
+
+// allVnodes lists a DHT's live vnodes via its groups.
+func allVnodes(d *core.DHT) []core.VnodeID {
+	var out []core.VnodeID
+	for _, gid := range d.GroupIDs() {
+		g, _ := d.Group(gid)
+		for v := range g.LPDR() {
+			out = append(out, v)
+		}
+	}
+	return out
+}

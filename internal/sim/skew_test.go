@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+func TestAccessSkewZipfWorseThanUniform(t *testing.T) {
+	uniform, zipf, err := AccessSkew(16, 8, 64, 5000, 20000, 1.3, Options{Runs: 3, Vnodes: 1, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zipf.SigmaAccess <= uniform.SigmaAccess {
+		t.Fatalf("zipf access σ̄ (%v) must exceed uniform (%v)", zipf.SigmaAccess, uniform.SigmaAccess)
+	}
+	if zipf.HottestShare <= uniform.HottestShare {
+		t.Fatalf("zipf hottest share (%v) must exceed uniform (%v)", zipf.HottestShare, uniform.HottestShare)
+	}
+	// Quota balance is identical in both regimes: the model balances the
+	// hash range, not the access stream (§5).
+	if uniform.SigmaQuota != zipf.SigmaQuota {
+		t.Fatalf("quota σ̄ must not depend on the workload: %v vs %v", uniform.SigmaQuota, zipf.SigmaQuota)
+	}
+	if uniform.HottestShare <= 0 || uniform.HottestShare > 1 {
+		t.Fatalf("hottest share %v out of range", uniform.HottestShare)
+	}
+}
+
+func TestAccessSkewValidation(t *testing.T) {
+	if _, _, err := AccessSkew(16, 8, 0, 100, 100, 1.3, Options{Runs: 1, Vnodes: 1}); err == nil {
+		t.Fatal("vnodes=0 must fail")
+	}
+	if _, _, err := AccessSkew(16, 8, 4, 0, 100, 1.3, Options{Runs: 1, Vnodes: 1}); err == nil {
+		t.Fatal("keys=0 must fail")
+	}
+	if _, _, err := AccessSkew(16, 8, 4, 100, 0, 1.3, Options{Runs: 1, Vnodes: 1}); err == nil {
+		t.Fatal("ops=0 must fail")
+	}
+	if _, _, err := AccessSkew(16, 8, 4, 100, 100, 1.3, Options{Runs: 0, Vnodes: 1}); err == nil {
+		t.Fatal("bad options must fail")
+	}
+}

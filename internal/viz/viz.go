@@ -1,0 +1,117 @@
+// Package viz renders measurement series as ASCII charts, so cmd/dhtsim
+// can show the *shape* of each reproduced figure — sawtooths, plateaus,
+// crossovers — directly in a terminal, next to the numeric tables.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dbdht/internal/metrics"
+)
+
+// markers distinguish up to ten overlaid series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '=', '~'}
+
+// Options controls chart geometry.
+type Options struct {
+	// Width and Height are the plot area size in characters (default
+	// 72×20).
+	Width, Height int
+	// YMax fixes the y-axis maximum; 0 auto-scales to the data.
+	YMax float64
+	// Percent renders y values ×100.
+	Percent bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 20
+	}
+	return o
+}
+
+// Render draws the series overlaid on one chart with a legend.  All series
+// must be non-empty; they may have different x grids.
+func Render(title string, series []metrics.Series, o Options) (string, error) {
+	o = o.withDefaults()
+	if len(series) == 0 {
+		return "", fmt.Errorf("viz: no series")
+	}
+	if len(series) > len(markers) {
+		return "", fmt.Errorf("viz: at most %d series per chart, got %d", len(markers), len(series))
+	}
+	scale := 1.0
+	if o.Percent {
+		scale = 100
+	}
+	xmin, xmax := math.MaxInt, math.MinInt
+	ymax := o.YMax
+	for _, s := range series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("viz: series %q empty or ragged", s.Label)
+		}
+		for i, x := range s.X {
+			if x < xmin {
+				xmin = x
+			}
+			if x > xmax {
+				xmax = x
+			}
+			if o.YMax == 0 && s.Y[i]*scale > ymax {
+				ymax = s.Y[i] * scale
+			}
+		}
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	grid := make([][]byte, o.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", o.Width))
+	}
+	for si, s := range series {
+		for i, x := range s.X {
+			col := 0
+			if xmax > xmin {
+				col = (x - xmin) * (o.Width - 1) / (xmax - xmin)
+			}
+			y := s.Y[i] * scale
+			row := o.Height - 1
+			if ymax > 0 {
+				row = o.Height - 1 - int(math.Round(y/ymax*float64(o.Height-1)))
+			}
+			if row < 0 {
+				row = 0
+			}
+			if row > o.Height-1 {
+				row = o.Height - 1
+			}
+			grid[row][col] = markers[si]
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", ymax)
+		case o.Height - 1:
+			label = fmt.Sprintf("%7.2f ", 0.0)
+		case (o.Height - 1) / 2:
+			label = fmt.Sprintf("%7.2f ", ymax/2)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, strings.TrimRight(string(line), " "))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", o.Width))
+	fmt.Fprintf(&b, "        %-10d%*d\n", xmin, o.Width-10, xmax)
+	for si, s := range series {
+		fmt.Fprintf(&b, "        %c %s\n", markers[si], s.Label)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"dbdht/internal/metrics"
+)
+
+func line(label string, ys ...float64) metrics.Series {
+	s := metrics.Series{Label: label}
+	for i, y := range ys {
+		s.X = append(s.X, i+1)
+		s.Y = append(s.Y, y)
+	}
+	return s
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := Render("test chart", []metrics.Series{line("a", 0, 0.5, 1.0)}, Options{Width: 30, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* a") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + x labels + legend
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}
+
+func TestRenderMultipleSeries(t *testing.T) {
+	out, err := Render("two", []metrics.Series{
+		line("first", 1, 2, 3),
+		line("second", 3, 2, 1),
+	}, Options{Width: 20, Height: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "o second") || !strings.Contains(out, "* first") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "o") {
+		t.Fatal("second marker missing from plot")
+	}
+}
+
+func TestRenderPercentScaling(t *testing.T) {
+	out, err := Render("pct", []metrics.Series{line("a", 0.10, 0.20)}, Options{Percent: true, Width: 20, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "20.00") {
+		t.Fatalf("expected percent-scaled axis:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	if _, err := Render("x", nil, Options{}); err == nil {
+		t.Fatal("no series must error")
+	}
+	if _, err := Render("x", []metrics.Series{{Label: "empty"}}, Options{}); err == nil {
+		t.Fatal("empty series must error")
+	}
+	ragged := metrics.Series{Label: "r", X: []int{1, 2}, Y: []float64{1}}
+	if _, err := Render("x", []metrics.Series{ragged}, Options{}); err == nil {
+		t.Fatal("ragged series must error")
+	}
+	var many []metrics.Series
+	for i := 0; i < 11; i++ {
+		many = append(many, line("s", 1))
+	}
+	if _, err := Render("x", many, Options{}); err == nil {
+		t.Fatal("too many series must error")
+	}
+}
+
+func TestRenderFlatAndFixedYMax(t *testing.T) {
+	// All-zero data must not divide by zero.
+	out, err := Render("flat", []metrics.Series{line("z", 0, 0, 0)}, Options{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	// Fixed YMax clamps values above the axis into the top row.
+	out, err = Render("clamp", []metrics.Series{line("c", 5, 10)}, Options{Width: 10, Height: 4, YMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4.00") {
+		t.Fatalf("fixed axis missing:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	s := metrics.Series{Label: "one", X: []int{7}, Y: []float64{3}}
+	out, err := Render("single", []metrics.Series{s}, Options{Width: 12, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("marker missing for single point")
+	}
+}

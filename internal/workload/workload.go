@@ -1,0 +1,139 @@
+// Package workload generates key and operation streams for exercising the
+// DHT's data plane.  The paper's model assumes uniform data distributions
+// and no hotspots (§5); the generators here provide that uniform regime plus
+// the skewed (zipfian) and sequential regimes the paper lists as future
+// work, so the repository can measure how the balancement behaves when its
+// assumptions are stretched.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyGen produces a stream of keys.
+type KeyGen interface {
+	// Next returns the next key in the stream.
+	Next() string
+}
+
+// Uniform draws keys uniformly from a space of n distinct keys.
+type Uniform struct {
+	rng *rand.Rand
+	n   int
+}
+
+// NewUniform returns a uniform generator over n distinct keys.
+func NewUniform(rng *rand.Rand, n int) (*Uniform, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: key space must be ≥ 1, got %d", n)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: rng must not be nil")
+	}
+	return &Uniform{rng: rng, n: n}, nil
+}
+
+// Next implements KeyGen.
+func (u *Uniform) Next() string { return fmt.Sprintf("key-%08d", u.rng.Intn(u.n)) }
+
+// Zipf draws keys with zipfian popularity (hotspots): key ranks follow a
+// Zipf(s, 1) distribution over n keys.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a zipfian generator with exponent s > 1 over n keys.
+func NewZipf(rng *rand.Rand, s float64, n int) (*Zipf, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: key space must be ≥ 1, got %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf exponent must be > 1, got %v", s)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("workload: rng must not be nil")
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	if z == nil {
+		return nil, fmt.Errorf("workload: invalid zipf parameters s=%v n=%d", s, n)
+	}
+	return &Zipf{z: z}, nil
+}
+
+// Next implements KeyGen.
+func (z *Zipf) Next() string { return fmt.Sprintf("key-%08d", z.z.Uint64()) }
+
+// Sequential produces key-0, key-1, ... — the worst case for range-naive
+// hash distribution checks and the best case for cache warmup.
+type Sequential struct {
+	prefix string
+	next   int
+}
+
+// NewSequential returns a sequential generator with the given key prefix.
+func NewSequential(prefix string) *Sequential { return &Sequential{prefix: prefix} }
+
+// Next implements KeyGen.
+func (s *Sequential) Next() string {
+	k := fmt.Sprintf("%s-%08d", s.prefix, s.next)
+	s.next++
+	return k
+}
+
+// OpKind is one data-plane operation type.
+type OpKind int
+
+// Operation kinds.
+const (
+	Get OpKind = iota
+	Put
+	Delete
+)
+
+// Op is one operation against the DHT.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+}
+
+// Mix generates operations with the given proportions over a key stream.
+type Mix struct {
+	rng       *rand.Rand
+	keys      KeyGen
+	putFrac   float64
+	delFrac   float64
+	valueSize int
+}
+
+// NewMix returns a generator producing puts, deletes and gets in the given
+// fractions (gets fill the remainder), with valueSize-byte values.
+func NewMix(rng *rand.Rand, keys KeyGen, putFrac, delFrac float64, valueSize int) (*Mix, error) {
+	if rng == nil || keys == nil {
+		return nil, fmt.Errorf("workload: rng and keys must not be nil")
+	}
+	if putFrac < 0 || delFrac < 0 || putFrac+delFrac > 1 {
+		return nil, fmt.Errorf("workload: invalid mix put=%v del=%v", putFrac, delFrac)
+	}
+	if valueSize < 0 {
+		return nil, fmt.Errorf("workload: value size must be ≥ 0, got %d", valueSize)
+	}
+	return &Mix{rng: rng, keys: keys, putFrac: putFrac, delFrac: delFrac, valueSize: valueSize}, nil
+}
+
+// Next returns the next operation.
+func (m *Mix) Next() Op {
+	key := m.keys.Next()
+	r := m.rng.Float64()
+	switch {
+	case r < m.putFrac:
+		val := make([]byte, m.valueSize)
+		m.rng.Read(val) // never fails per math/rand contract
+		return Op{Kind: Put, Key: key, Value: val}
+	case r < m.putFrac+m.delFrac:
+		return Op{Kind: Delete, Key: key}
+	default:
+		return Op{Kind: Get, Key: key}
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestUniformValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewUniform(rng, 0); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := NewUniform(nil, 10); err == nil {
+		t.Fatal("nil rng must fail")
+	}
+}
+
+func TestUniformCoversSpace(t *testing.T) {
+	u, err := NewUniform(rand.New(rand.NewSource(2)), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("saw %d distinct keys, want 8", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(rand.New(rand.NewSource(3)), 1.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		counts[z.Next()]++
+	}
+	// The most popular key must dominate heavily under s=1.5.
+	if counts["key-00000000"] < 5000 {
+		t.Fatalf("zipf head count = %d, expected heavy skew", counts["key-00000000"])
+	}
+	if _, err := NewZipf(nil, 1.5, 10); err == nil {
+		t.Fatal("nil rng must fail")
+	}
+	if _, err := NewZipf(rand.New(rand.NewSource(4)), 0.9, 10); err == nil {
+		t.Fatal("s ≤ 1 must fail")
+	}
+	if _, err := NewZipf(rand.New(rand.NewSource(4)), 1.5, 0); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	s := NewSequential("pfx")
+	if got := s.Next(); got != "pfx-00000000" {
+		t.Fatalf("first key = %q", got)
+	}
+	if got := s.Next(); got != "pfx-00000001" {
+		t.Fatalf("second key = %q", got)
+	}
+	if !strings.HasPrefix(s.Next(), "pfx-") {
+		t.Fatal("prefix not honoured")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := NewSequential("k")
+	m, err := NewMix(rng, keys, 0.3, 0.1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var puts, dels, gets int
+	for i := 0; i < 10000; i++ {
+		op := m.Next()
+		switch op.Kind {
+		case Put:
+			puts++
+			if len(op.Value) != 16 {
+				t.Fatalf("value size = %d", len(op.Value))
+			}
+		case Delete:
+			dels++
+		case Get:
+			gets++
+			if op.Value != nil {
+				t.Fatal("get must carry no value")
+			}
+		}
+	}
+	if puts < 2700 || puts > 3300 {
+		t.Fatalf("puts = %d, want ≈3000", puts)
+	}
+	if dels < 800 || dels > 1200 {
+		t.Fatalf("dels = %d, want ≈1000", dels)
+	}
+	if gets < 5700 || gets > 6300 {
+		t.Fatalf("gets = %d, want ≈6000", gets)
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	keys := NewSequential("k")
+	for _, bad := range []struct{ put, del float64 }{{-0.1, 0}, {0, -0.1}, {0.6, 0.5}} {
+		if _, err := NewMix(rng, keys, bad.put, bad.del, 8); err == nil {
+			t.Errorf("mix %v must fail", bad)
+		}
+	}
+	if _, err := NewMix(nil, keys, 0.5, 0, 8); err == nil {
+		t.Fatal("nil rng must fail")
+	}
+	if _, err := NewMix(rng, nil, 0.5, 0, 8); err == nil {
+		t.Fatal("nil keys must fail")
+	}
+	if _, err := NewMix(rng, keys, 0.5, 0, -1); err == nil {
+		t.Fatal("negative value size must fail")
+	}
+}
