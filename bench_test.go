@@ -9,9 +9,11 @@
 package dbdht_test
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
+	"dbdht"
 	"dbdht/internal/sim"
 )
 
@@ -153,4 +155,106 @@ func BenchmarkDoublingRatio(b *testing.B) {
 
 func benchName(prefix string, v int) string {
 	return prefix + "=" + strconv.Itoa(v)
+}
+
+// benchCluster boots a quiesced data-plane cluster for throughput
+// benchmarks: 8 snodes, 32 vnodes, in-memory fabric.
+func benchCluster(b *testing.B) *dbdht.Cluster {
+	b.Helper()
+	c, err := dbdht.NewCluster(dbdht.ClusterOptions{Pmin: 32, Vmin: 8, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < 8; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < 32; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkClusterPut measures single-key puts: one serial request/response
+// round-trip per key.  Compare ns/op·batch with BenchmarkClusterMPut at the
+// same batch sizes to see the batching win.
+func BenchmarkClusterPut(b *testing.B) {
+	c := benchCluster(b)
+	value := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(fmt.Sprintf("bench-key-%d", i%4096), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "keys/s")
+}
+
+// BenchmarkClusterMPut measures batched puts: keys grouped by owner and
+// fanned out in parallel across the groups (§3.1), amortizing round-trips.
+func BenchmarkClusterMPut(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(benchName("batch", size), func(b *testing.B) {
+			c := benchCluster(b)
+			value := make([]byte, 64)
+			items := make([]dbdht.KV, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range items {
+					items[j] = dbdht.KV{Key: fmt.Sprintf("bench-key-%d", (i*size+j)%4096), Value: value}
+				}
+				results, err := c.MPut(items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.OK() {
+						b.Fatalf("MPut %q: %s", r.Key, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
+}
+
+// BenchmarkClusterMGet is the read-side counterpart.
+func BenchmarkClusterMGet(b *testing.B) {
+	for _, size := range []int{16, 64, 256} {
+		b.Run(benchName("batch", size), func(b *testing.B) {
+			c := benchCluster(b)
+			value := make([]byte, 64)
+			keys := make([]string, 4096)
+			var items []dbdht.KV
+			for i := range keys {
+				keys[i] = fmt.Sprintf("bench-key-%d", i)
+				items = append(items, dbdht.KV{Key: keys[i], Value: value})
+			}
+			if _, err := c.MPut(items); err != nil {
+				b.Fatal(err)
+			}
+			batch := make([]string, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range batch {
+					batch[j] = keys[(i*size+j)%len(keys)]
+				}
+				results, err := c.MGet(batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.OK() || !r.Found {
+						b.Fatalf("MGet %q = %+v", r.Key, r)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
 }

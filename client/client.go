@@ -1,0 +1,323 @@
+// Package client is a small Go client for the dbdht HTTP API served by
+// internal/server (and cmd/dhtd).  It reuses connections across calls —
+// one Client is meant to live for the life of the program — and offers
+// batch helpers mapping 1:1 onto the cluster's MPut/MGet/MDelete, which
+// fan out across the DHT's groups in parallel server-side.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to one dhtd endpoint.  Safe for concurrent use.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for a base URL such as "http://127.0.0.1:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// apiError is the server's JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// errorFrom decodes the error body of a non-2xx response.
+func errorFrom(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		return fmt.Errorf("dhtd: %s (HTTP %d)", ae.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("dhtd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) do(method, path string, body io.Reader, contentType string) (*http.Response, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return c.hc.Do(req)
+}
+
+// doJSON performs a request with optional JSON body, decoding a JSON
+// response into out (if non-nil) and mapping non-2xx statuses to errors.
+func (c *Client) doJSON(method, path string, in, out any) error {
+	var body io.Reader
+	ct := ""
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+		ct = "application/json"
+	}
+	resp, err := c.do(method, path, body, ct)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return errorFrom(resp)
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func kvPath(key string) string { return "/v1/kv/" + url.PathEscape(key) }
+
+// Put stores a key/value pair.
+func (c *Client) Put(key string, value []byte) error {
+	resp, err := c.do(http.MethodPut, kvPath(key), bytes.NewReader(value), "application/octet-stream")
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return errorFrom(resp)
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Get fetches a key; found is false for absent keys.
+func (c *Client) Get(key string) (value []byte, found bool, err error) {
+	resp, err := c.do(http.MethodGet, kvPath(key), nil, "")
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, errorFrom(resp)
+	}
+	defer resp.Body.Close()
+	value, err = io.ReadAll(resp.Body)
+	return value, err == nil, err
+}
+
+// Delete removes a key; found reports whether it existed.
+func (c *Client) Delete(key string) (found bool, err error) {
+	var out struct {
+		Found bool `json:"found"`
+	}
+	if err := c.doJSON(http.MethodDelete, kvPath(key), nil, &out); err != nil {
+		return false, err
+	}
+	return out.Found, nil
+}
+
+// Item is one key/value pair of a batch put.
+type Item struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+}
+
+// Result is one key's outcome in a batch response; Error is empty on
+// success.
+type Result struct {
+	Key   string `json:"key"`
+	Found bool   `json:"found"`
+	Value []byte `json:"value,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// OK reports whether the operation on this key succeeded.
+func (r Result) OK() bool { return r.Error == "" }
+
+type batchRequest struct {
+	Op    string `json:"op"`
+	Items []Item `json:"items"`
+}
+
+type batchResponse struct {
+	Results []Result `json:"results"`
+}
+
+func (c *Client) batch(op string, items []Item) ([]Result, error) {
+	var out batchResponse
+	if err := c.doJSON(http.MethodPost, "/v1/kv:batch", batchRequest{Op: op, Items: items}, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// MPut stores many pairs in one request; results are parallel to items
+// and partial failures are reported per key.
+func (c *Client) MPut(items []Item) ([]Result, error) { return c.batch("put", items) }
+
+// MGet fetches many keys in one request.
+func (c *Client) MGet(keys []string) ([]Result, error) {
+	return c.batch("get", keyItems(keys))
+}
+
+// MDelete removes many keys in one request.
+func (c *Client) MDelete(keys []string) ([]Result, error) {
+	return c.batch("delete", keyItems(keys))
+}
+
+func keyItems(keys []string) []Item {
+	items := make([]Item, len(keys))
+	for i, k := range keys {
+		items[i] = Item{Key: k}
+	}
+	return items
+}
+
+// --- admin plane ---
+
+// AddSnode joins one fresh snode and returns its id.
+func (c *Client) AddSnode() (int, error) {
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := c.doJSON(http.MethodPost, "/v1/snodes", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.ID, nil
+}
+
+// RemoveSnode gracefully withdraws an snode.
+func (c *Client) RemoveSnode(id int) error {
+	return c.doJSON(http.MethodDelete, fmt.Sprintf("/v1/snodes/%d", id), nil, nil)
+}
+
+// CreateVnode enrolls one vnode at the given snode (0 lets the server
+// pick the least-loaded snode) and returns the vnode name and group.
+func (c *Client) CreateVnode(snode int) (vnode, group string, err error) {
+	var out struct {
+		Vnode string `json:"vnode"`
+		Group string `json:"group"`
+	}
+	in := struct {
+		Snode int `json:"snode"`
+	}{Snode: snode}
+	if err := c.doJSON(http.MethodPost, "/v1/vnodes", in, &out); err != nil {
+		return "", "", err
+	}
+	return out.Vnode, out.Group, nil
+}
+
+// SetEnrollment adjusts an snode's hosted vnode count and returns the
+// count after adjustment.
+func (c *Client) SetEnrollment(id, target int) (int, error) {
+	var out struct {
+		Hosted int `json:"hosted"`
+	}
+	in := struct {
+		Target int `json:"target"`
+	}{Target: target}
+	if err := c.doJSON(http.MethodPut, fmt.Sprintf("/v1/snodes/%d/enrollment", id), in, &out); err != nil {
+		return 0, err
+	}
+	return out.Hosted, nil
+}
+
+// --- introspection ---
+
+// SnodeStatus summarizes one live snode.
+type SnodeStatus struct {
+	ID     int `json:"id"`
+	Vnodes int `json:"vnodes"`
+	Keys   int `json:"keys"`
+}
+
+// VnodeStatus is one vnode's materialized state.
+type VnodeStatus struct {
+	Name       string `json:"name"`
+	Snode      int    `json:"snode"`
+	Group      string `json:"group"`
+	Level      int    `json:"level"`
+	Partitions int    `json:"partitions"`
+	Keys       int    `json:"keys"`
+}
+
+// Stats mirrors the cluster's aggregated runtime counters.
+type Stats struct {
+	MsgsIn         int64 `json:"MsgsIn"`
+	Forwards       int64 `json:"Forwards"`
+	PartitionsSent int64 `json:"PartitionsSent"`
+	KeysMoved      int64 `json:"KeysMoved"`
+	SplitAlls      int64 `json:"SplitAlls"`
+	GroupSplits    int64 `json:"GroupSplits"`
+	JoinsLed       int64 `json:"JoinsLed"`
+	LeavesLed      int64 `json:"LeavesLed"`
+	DataOps        int64 `json:"DataOps"`
+	Requeues       int64 `json:"Requeues"`
+	Batches        int64 `json:"Batches"`
+}
+
+// Status is the GET /v1/status document.
+type Status struct {
+	Snodes        []SnodeStatus `json:"snodes"`
+	Vnodes        []VnodeStatus `json:"vnodes"`
+	Groups        int           `json:"groups"`
+	Keys          int           `json:"keys"`
+	SigmaQv       float64       `json:"sigma_qv"`
+	Stats         Stats         `json:"stats"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+}
+
+// Status fetches the cluster status snapshot.
+func (c *Client) Status() (Status, error) {
+	var out Status
+	err := c.doJSON(http.MethodGet, "/v1/status", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the Prometheus text exposition.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.do(http.MethodGet, "/v1/metrics", nil, "")
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", errorFrom(resp)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}

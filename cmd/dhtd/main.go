@@ -1,0 +1,122 @@
+// Command dhtd boots a dbdht cluster and serves its HTTP API: the
+// key/value data plane (single-key and batched), the admin plane (snode
+// and vnode membership, enrollment) and introspection (status snapshot,
+// Prometheus metrics).
+//
+// Usage:
+//
+//	dhtd -listen :8080 -snodes 8 -vnodes 32
+//	dhtd -listen 127.0.0.1:8080 -transport tcp -host 127.0.0.1
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain, then the cluster's snodes stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dbdht"
+	"dbdht/internal/server"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "HTTP listen address")
+		snodes     = flag.Int("snodes", 4, "snodes to boot")
+		vnodes     = flag.Int("vnodes", 16, "vnodes to enroll at boot (round-robin)")
+		pmin       = flag.Int("pmin", 32, "Pmin (power of two)")
+		vmin       = flag.Int("vmin", 8, "Vmin (power of two)")
+		seed       = flag.Int64("seed", 1, "seed")
+		fabric     = flag.String("transport", "mem", "cluster fabric: mem | tcp")
+		host       = flag.String("host", "127.0.0.1", "bind host for the tcp fabric")
+		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "internal RPC timeout")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+	)
+	flag.Parse()
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *seed, *fabric, *host, *rpcTimeout, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, snodes, vnodes, pmin, vmin int, seed int64, fabric, host string, rpcTimeout, drain time.Duration) error {
+	if snodes < 1 {
+		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
+	}
+	if vnodes < 0 {
+		return fmt.Errorf("-vnodes must be >= 0, got %d", vnodes)
+	}
+	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout}
+	var (
+		c   *dbdht.Cluster
+		err error
+	)
+	switch fabric {
+	case "mem":
+		c, err = dbdht.NewCluster(opts)
+	case "tcp":
+		c, err = dbdht.NewClusterTCP(opts, host)
+	default:
+		return fmt.Errorf("unknown transport %q (want mem or tcp)", fabric)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	for i := 0; i < snodes; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			return err
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < vnodes; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			return err
+		}
+	}
+	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, fabric=%s)",
+		snodes, vnodes, pmin, vmin, fabric)
+
+	srv := &http.Server{
+		Addr:         listen,
+		Handler:      server.New(c).Handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+		IdleTimeout:  90 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dhtd: serving HTTP on %s", listen)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("dhtd: shutting down (draining up to %v)", drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

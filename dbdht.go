@@ -25,7 +25,9 @@
 //	fmt.Printf("σ̄(Qv) = %.2f%%\n", 100*d.QualityOfBalancement())
 //
 // For a live message-passing cluster with a key/value data plane, see
-// NewCluster; for a real TCP fabric, see NewClusterTCP.
+// NewCluster; for a real TCP fabric, see NewClusterTCP.  The cluster can
+// be served over HTTP by cmd/dhtd (see internal/server for the API and
+// package client for the Go client).
 package dbdht
 
 import (
@@ -54,8 +56,15 @@ type ConsistentHashing = ch.Ring
 // Cluster is a live message-passing DHT cluster with a key/value data
 // plane; see internal/cluster for the full method set: AddSnode,
 // CreateVnode, RemoveVnode, SetEnrollment, RemoveSnode, Put/Get/Delete,
-// Snapshot, StatsTotal, ...
+// MPut/MGet/MDelete, Snapshot, StatsTotal, ...
 type Cluster = cluster.Cluster
+
+// KV is one key/value pair of a batched MPut.
+type KV = cluster.KV
+
+// BatchResult is the per-key outcome of a batched MPut/MGet/MDelete;
+// batches have partial-failure semantics — check each result's Err.
+type BatchResult = cluster.BatchResult
 
 // GroupID is the decentralized binary group identifier of §3.7.1.
 type GroupID = core.GroupID

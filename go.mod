@@ -1,0 +1,3 @@
+module dbdht
+
+go 1.24

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/hashspace"
+)
+
+// Batched data plane.  A batch groups same-verb operations and moves them
+// toward their owners in sub-batches: the receiving snode serves the keys
+// it owns locally and forwards one sub-batch per next-hop host, waiting on
+// all of them in parallel.  Because keys owned by different vnodes/groups
+// are handled by different snodes concurrently, a batch exploits exactly
+// the per-group parallelism the local approach is built around (§3.1) —
+// one client round-trip fans out into parallel per-owner work instead of
+// N serial request/response cycles.
+
+// batchItem is one operation of a batch (Value is used by puts only).
+type batchItem struct {
+	Key   string
+	Value []byte
+}
+
+// batchReq carries a group of same-verb data operations.  Like the single
+// operation messages it is forwarded along custody chains, but grouped:
+// each hop serves what it owns and splits the rest by next hop.
+type batchReq struct {
+	Op      uint64
+	Kind    dataOp
+	Items   []batchItem
+	ReplyTo transport.NodeID
+	Hops    int
+}
+
+// batchItemResp is the per-key outcome inside a batchResp, parallel to the
+// request's Items.
+type batchItemResp struct {
+	Value []byte
+	Found bool
+	Err   string
+}
+
+// batchResp answers a batchReq.  Served carries the partitions the
+// responder chain resolved, so requesters (the cluster handle included)
+// can aim future batches directly at the owners.
+type batchResp struct {
+	Op      uint64
+	Results []batchItemResp
+	Served  []routeEntry
+}
+
+func init() {
+	gob.Register(batchReq{})
+	gob.Register(batchResp{})
+}
+
+// handleBatch serves a batch: local keys are applied immediately, the rest
+// are regrouped by next hop and forwarded as sub-batches awaited in
+// parallel.  Runs outside the actor loop (it performs nested RPCs).
+func (s *Snode) handleBatch(m batchReq) {
+	s.stats.Batches.Add(1)
+	results := make([]batchItemResp, len(m.Items))
+	var served []routeEntry
+	forwards := make(map[transport.NodeID][]int)
+
+	// Classify every item under one lock pass.  Items landing on a frozen
+	// partition (mid-transfer) are retried until the transfer settles and
+	// they either apply locally or chase the new custody pointer.
+	pending := make([]int, len(m.Items))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		var frozen []int
+		s.mu.Lock()
+		for _, i := range pending {
+			it := m.Items[i]
+			h := hashspace.HashString(it.Key)
+			if vs, p, ok := s.ownsLocked(h); ok {
+				if vs.frozen[p] && m.Kind != opGet {
+					frozen = append(frozen, i)
+					continue
+				}
+				s.stats.DataOps.Add(1)
+				bucket := vs.parts[p]
+				switch m.Kind {
+				case opGet:
+					v, found := bucket[it.Key]
+					results[i] = batchItemResp{Value: append([]byte(nil), v...), Found: found}
+				case opPut:
+					bucket[it.Key] = append([]byte(nil), it.Value...)
+					results[i] = batchItemResp{Found: true}
+				case opDel:
+					_, found := bucket[it.Key]
+					delete(bucket, it.Key)
+					results[i] = batchItemResp{Found: found}
+				}
+				served = append(served, routeEntry{Partition: p, Ref: ownerRef{Vnode: vs.name, Host: s.id}})
+				continue
+			}
+			if m.Hops >= s.cfg.MaxHops {
+				results[i] = batchItemResp{Err: fmt.Sprintf("data op exceeded %d hops", m.Hops)}
+				continue
+			}
+			ref, ok := s.forwardTargetLocked(h, m.Hops == 0)
+			if !ok {
+				results[i] = batchItemResp{Err: "no route: empty DHT view"}
+				continue
+			}
+			forwards[ref.Host] = append(forwards[ref.Host], i)
+		}
+		s.mu.Unlock()
+		if len(frozen) > 0 {
+			s.stats.Requeues.Add(int64(len(frozen)))
+			time.Sleep(200 * time.Microsecond)
+		}
+		pending = frozen
+	}
+
+	// Fan the sub-batches out in parallel — each next hop resolves its
+	// share concurrently — and scatter the answers back in place.
+	var (
+		wg      sync.WaitGroup
+		mergeMu sync.Mutex
+	)
+	for host, idxs := range forwards {
+		wg.Add(1)
+		go func(host transport.NodeID, idxs []int) {
+			defer wg.Done()
+			sub := make([]batchItem, len(idxs))
+			for j, i := range idxs {
+				sub[j] = m.Items[i]
+			}
+			s.stats.Forwards.Add(1)
+			v, err := s.rpc(host, func(op uint64) any {
+				return batchReq{Op: op, Kind: m.Kind, Items: sub, ReplyTo: s.id, Hops: m.Hops + 1}
+			})
+			mergeMu.Lock()
+			defer mergeMu.Unlock()
+			if err != nil {
+				for _, i := range idxs {
+					results[i] = batchItemResp{Err: err.Error()}
+				}
+				return
+			}
+			resp := v.(batchResp)
+			for j, i := range idxs {
+				if j < len(resp.Results) {
+					results[i] = resp.Results[j]
+				} else {
+					results[i] = batchItemResp{Err: fmt.Sprintf("short batch response from %d", host)}
+				}
+			}
+			served = append(served, resp.Served...)
+		}(host, idxs)
+	}
+	wg.Wait()
+
+	s.send(m.ReplyTo, batchResp{Op: m.Op, Results: results, Served: dedupRoutes(served)})
+}
+
+// dedupRoutes keeps one entry per partition (the last one wins — deeper
+// in the response merge means closer to the current owner), so Served
+// lists stay proportional to partitions touched, not items served.
+func dedupRoutes(entries []routeEntry) []routeEntry {
+	if len(entries) <= 1 {
+		return entries
+	}
+	seen := make(map[hashspace.Partition]int, len(entries))
+	out := entries[:0]
+	for _, e := range entries {
+		if i, ok := seen[e.Partition]; ok {
+			out[i] = e
+			continue
+		}
+		seen[e.Partition] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+// --- client side (the Cluster handle) ---
+
+// KV is one key/value pair of a batch put.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// BatchResult is the per-key outcome of a batch operation, parallel to the
+// input slice.  Err is empty on success; Found/Value follow the semantics
+// of the single-key Get/Put/Delete.
+type BatchResult struct {
+	Key   string
+	Value []byte
+	Found bool
+	Err   string
+}
+
+// OK reports whether the operation on this key succeeded.
+func (r BatchResult) OK() bool { return r.Err == "" }
+
+// MPut stores many key/value pairs in one batched operation.  Results are
+// parallel to items; batches are partial-failure capable — inspect each
+// BatchResult.Err.  The returned error is reserved for cluster-level
+// failures (no snodes, shut down fabric).
+func (c *Cluster) MPut(items []KV) ([]BatchResult, error) {
+	bi := make([]batchItem, len(items))
+	keys := make([]string, len(items))
+	for i, it := range items {
+		bi[i] = batchItem{Key: it.Key, Value: it.Value}
+		keys[i] = it.Key
+	}
+	return c.mbatch(opPut, keys, bi)
+}
+
+// MGet fetches many keys in one batched operation.
+func (c *Cluster) MGet(keys []string) ([]BatchResult, error) {
+	bi := make([]batchItem, len(keys))
+	for i, k := range keys {
+		bi[i] = batchItem{Key: k}
+	}
+	return c.mbatch(opGet, keys, bi)
+}
+
+// MDelete removes many keys in one batched operation.
+func (c *Cluster) MDelete(keys []string) ([]BatchResult, error) {
+	bi := make([]batchItem, len(keys))
+	for i, k := range keys {
+		bi[i] = batchItem{Key: k}
+	}
+	return c.mbatch(opDel, keys, bi)
+}
+
+// routeFor consults the handle's learned owner cache.
+func (c *Cluster) routeFor(h hashspace.Index) (ownerRef, bool) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return probeLevels(h, c.routes, c.routeLvls)
+}
+
+// learnRoutes folds served-partition info from batch responses into the
+// handle's owner cache, so subsequent batches aim straight at the owners.
+func (c *Cluster) learnRoutes(entries []routeEntry) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	for _, e := range entries {
+		if _, ok := c.routes[e.Partition]; !ok {
+			c.routeLvls[e.Partition.Level]++
+		}
+		c.routes[e.Partition] = e.Ref
+	}
+}
+
+// dropRoutesTo forgets every cached route aimed at a host that stopped
+// answering (it left the cluster or the fabric).
+func (c *Cluster) dropRoutesTo(host transport.NodeID) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	for p, ref := range c.routes {
+		if ref.Host == host {
+			delete(c.routes, p)
+			c.routeLvls[p.Level]--
+			if c.routeLvls[p.Level] == 0 {
+				delete(c.routeLvls, p.Level)
+			}
+		}
+	}
+}
+
+// mbatch groups the items by believed owner — cache hits go straight to
+// the owning host, the rest spread across entry snodes by key hash — and
+// issues every sub-batch in parallel.
+func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]BatchResult, error) {
+	results := make([]BatchResult, len(items))
+	for i, k := range keys {
+		results[i].Key = k
+	}
+	if len(items) == 0 {
+		return results, nil
+	}
+	pending := make([]int, len(items))
+	for i := range pending {
+		pending[i] = i
+	}
+	// Two passes: the second retries (via fresh entry points) items whose
+	// believed owner stopped answering mid-batch.
+	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
+		c.mu.Lock()
+		order := append([]transport.NodeID(nil), c.order...)
+		c.mu.Unlock()
+		if len(order) == 0 {
+			return results, fmt.Errorf("cluster: no snodes")
+		}
+		groups := make(map[transport.NodeID][]int)
+		for _, i := range pending {
+			h := hashspace.HashString(items[i].Key)
+			if attempt == 0 {
+				if ref, ok := c.routeFor(h); ok {
+					groups[ref.Host] = append(groups[ref.Host], i)
+					continue
+				}
+			}
+			// Unknown owner: deterministic spread over entry snodes, so
+			// cold batches still classify in parallel across the cluster.
+			// Retries rotate the entry so a dead first pick isn't re-chosen.
+			entry := order[(h+uint64(attempt))%uint64(len(order))]
+			groups[entry] = append(groups[entry], i)
+		}
+		var (
+			wg      sync.WaitGroup
+			mergeMu sync.Mutex
+			retry   []int
+		)
+		for host, idxs := range groups {
+			wg.Add(1)
+			go func(host transport.NodeID, idxs []int) {
+				defer wg.Done()
+				sub := make([]batchItem, len(idxs))
+				for j, i := range idxs {
+					sub[j] = items[i]
+				}
+				v, err := c.rpc(host, func(op uint64) any {
+					return batchReq{Op: op, Kind: kind, Items: sub, ReplyTo: clientID}
+				})
+				mergeMu.Lock()
+				defer mergeMu.Unlock()
+				if err != nil {
+					c.dropRoutesTo(host)
+					retry = append(retry, idxs...)
+					return
+				}
+				resp := v.(batchResp)
+				for j, i := range idxs {
+					if j < len(resp.Results) {
+						r := resp.Results[j]
+						results[i].Value = r.Value
+						results[i].Found = r.Found
+						results[i].Err = r.Err
+					} else {
+						results[i].Err = fmt.Sprintf("short batch response from %d", host)
+					}
+				}
+				c.learnRoutes(resp.Served)
+			}(host, idxs)
+		}
+		wg.Wait()
+		if attempt == 1 {
+			for _, i := range retry {
+				results[i].Err = "cluster: batch sub-request failed after retry"
+			}
+			retry = nil
+		}
+		pending = retry
+	}
+	return results, nil
+}

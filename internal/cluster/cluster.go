@@ -36,6 +36,12 @@ type Cluster struct {
 	firstOwner   ownerRef
 	rng          *rand.Rand
 
+	// Owner-route cache learned from batch responses: batches aim straight
+	// at believed owners instead of random entry snodes.
+	routeMu   sync.Mutex
+	routes    map[hashspace.Partition]ownerRef
+	routeLvls map[uint8]int
+
 	retiredMu sync.Mutex
 	retired   StatsSnapshot // counters of snodes that left the cluster
 
@@ -56,6 +62,7 @@ func (a *StatsSnapshot) fold(b StatsSnapshot) {
 	a.LeavesLed += b.LeavesLed
 	a.DataOps += b.DataOps
 	a.Requeues += b.Requeues
+	a.Batches += b.Batches
 }
 
 // New starts an empty cluster over the given fabric (use transport.NewMem()
@@ -70,13 +77,15 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		net:     net,
-		pending: make(map[uint64]chan any),
-		snodes:  make(map[transport.NodeID]*Snode),
-		nextID:  1,
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		net:       net,
+		pending:   make(map[uint64]chan any),
+		snodes:    make(map[transport.NodeID]*Snode),
+		nextID:    1,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		routes:    make(map[hashspace.Partition]ownerRef),
+		routeLvls: make(map[uint8]int),
+		done:      make(chan struct{}),
 	}
 	go c.loop(inbox)
 	return c, nil
@@ -97,6 +106,8 @@ func (c *Cluster) loop(inbox <-chan transport.Envelope) {
 		case pingResp:
 			op = m.Op
 		case lookupResp:
+			op = m.Op
+		case batchResp:
 			op = m.Op
 		default:
 			continue
@@ -294,6 +305,7 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	survivors := append([]transport.NodeID(nil), c.order...)
 	needNewBoot := c.firstOwner.Host == id
 	c.mu.Unlock()
+	c.dropRoutesTo(id)
 	// Bequeath the leaver's custody table so no routing chain dangles.
 	leaving := snodeLeavingMsg{Leaving: id, Routes: s.routingTable()}
 	for _, sid := range survivors {

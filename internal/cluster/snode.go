@@ -78,13 +78,14 @@ type Stats struct {
 	LeavesLed      atomic.Int64
 	DataOps        atomic.Int64
 	Requeues       atomic.Int64
+	Batches        atomic.Int64
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
 	MsgsIn, Forwards, PartitionsSent, KeysMoved int64
 	SplitAlls, GroupSplits, JoinsLed, LeavesLed int64
-	DataOps, Requeues                           int64
+	DataOps, Requeues, Batches                  int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -94,6 +95,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		SplitAlls: s.SplitAlls.Load(), GroupSplits: s.GroupSplits.Load(),
 		JoinsLed: s.JoinsLed.Load(), LeavesLed: s.LeavesLed.Load(),
 		DataOps: s.DataOps.Load(), Requeues: s.Requeues.Load(),
+		Batches: s.Batches.Load(),
 	}
 }
 
@@ -291,6 +293,10 @@ func (s *Snode) loop() {
 			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, nil, opGet, m.Hops, env.Msg)
 		case delReq:
 			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, nil, opDel, m.Hops, env.Msg)
+		case batchReq:
+			go s.handleBatch(m)
+		case batchResp:
+			s.deliver(m.Op, m)
 		case createVnodeReq:
 			go s.handleCreateVnode(m)
 		case joinGroupReq:
@@ -595,7 +601,12 @@ func (s *Snode) handleTransfer(m transferReq) {
 		vs.frozen = make(map[hashspace.Partition]bool)
 	}
 	vs.frozen[p] = true
-	snapshot := vs.parts[p]
+	// Ship a copy: over the in-memory fabric the payload is delivered by
+	// reference and becomes the new owner's live bucket the moment it is
+	// installed — the original must stay private to this host, and the
+	// key count must be taken before the handoff.
+	snapshot := copyBucket(vs.parts[p])
+	keys := len(snapshot)
 	s.mu.Unlock()
 
 	if err := s.shipPartition(m.Group, m.To, m.ToHost, p, m.Level, snapshot); err != nil {
@@ -611,8 +622,18 @@ func (s *Snode) handleTransfer(m transferReq) {
 	s.setTombLocked(p, ownerRef{Vnode: m.To, Host: m.ToHost})
 	s.mu.Unlock()
 	s.stats.PartitionsSent.Add(1)
-	s.stats.KeysMoved.Add(int64(len(snapshot)))
-	s.send(m.ReplyTo, transferResp{Op: m.Op, Partition: p, Keys: len(snapshot)})
+	s.stats.KeysMoved.Add(int64(keys))
+	s.send(m.ReplyTo, transferResp{Op: m.Op, Partition: p, Keys: keys})
+}
+
+// copyBucket clones one partition's key/value map (values are immutable
+// by convention — the data plane stores and returns copies).
+func copyBucket(b map[string][]byte) map[string][]byte {
+	out := make(map[string][]byte, len(b))
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
 }
 
 // shipPartition sends one partition's contents and waits for the ack.
@@ -687,7 +708,8 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 
 	for i, p := range parts {
 		s.mu.Lock()
-		snapshot := vs.parts[p]
+		snapshot := copyBucket(vs.parts[p]) // see handleTransfer
+		keys := len(snapshot)
 		s.mu.Unlock()
 		dest := m.Dests[i]
 		if err := s.shipPartition(group, dest.Vnode, dest.Host, p, level, snapshot); err != nil {
@@ -700,7 +722,7 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 		s.setTombLocked(p, dest)
 		s.mu.Unlock()
 		s.stats.PartitionsSent.Add(1)
-		s.stats.KeysMoved.Add(int64(len(snapshot)))
+		s.stats.KeysMoved.Add(int64(keys))
 	}
 	s.mu.Lock()
 	delete(s.vnodes, m.Vnode)

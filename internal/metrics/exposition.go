@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): the serving layer publishes
+// the cluster's runtime counters and balancement gauges in the de-facto
+// standard scrape format, without taking a client-library dependency.
+
+// Metric types understood by the exposition writer.
+const (
+	TypeCounter = "counter"
+	TypeGauge   = "gauge"
+)
+
+// Label is one name/value pair attached to a sample.  Labels are written
+// in slice order, so callers control the (stable) ordering.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one measured value of a family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// Family is one named metric with HELP/TYPE metadata and its samples.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // TypeCounter or TypeGauge
+	Samples []Sample
+}
+
+// WritePrometheus renders the families in the Prometheus text exposition
+// format, in the given order.  A family with no samples is skipped.
+func WritePrometheus(w io.Writer, families []Family) error {
+	for _, f := range families {
+		if len(f.Samples) == 0 {
+			continue
+		}
+		if err := validName(f.Name); err != nil {
+			return err
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		typ := f.Type
+		if typ == "" {
+			typ = TypeGauge
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, typ); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if _, err := io.WriteString(w, f.Name); err != nil {
+				return err
+			}
+			if len(s.Labels) > 0 {
+				parts := make([]string, len(s.Labels))
+				for i, l := range s.Labels {
+					if err := validName(l.Name); err != nil {
+						return err
+					}
+					parts[i] = l.Name + `="` + escapeLabel(l.Value) + `"`
+				}
+				if _, err := io.WriteString(w, "{"+strings.Join(parts, ",")+"}"); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, " %s\n", formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// validName enforces the Prometheus metric/label name charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("metrics: empty metric or label name")
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return fmt.Errorf("metrics: invalid name %q", name)
+		}
+	}
+	return nil
+}
+
+// escapeHelp escapes backslashes and newlines in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslashes, quotes and newlines in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	err := WritePrometheus(&sb, []Family{
+		{
+			Name: "dbdht_msgs_total", Help: "messages received", Type: TypeCounter,
+			Samples: []Sample{{Value: 1234}},
+		},
+		{
+			Name: "dbdht_keys", Help: "stored keys", Type: TypeGauge,
+			Samples: []Sample{
+				{Labels: []Label{{"snode", "1"}}, Value: 10},
+				{Labels: []Label{{"snode", "2"}}, Value: 0.5},
+			},
+		},
+		{Name: "dbdht_empty", Help: "skipped", Type: TypeGauge}, // no samples
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP dbdht_msgs_total messages received
+# TYPE dbdht_msgs_total counter
+dbdht_msgs_total 1234
+# HELP dbdht_keys stored keys
+# TYPE dbdht_keys gauge
+dbdht_keys{snode="1"} 10
+dbdht_keys{snode="2"} 0.5
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if strings.Contains(got, "dbdht_empty") {
+		t.Fatal("sampleless family should be skipped")
+	}
+}
+
+func TestWritePrometheusEscaping(t *testing.T) {
+	var sb strings.Builder
+	err := WritePrometheus(&sb, []Family{{
+		Name: "m", Help: "line1\nline2 \\ backslash",
+		Samples: []Sample{{Labels: []Label{{"l", "a\"b\\c\nd"}}, Value: 1}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, `# HELP m line1\nline2 \\ backslash`) {
+		t.Fatalf("help not escaped: %s", got)
+	}
+	if !strings.Contains(got, `m{l="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped: %s", got)
+	}
+}
+
+func TestWritePrometheusRejectsBadNames(t *testing.T) {
+	for _, name := range []string{"", "9lead", "has space", "dash-ed"} {
+		err := WritePrometheus(&strings.Builder{}, []Family{{Name: name, Samples: []Sample{{Value: 1}}}})
+		if err == nil {
+			t.Fatalf("name %q accepted", name)
+		}
+	}
+	err := WritePrometheus(&strings.Builder{}, []Family{{
+		Name:    "ok",
+		Samples: []Sample{{Labels: []Label{{"bad name", "v"}}, Value: 1}},
+	}})
+	if err == nil {
+		t.Fatal("bad label name accepted")
+	}
+}

@@ -1,0 +1,485 @@
+// Package server exposes a running dbdht cluster over HTTP/JSON: the
+// key/value data plane (single-key and batched), the admin plane (snode
+// and vnode membership, enrollment), and introspection (status snapshot
+// and Prometheus metrics).  It is built on net/http's pattern mux only —
+// no external dependencies — and is safe for concurrent use, mirroring
+// the cluster handle's own concurrency guarantees.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dbdht/internal/cluster"
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/metrics"
+)
+
+// MaxValueBytes bounds a single value (and a whole batch body).
+const MaxValueBytes = 8 << 20
+
+// Server serves the HTTP API over one cluster handle.
+type Server struct {
+	c     *cluster.Cluster
+	mux   *http.ServeMux
+	start time.Time
+
+	// Per-route request counters, exported at /v1/metrics.
+	reqs map[string]*atomic.Int64
+}
+
+// New builds a Server around a running cluster.
+func New(c *cluster.Cluster) *Server {
+	s := &Server{
+		c:     c,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		reqs:  make(map[string]*atomic.Int64),
+	}
+	s.route("PUT /v1/kv/{key...}", s.handlePut)
+	s.route("GET /v1/kv/{key...}", s.handleGet)
+	s.route("DELETE /v1/kv/{key...}", s.handleDelete)
+	s.route("POST /v1/kv:batch", s.handleBatch)
+	s.route("POST /v1/snodes", s.handleAddSnode)
+	s.route("DELETE /v1/snodes/{id}", s.handleRemoveSnode)
+	s.route("PUT /v1/snodes/{id}/enrollment", s.handleEnrollment)
+	s.route("POST /v1/vnodes", s.handleCreateVnode)
+	s.route("GET /v1/status", s.handleStatus)
+	s.route("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// route registers a handler with a request counter.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	ctr := &atomic.Int64{}
+	s.reqs[pattern] = ctr
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ctr.Add(1)
+		h(w, r)
+	})
+}
+
+// Handler returns the API's http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// --- encoding helpers ---
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// clusterErrCode maps a cluster-level error to an HTTP status.
+func clusterErrCode(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "not in cluster"):
+		return http.StatusNotFound
+	case strings.Contains(msg, "no snodes"), strings.Contains(msg, "no route"):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, MaxValueBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+func pathID(r *http.Request) (transport.NodeID, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("bad snode id %q", r.PathValue("id"))
+	}
+	return transport.NodeID(id), nil
+}
+
+// --- KV plane ---
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, "empty key")
+		return
+	}
+	value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxValueBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "value exceeds %d bytes", MaxValueBytes)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "reading value: %v", err)
+		return
+	}
+	if err := s.c.Put(key, value); err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if key == "" {
+		writeErr(w, http.StatusBadRequest, "empty key")
+		return
+	}
+	value, found, err := s.c.Get(key)
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	if !found {
+		writeErr(w, http.StatusNotFound, "key %q not found", key)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(value)
+}
+
+type deleteResponse struct {
+	Found bool `json:"found"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.PathValue("key") == "" {
+		writeErr(w, http.StatusBadRequest, "empty key")
+		return
+	}
+	found, err := s.c.Delete(r.PathValue("key"))
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteResponse{Found: found})
+}
+
+// BatchRequest is the body of POST /v1/kv:batch.  Op selects the verb
+// applied to every item; Value is base64 in JSON ([]byte), used by "put".
+type BatchRequest struct {
+	Op    string      `json:"op"` // "put" | "get" | "delete"
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItem is one key (and, for puts, its value) of a batch.
+type BatchItem struct {
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+}
+
+// BatchResponse answers a batch, results parallel to the request items.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is one key's outcome; Error is empty on success.
+type BatchResult struct {
+	Key   string `json:"key"`
+	Found bool   `json:"found"`
+	Value []byte `json:"value,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var (
+		results []cluster.BatchResult
+		err     error
+	)
+	switch req.Op {
+	case "put":
+		items := make([]cluster.KV, len(req.Items))
+		for i, it := range req.Items {
+			items[i] = cluster.KV{Key: it.Key, Value: it.Value}
+		}
+		results, err = s.c.MPut(items)
+	case "get", "delete":
+		keys := make([]string, len(req.Items))
+		for i, it := range req.Items {
+			keys[i] = it.Key
+		}
+		if req.Op == "get" {
+			results, err = s.c.MGet(keys)
+		} else {
+			results, err = s.c.MDelete(keys)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown batch op %q (want put, get or delete)", req.Op)
+		return
+	}
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchResult, len(results))}
+	for i, res := range results {
+		resp.Results[i] = BatchResult{Key: res.Key, Found: res.Found, Value: res.Value, Error: res.Err}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- admin plane ---
+
+type snodeResponse struct {
+	ID int `json:"id"`
+}
+
+func (s *Server) handleAddSnode(w http.ResponseWriter, r *http.Request) {
+	id, err := s.c.AddSnode()
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, snodeResponse{ID: int(id)})
+}
+
+func (s *Server) handleRemoveSnode(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.c.RemoveSnode(id); err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type enrollmentRequest struct {
+	Target int `json:"target"`
+}
+
+type enrollmentResponse struct {
+	Hosted int `json:"hosted"`
+}
+
+func (s *Server) handleEnrollment(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req enrollmentRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Target < 0 {
+		writeErr(w, http.StatusBadRequest, "enrollment target must be >= 0, got %d", req.Target)
+		return
+	}
+	hosted, err := s.c.SetEnrollment(id, req.Target)
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, enrollmentResponse{Hosted: hosted})
+}
+
+type createVnodeRequest struct {
+	Snode int `json:"snode"` // 0: server picks the least-loaded snode
+}
+
+type createVnodeResponse struct {
+	Vnode string `json:"vnode"`
+	Group string `json:"group"`
+	Snode int    `json:"snode"`
+}
+
+func (s *Server) handleCreateVnode(w http.ResponseWriter, r *http.Request) {
+	req := createVnodeRequest{}
+	if r.ContentLength != 0 {
+		if !readJSON(w, r, &req) {
+			return
+		}
+	}
+	at := transport.NodeID(req.Snode)
+	if req.Snode == 0 {
+		// Pick the snode currently hosting the fewest vnodes.
+		hosted := make(map[transport.NodeID]int)
+		snap := s.c.Snapshot()
+		for _, v := range snap.Vnodes {
+			hosted[v.Host]++
+		}
+		ids := s.c.Snodes()
+		if len(ids) == 0 {
+			writeErr(w, http.StatusServiceUnavailable, "cluster: no snodes")
+			return
+		}
+		at = ids[0]
+		for _, id := range ids[1:] {
+			if hosted[id] < hosted[at] {
+				at = id
+			}
+		}
+	}
+	name, group, err := s.c.CreateVnode(at)
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, createVnodeResponse{
+		Vnode: name.String(), Group: group.String(), Snode: int(at),
+	})
+}
+
+// --- introspection ---
+
+// SnodeStatus summarizes one live snode.
+type SnodeStatus struct {
+	ID     int `json:"id"`
+	Vnodes int `json:"vnodes"`
+	Keys   int `json:"keys"`
+}
+
+// VnodeStatus is one vnode's materialized state.
+type VnodeStatus struct {
+	Name       string `json:"name"`
+	Snode      int    `json:"snode"`
+	Group      string `json:"group"`
+	Level      int    `json:"level"`
+	Partitions int    `json:"partitions"`
+	Keys       int    `json:"keys"`
+}
+
+// StatusResponse is the GET /v1/status document: a cluster snapshot plus
+// the aggregated runtime counters.
+type StatusResponse struct {
+	Snodes        []SnodeStatus         `json:"snodes"`
+	Vnodes        []VnodeStatus         `json:"vnodes"`
+	Groups        int                   `json:"groups"`
+	Keys          int                   `json:"keys"`
+	SigmaQv       float64               `json:"sigma_qv"` // σ̄(Q_v), fraction
+	Stats         cluster.StatsSnapshot `json:"stats"`
+	UptimeSeconds float64               `json:"uptime_seconds"`
+}
+
+func (s *Server) buildStatus() StatusResponse {
+	snap := s.c.Snapshot()
+	perSnode := make(map[transport.NodeID]*SnodeStatus)
+	for _, id := range s.c.Snodes() {
+		perSnode[id] = &SnodeStatus{ID: int(id)}
+	}
+	groups := make(map[string]bool)
+	resp := StatusResponse{
+		Snodes:        []SnodeStatus{},
+		Vnodes:        make([]VnodeStatus, 0, len(snap.Vnodes)),
+		Stats:         s.c.StatsTotal(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	for _, v := range snap.Vnodes {
+		groups[v.Group.String()] = true
+		resp.Keys += v.Keys
+		if ss, ok := perSnode[v.Host]; ok {
+			ss.Vnodes++
+			ss.Keys += v.Keys
+		}
+		resp.Vnodes = append(resp.Vnodes, VnodeStatus{
+			Name: v.Name.String(), Snode: int(v.Host), Group: v.Group.String(),
+			Level: int(v.Level), Partitions: len(v.Partitions), Keys: v.Keys,
+		})
+	}
+	for _, id := range s.c.Snodes() {
+		if ss, ok := perSnode[id]; ok {
+			resp.Snodes = append(resp.Snodes, *ss)
+		}
+	}
+	resp.Groups = len(groups)
+	resp.SigmaQv = metrics.RelStdDev(snap.VnodeQuotas())
+	return resp
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.buildStatus())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.buildStatus()
+	counter := func(name, help string, v int64) metrics.Family {
+		return metrics.Family{
+			Name: name, Help: help, Type: metrics.TypeCounter,
+			Samples: []metrics.Sample{{Value: float64(v)}},
+		}
+	}
+	gauge := func(name, help string, v float64) metrics.Family {
+		return metrics.Family{
+			Name: name, Help: help, Type: metrics.TypeGauge,
+			Samples: []metrics.Sample{{Value: v}},
+		}
+	}
+	keysPerSnode := metrics.Family{
+		Name: "dbdht_snode_keys", Help: "keys stored per snode", Type: metrics.TypeGauge,
+	}
+	vnodesPerSnode := metrics.Family{
+		Name: "dbdht_snode_vnodes", Help: "vnodes hosted per snode", Type: metrics.TypeGauge,
+	}
+	for _, ss := range st.Snodes {
+		labels := []metrics.Label{{Name: "snode", Value: strconv.Itoa(ss.ID)}}
+		keysPerSnode.Samples = append(keysPerSnode.Samples,
+			metrics.Sample{Labels: labels, Value: float64(ss.Keys)})
+		vnodesPerSnode.Samples = append(vnodesPerSnode.Samples,
+			metrics.Sample{Labels: labels, Value: float64(ss.Vnodes)})
+	}
+	httpReqs := metrics.Family{
+		Name: "dbdht_http_requests_total", Help: "API requests served per route", Type: metrics.TypeCounter,
+	}
+	for route, ctr := range s.reqs {
+		httpReqs.Samples = append(httpReqs.Samples, metrics.Sample{
+			Labels: []metrics.Label{{Name: "route", Value: route}},
+			Value:  float64(ctr.Load()),
+		})
+	}
+	families := []metrics.Family{
+		gauge("dbdht_snodes", "live snodes", float64(len(st.Snodes))),
+		gauge("dbdht_vnodes", "enrolled vnodes", float64(len(st.Vnodes))),
+		gauge("dbdht_groups", "balancement groups", float64(st.Groups)),
+		gauge("dbdht_keys", "stored keys", float64(st.Keys)),
+		gauge("dbdht_balance_sigma_qv", "relative stddev of vnode quotas (fraction)", st.SigmaQv),
+		gauge("dbdht_uptime_seconds", "server uptime", st.UptimeSeconds),
+		keysPerSnode,
+		vnodesPerSnode,
+		counter("dbdht_msgs_total", "protocol messages received", st.Stats.MsgsIn),
+		counter("dbdht_forwards_total", "custody-chain forwards", st.Stats.Forwards),
+		counter("dbdht_partitions_sent_total", "partitions migrated", st.Stats.PartitionsSent),
+		counter("dbdht_keys_moved_total", "keys migrated with partitions", st.Stats.KeysMoved),
+		counter("dbdht_split_alls_total", "scope-wide splits", st.Stats.SplitAlls),
+		counter("dbdht_group_splits_total", "group splits", st.Stats.GroupSplits),
+		counter("dbdht_joins_led_total", "vnode joins led", st.Stats.JoinsLed),
+		counter("dbdht_leaves_led_total", "vnode leaves led", st.Stats.LeavesLed),
+		counter("dbdht_data_ops_total", "data operations applied", st.Stats.DataOps),
+		counter("dbdht_requeues_total", "operations requeued on frozen partitions", st.Stats.Requeues),
+		counter("dbdht_batches_total", "batch requests handled", st.Stats.Batches),
+		httpReqs,
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = metrics.WritePrometheus(w, families)
+}

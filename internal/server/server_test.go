@@ -1,0 +1,253 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dbdht/client"
+	"dbdht/internal/cluster"
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/server"
+)
+
+// boot starts an in-memory cluster with the given shape and serves its API
+// from an httptest server.
+func boot(t *testing.T, snodes, vnodes int) (*cluster.Cluster, *httptest.Server) {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Pmin: 32, Vmin: 8, Seed: 1}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < snodes; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < vnodes; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(server.New(c).Handler())
+	t.Cleanup(ts.Close)
+	return c, ts
+}
+
+// TestEndToEndRoundTrip is the acceptance path: PUT → GET → batch GET →
+// DELETE over HTTP, then a Prometheus scrape.
+func TestEndToEndRoundTrip(t *testing.T) {
+	_, ts := boot(t, 4, 16)
+	cl := client.New(ts.URL)
+
+	if err := cl.Put("alpha", []byte("one")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	if err := cl.Put("beta", []byte("two")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, found, err := cl.Get("alpha")
+	if err != nil || !found || string(v) != "one" {
+		t.Fatalf("get alpha = %q, %v, %v; want \"one\", true, nil", v, found, err)
+	}
+
+	results, err := cl.MGet([]string{"alpha", "beta", "missing"})
+	if err != nil {
+		t.Fatalf("batch get: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("batch get returned %d results, want 3", len(results))
+	}
+	if !results[0].OK() || !results[0].Found || string(results[0].Value) != "one" {
+		t.Fatalf("batch get alpha = %+v", results[0])
+	}
+	if !results[1].OK() || !results[1].Found || string(results[1].Value) != "two" {
+		t.Fatalf("batch get beta = %+v", results[1])
+	}
+	if !results[2].OK() || results[2].Found {
+		t.Fatalf("batch get missing = %+v", results[2])
+	}
+
+	found, err = cl.Delete("alpha")
+	if err != nil || !found {
+		t.Fatalf("delete alpha = %v, %v; want true, nil", found, err)
+	}
+	if _, found, _ = cl.Get("alpha"); found {
+		t.Fatal("alpha still present after delete")
+	}
+
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, want := range []string{
+		"# TYPE dbdht_keys gauge",
+		"# TYPE dbdht_msgs_total counter",
+		"# TYPE dbdht_batches_total counter",
+		"# TYPE dbdht_snode_keys gauge",
+		"dbdht_snodes 4",
+		"dbdht_vnodes 16",
+		"dbdht_http_requests_total{route=\"PUT /v1/kv/{key...}\"}",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestBatchPutDeleteOverHTTP(t *testing.T) {
+	_, ts := boot(t, 2, 8)
+	cl := client.New(ts.URL)
+
+	items := make([]client.Item, 32)
+	keys := make([]string, 32)
+	for i := range items {
+		keys[i] = fmt.Sprintf("key-%03d", i)
+		items[i] = client.Item{Key: keys[i], Value: []byte(fmt.Sprintf("val-%03d", i))}
+	}
+	results, err := cl.MPut(items)
+	if err != nil {
+		t.Fatalf("batch put: %v", err)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Fatalf("batch put %q failed: %s", r.Key, r.Error)
+		}
+	}
+	results, err = cl.MGet(keys)
+	if err != nil {
+		t.Fatalf("batch get: %v", err)
+	}
+	for i, r := range results {
+		if !r.Found || string(r.Value) != fmt.Sprintf("val-%03d", i) {
+			t.Fatalf("batch get %q = %+v", keys[i], r)
+		}
+	}
+	results, err = cl.MDelete(keys)
+	if err != nil {
+		t.Fatalf("batch delete: %v", err)
+	}
+	for _, r := range results {
+		if !r.OK() || !r.Found {
+			t.Fatalf("batch delete %q = %+v", r.Key, r)
+		}
+	}
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Keys != 0 {
+		t.Fatalf("status reports %d keys after deleting all, want 0", st.Keys)
+	}
+	if st.Stats.Batches == 0 {
+		t.Fatal("status reports zero batches after batch traffic")
+	}
+}
+
+func TestAdminPlane(t *testing.T) {
+	c, ts := boot(t, 2, 4)
+	cl := client.New(ts.URL)
+
+	id, err := cl.AddSnode()
+	if err != nil {
+		t.Fatalf("add snode: %v", err)
+	}
+	if got := len(c.Snodes()); got != 3 {
+		t.Fatalf("cluster has %d snodes after add, want 3", got)
+	}
+	vnode, group, err := cl.CreateVnode(id)
+	if err != nil {
+		t.Fatalf("create vnode: %v", err)
+	}
+	if vnode == "" || group == "" {
+		t.Fatalf("create vnode returned %q/%q", vnode, group)
+	}
+	// Server-side placement (snode 0 = pick least loaded).
+	if _, _, err := cl.CreateVnode(0); err != nil {
+		t.Fatalf("create vnode (auto): %v", err)
+	}
+	hosted, err := cl.SetEnrollment(id, 4)
+	if err != nil || hosted != 4 {
+		t.Fatalf("set enrollment = %d, %v; want 4, nil", hosted, err)
+	}
+	if err := cl.RemoveSnode(id); err != nil {
+		t.Fatalf("remove snode: %v", err)
+	}
+	if got := len(c.Snodes()); got != 2 {
+		t.Fatalf("cluster has %d snodes after remove, want 2", got)
+	}
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if len(st.Snodes) != 2 {
+		t.Fatalf("status reports %d snodes, want 2", len(st.Snodes))
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := boot(t, 1, 2)
+
+	get := func(method, path, body string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := get("GET", "/v1/kv/nope", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET missing key: %d, want 404", resp.StatusCode)
+	}
+	// The empty key is rejected uniformly across all three verbs.
+	for _, method := range []string{"PUT", "GET", "DELETE"} {
+		if resp := get(method, "/v1/kv/", "x"); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s empty key: %d, want 400", method, resp.StatusCode)
+		}
+	}
+	if resp := get("DELETE", "/v1/snodes/99", ""); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown snode: %d, want 404", resp.StatusCode)
+	}
+	if resp := get("DELETE", "/v1/snodes/zzz", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("DELETE malformed snode id: %d, want 400", resp.StatusCode)
+	}
+	if resp := get("POST", "/v1/kv:batch", `{"op":"frobnicate","items":[]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("batch with unknown op: %d, want 400", resp.StatusCode)
+	}
+	if resp := get("POST", "/v1/kv:batch", `{"op":`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("batch with malformed JSON: %d, want 400", resp.StatusCode)
+	}
+	if resp := get("PUT", "/v1/snodes/1/enrollment", `{"target":-3}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative enrollment: %d, want 400", resp.StatusCode)
+	}
+	big := bytes.Repeat([]byte("x"), server.MaxValueBytes+1)
+	if resp := get("PUT", "/v1/kv/huge", string(big)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized value: %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestKeysWithSlashes exercises the {key...} wildcard: keys may contain
+// path separators.
+func TestKeysWithSlashes(t *testing.T) {
+	_, ts := boot(t, 1, 2)
+	cl := client.New(ts.URL)
+	key := "users/42/profile"
+	if err := cl.Put(key, []byte("p")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, found, err := cl.Get(key)
+	if err != nil || !found || string(v) != "p" {
+		t.Fatalf("get %q = %q, %v, %v", key, v, found, err)
+	}
+}
