@@ -160,8 +160,13 @@ func benchName(prefix string, v int) string {
 // benchCluster boots a quiesced data-plane cluster for throughput
 // benchmarks: 8 snodes, 32 vnodes, in-memory fabric.
 func benchCluster(b *testing.B) *dbdht.Cluster {
+	return benchClusterR(b, 1)
+}
+
+// benchClusterR is benchCluster with R-way replication.
+func benchClusterR(b *testing.B, replicas int) *dbdht.Cluster {
 	b.Helper()
-	c, err := dbdht.NewCluster(dbdht.ClusterOptions{Pmin: 32, Vmin: 8, Seed: 1})
+	c, err := dbdht.NewCluster(dbdht.ClusterOptions{Pmin: 32, Vmin: 8, Seed: 1, Replicas: replicas})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -201,6 +206,36 @@ func BenchmarkClusterMPut(b *testing.B) {
 	for _, size := range []int{16, 64, 256} {
 		b.Run(benchName("batch", size), func(b *testing.B) {
 			c := benchCluster(b)
+			value := make([]byte, 64)
+			items := make([]dbdht.KV, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range items {
+					items[j] = dbdht.KV{Key: fmt.Sprintf("bench-key-%d", (i*size+j)%4096), Value: value}
+				}
+				results, err := c.MPut(items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.OK() {
+						b.Fatalf("MPut %q: %s", r.Key, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
+}
+
+// BenchmarkClusterMPutReplicated measures the cost of durability: every
+// batched put is synchronously fanned to R−1 replica snodes before it is
+// acknowledged.
+func BenchmarkClusterMPutReplicated(b *testing.B) {
+	for _, r := range []int{2, 3} {
+		b.Run(benchName("R", r), func(b *testing.B) {
+			const size = 256
+			c := benchClusterR(b, r)
 			value := make([]byte, 64)
 			items := make([]dbdht.KV, size)
 			b.ResetTimer()

@@ -3,10 +3,17 @@
 // one Client is meant to live for the life of the program — and offers
 // batch helpers mapping 1:1 onto the cluster's MPut/MGet/MDelete, which
 // fan out across the DHT's groups in parallel server-side.
+//
+// Every method takes a context.Context: cancel it (or let its deadline
+// pass) to abort the request.  Contexts without a deadline get the
+// client's per-request timeout (WithRequestTimeout, default 30s), so no
+// call can hang on an unresponsive server.  Response bodies are read with
+// a hard size cap.
 package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,27 +23,45 @@ import (
 	"time"
 )
 
+// MaxBodyBytes caps how much of any response body the client will read.
+// It must fit a legal batch response: the server bounds a *request* at
+// 8 MiB, but a batch GET of keys whose values were written individually
+// can return many 8 MiB values, base64-inflated 4/3× in JSON.  64 MiB
+// bounds memory while accommodating realistic batches.
+const MaxBodyBytes = 64 << 20
+
+// DefaultRequestTimeout bounds a request whose context has no deadline.
+const DefaultRequestTimeout = 30 * time.Second
+
 // Client talks to one dhtd endpoint.  Safe for concurrent use.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	reqTimeout time.Duration
 }
 
 // Option customizes a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the underlying *http.Client (timeouts,
-// transports, test doubles).
+// WithHTTPClient substitutes the underlying *http.Client (transports,
+// proxies, test doubles).
 func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithRequestTimeout sets the per-request deadline applied when the
+// caller's context has none.  Zero disables the default (the caller's
+// context alone governs the request).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *Client) { c.reqTimeout = d }
 }
 
 // New returns a Client for a base URL such as "http://127.0.0.1:8080".
 func New(base string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(base, "/"),
+		base:       strings.TrimRight(base, "/"),
+		reqTimeout: DefaultRequestTimeout,
 		hc: &http.Client{
-			Timeout: 60 * time.Second,
 			Transport: &http.Transport{
 				MaxIdleConns:        64,
 				MaxIdleConnsPerHost: 64,
@@ -66,20 +91,49 @@ func errorFrom(resp *http.Response) error {
 	return fmt.Errorf("dhtd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
 }
 
-func (c *Client) do(method, path string, body io.Reader, contentType string) (*http.Response, error) {
-	req, err := http.NewRequest(method, c.base+path, body)
+// reqContext applies the default per-request timeout when ctx carries no
+// deadline of its own.
+func (c *Client) reqContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || c.reqTimeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.reqTimeout)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, contentType string) (*http.Response, context.CancelFunc, error) {
+	rctx, cancel := c.reqContext(ctx)
+	req, err := http.NewRequestWithContext(rctx, method, c.base+path, body)
 	if err != nil {
-		return nil, err
+		cancel()
+		return nil, nil, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	return c.hc.Do(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return resp, cancel, nil
+}
+
+// readBody drains at most MaxBodyBytes of a response body, erroring if
+// the server sends more.
+func readBody(resp *http.Response) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > MaxBodyBytes {
+		return nil, fmt.Errorf("dhtd: response body exceeds %d bytes", MaxBodyBytes)
+	}
+	return body, nil
 }
 
 // doJSON performs a request with optional JSON body, decoding a JSON
 // response into out (if non-nil) and mapping non-2xx statuses to errors.
-func (c *Client) doJSON(method, path string, in, out any) error {
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	ct := ""
 	if in != nil {
@@ -90,29 +144,35 @@ func (c *Client) doJSON(method, path string, in, out any) error {
 		body = bytes.NewReader(buf)
 		ct = "application/json"
 	}
-	resp, err := c.do(method, path, body, ct)
+	resp, cancel, err := c.do(ctx, method, path, body, ct)
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		return errorFrom(resp)
 	}
 	defer resp.Body.Close()
 	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, MaxBodyBytes))
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	raw, err := readBody(resp)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, out)
 }
 
 func kvPath(key string) string { return "/v1/kv/" + url.PathEscape(key) }
 
 // Put stores a key/value pair.
-func (c *Client) Put(key string, value []byte) error {
-	resp, err := c.do(http.MethodPut, kvPath(key), bytes.NewReader(value), "application/octet-stream")
+func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	resp, cancel, err := c.do(ctx, http.MethodPut, kvPath(key), bytes.NewReader(value), "application/octet-stream")
 	if err != nil {
 		return err
 	}
+	defer cancel()
 	if resp.StatusCode != http.StatusNoContent {
 		return errorFrom(resp)
 	}
@@ -121,13 +181,14 @@ func (c *Client) Put(key string, value []byte) error {
 }
 
 // Get fetches a key; found is false for absent keys.
-func (c *Client) Get(key string) (value []byte, found bool, err error) {
-	resp, err := c.do(http.MethodGet, kvPath(key), nil, "")
+func (c *Client) Get(ctx context.Context, key string) (value []byte, found bool, err error) {
+	resp, cancel, err := c.do(ctx, http.MethodGet, kvPath(key), nil, "")
 	if err != nil {
 		return nil, false, err
 	}
+	defer cancel()
 	if resp.StatusCode == http.StatusNotFound {
-		io.Copy(io.Discard, resp.Body)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, MaxBodyBytes))
 		resp.Body.Close()
 		return nil, false, nil
 	}
@@ -135,16 +196,19 @@ func (c *Client) Get(key string) (value []byte, found bool, err error) {
 		return nil, false, errorFrom(resp)
 	}
 	defer resp.Body.Close()
-	value, err = io.ReadAll(resp.Body)
-	return value, err == nil, err
+	value, err = readBody(resp)
+	if err != nil {
+		return nil, false, err
+	}
+	return value, true, nil
 }
 
 // Delete removes a key; found reports whether it existed.
-func (c *Client) Delete(key string) (found bool, err error) {
+func (c *Client) Delete(ctx context.Context, key string) (found bool, err error) {
 	var out struct {
 		Found bool `json:"found"`
 	}
-	if err := c.doJSON(http.MethodDelete, kvPath(key), nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodDelete, kvPath(key), nil, &out); err != nil {
 		return false, err
 	}
 	return out.Found, nil
@@ -177,9 +241,9 @@ type batchResponse struct {
 	Results []Result `json:"results"`
 }
 
-func (c *Client) batch(op string, items []Item) ([]Result, error) {
+func (c *Client) batch(ctx context.Context, op string, items []Item) ([]Result, error) {
 	var out batchResponse
-	if err := c.doJSON(http.MethodPost, "/v1/kv:batch", batchRequest{Op: op, Items: items}, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/kv:batch", batchRequest{Op: op, Items: items}, &out); err != nil {
 		return nil, err
 	}
 	return out.Results, nil
@@ -187,16 +251,18 @@ func (c *Client) batch(op string, items []Item) ([]Result, error) {
 
 // MPut stores many pairs in one request; results are parallel to items
 // and partial failures are reported per key.
-func (c *Client) MPut(items []Item) ([]Result, error) { return c.batch("put", items) }
+func (c *Client) MPut(ctx context.Context, items []Item) ([]Result, error) {
+	return c.batch(ctx, "put", items)
+}
 
 // MGet fetches many keys in one request.
-func (c *Client) MGet(keys []string) ([]Result, error) {
-	return c.batch("get", keyItems(keys))
+func (c *Client) MGet(ctx context.Context, keys []string) ([]Result, error) {
+	return c.batch(ctx, "get", keyItems(keys))
 }
 
 // MDelete removes many keys in one request.
-func (c *Client) MDelete(keys []string) ([]Result, error) {
-	return c.batch("delete", keyItems(keys))
+func (c *Client) MDelete(ctx context.Context, keys []string) ([]Result, error) {
+	return c.batch(ctx, "delete", keyItems(keys))
 }
 
 func keyItems(keys []string) []Item {
@@ -210,24 +276,24 @@ func keyItems(keys []string) []Item {
 // --- admin plane ---
 
 // AddSnode joins one fresh snode and returns its id.
-func (c *Client) AddSnode() (int, error) {
+func (c *Client) AddSnode(ctx context.Context) (int, error) {
 	var out struct {
 		ID int `json:"id"`
 	}
-	if err := c.doJSON(http.MethodPost, "/v1/snodes", nil, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/snodes", nil, &out); err != nil {
 		return 0, err
 	}
 	return out.ID, nil
 }
 
 // RemoveSnode gracefully withdraws an snode.
-func (c *Client) RemoveSnode(id int) error {
-	return c.doJSON(http.MethodDelete, fmt.Sprintf("/v1/snodes/%d", id), nil, nil)
+func (c *Client) RemoveSnode(ctx context.Context, id int) error {
+	return c.doJSON(ctx, http.MethodDelete, fmt.Sprintf("/v1/snodes/%d", id), nil, nil)
 }
 
 // CreateVnode enrolls one vnode at the given snode (0 lets the server
 // pick the least-loaded snode) and returns the vnode name and group.
-func (c *Client) CreateVnode(snode int) (vnode, group string, err error) {
+func (c *Client) CreateVnode(ctx context.Context, snode int) (vnode, group string, err error) {
 	var out struct {
 		Vnode string `json:"vnode"`
 		Group string `json:"group"`
@@ -235,7 +301,7 @@ func (c *Client) CreateVnode(snode int) (vnode, group string, err error) {
 	in := struct {
 		Snode int `json:"snode"`
 	}{Snode: snode}
-	if err := c.doJSON(http.MethodPost, "/v1/vnodes", in, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/vnodes", in, &out); err != nil {
 		return "", "", err
 	}
 	return out.Vnode, out.Group, nil
@@ -243,14 +309,14 @@ func (c *Client) CreateVnode(snode int) (vnode, group string, err error) {
 
 // SetEnrollment adjusts an snode's hosted vnode count and returns the
 // count after adjustment.
-func (c *Client) SetEnrollment(id, target int) (int, error) {
+func (c *Client) SetEnrollment(ctx context.Context, id, target int) (int, error) {
 	var out struct {
 		Hosted int `json:"hosted"`
 	}
 	in := struct {
 		Target int `json:"target"`
 	}{Target: target}
-	if err := c.doJSON(http.MethodPut, fmt.Sprintf("/v1/snodes/%d/enrollment", id), in, &out); err != nil {
+	if err := c.doJSON(ctx, http.MethodPut, fmt.Sprintf("/v1/snodes/%d/enrollment", id), in, &out); err != nil {
 		return 0, err
 	}
 	return out.Hosted, nil
@@ -288,6 +354,10 @@ type Stats struct {
 	DataOps        int64 `json:"DataOps"`
 	Requeues       int64 `json:"Requeues"`
 	Batches        int64 `json:"Batches"`
+	ReplWrites     int64 `json:"ReplWrites"`
+	ReplRepairs    int64 `json:"ReplRepairs"`
+	ReplLagged     int64 `json:"ReplLagged"`
+	FailoverReads  int64 `json:"FailoverReads"`
 }
 
 // Status is the GET /v1/status document.
@@ -296,28 +366,30 @@ type Status struct {
 	Vnodes        []VnodeStatus `json:"vnodes"`
 	Groups        int           `json:"groups"`
 	Keys          int           `json:"keys"`
+	Replicas      int           `json:"replicas"`
 	SigmaQv       float64       `json:"sigma_qv"`
 	Stats         Stats         `json:"stats"`
 	UptimeSeconds float64       `json:"uptime_seconds"`
 }
 
 // Status fetches the cluster status snapshot.
-func (c *Client) Status() (Status, error) {
+func (c *Client) Status(ctx context.Context) (Status, error) {
 	var out Status
-	err := c.doJSON(http.MethodGet, "/v1/status", nil, &out)
+	err := c.doJSON(ctx, http.MethodGet, "/v1/status", nil, &out)
 	return out, err
 }
 
 // Metrics fetches the Prometheus text exposition.
-func (c *Client) Metrics() (string, error) {
-	resp, err := c.do(http.MethodGet, "/v1/metrics", nil, "")
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	resp, cancel, err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, "")
 	if err != nil {
 		return "", err
 	}
+	defer cancel()
 	if resp.StatusCode != http.StatusOK {
 		return "", errorFrom(resp)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := readBody(resp)
 	return string(body), err
 }

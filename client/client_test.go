@@ -1,0 +1,81 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRequestTimeout verifies every request gets a deadline even when the
+// caller's context has none: a stalled server fails the call quickly
+// instead of hanging.
+func TestRequestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release) // unblock the handler before ts.Close waits on it
+	cl := New(ts.URL, WithRequestTimeout(50*time.Millisecond))
+	start := time.Now()
+	_, _, err := cl.Get(context.Background(), "slow")
+	if err == nil {
+		t.Fatal("Get against a stalled server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Get took %v, want ≈50ms request timeout", elapsed)
+	}
+}
+
+// TestContextCancellation verifies the caller's context aborts a request
+// mid-flight.
+func TestContextCancellation(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(release) // unblock the handler before ts.Close waits on it
+	cl := New(ts.URL)    // default 30s timeout must not be what fires
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := cl.Put(ctx, "k", []byte("v")); err == nil {
+		t.Fatal("Put with cancelled context succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Put took %v", elapsed)
+	}
+}
+
+// TestBodyCap verifies the client refuses to slurp an oversized response
+// body into memory.
+func TestBodyCap(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		chunk := strings.Repeat("x", 1<<20)
+		for i := 0; i <= MaxBodyBytes>>20; i++ {
+			if _, err := w.Write([]byte(chunk)); err != nil {
+				return
+			}
+		}
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+	_, _, err := cl.Get(context.Background(), "huge")
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized Get error = %v, want a body-cap error", err)
+	}
+}

@@ -36,26 +36,27 @@ func main() {
 		pmin       = flag.Int("pmin", 32, "Pmin (power of two)")
 		vmin       = flag.Int("vmin", 8, "Vmin (power of two)")
 		seed       = flag.Int64("seed", 1, "seed")
+		replicas   = flag.Int("replicas", 1, "copies per partition R (1 = replication off; R>=2 survives snode crashes for reads)")
 		fabric     = flag.String("transport", "mem", "cluster fabric: mem | tcp")
 		host       = flag.String("host", "127.0.0.1", "bind host for the tcp fabric")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "internal RPC timeout")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
-	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *seed, *fabric, *host, *rpcTimeout, *drain); err != nil {
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, snodes, vnodes, pmin, vmin int, seed int64, fabric, host string, rpcTimeout, drain time.Duration) error {
+func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration) error {
 	if snodes < 1 {
 		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
 	}
 	if vnodes < 0 {
 		return fmt.Errorf("-vnodes must be >= 0, got %d", vnodes)
 	}
-	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout}
+	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout, Replicas: replicas}
 	var (
 		c   *dbdht.Cluster
 		err error
@@ -84,8 +85,8 @@ func run(listen string, snodes, vnodes, pmin, vmin int, seed int64, fabric, host
 			return err
 		}
 	}
-	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, fabric=%s)",
-		snodes, vnodes, pmin, vmin, fabric)
+	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, R=%d, fabric=%s)",
+		snodes, vnodes, pmin, vmin, replicas, fabric)
 
 	srv := &http.Server{
 		Addr:         listen,

@@ -95,6 +95,14 @@ type ClusterOptions struct {
 	Seed int64
 	// RPCTimeout bounds internal request/response exchanges (default 30s).
 	RPCTimeout time.Duration
+	// Replicas is R, the number of copies of every partition (primary
+	// included; default 1 = replication off).  With R ≥ 2 an abrupt
+	// single-snode crash loses no acknowledged write: reads fail over to
+	// the partition's replicas.
+	Replicas int
+	// AntiEntropyInterval paces the background replica repair pass
+	// (default 1s; only runs when Replicas > 1).
+	AntiEntropyInterval time.Duration
 }
 
 // NewLocal returns an empty local-approach DHT.
@@ -118,6 +126,7 @@ func NewConsistentHashing(k int, seed int64) (*ConsistentHashing, error) {
 func NewCluster(o ClusterOptions) (*Cluster, error) {
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
+		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
 	}, transport.NewMem())
 }
 
@@ -126,6 +135,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
+		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
 	}, transport.NewTCP(host))
 }
 

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	c, err := dbdht.NewCluster(dbdht.ClusterOptions{Pmin: 32, Vmin: 8, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
@@ -39,10 +41,10 @@ func main() {
 	fmt.Printf("serving a %d-snode cluster at %s\n\n", len(ids), ts.URL)
 
 	// Single-key round-trip.
-	if err := cl.Put("greeting", []byte("hello, DHT")); err != nil {
+	if err := cl.Put(ctx, "greeting", []byte("hello, DHT")); err != nil {
 		log.Fatal(err)
 	}
-	v, found, err := cl.Get("greeting")
+	v, found, err := cl.Get(ctx, "greeting")
 	if err != nil || !found {
 		log.Fatalf("get greeting: %v (found=%v)", err, found)
 	}
@@ -56,10 +58,10 @@ func main() {
 		keys[i] = fmt.Sprintf("user/%02d", i)
 		items[i] = client.Item{Key: keys[i], Value: []byte(fmt.Sprintf("profile-%02d", i))}
 	}
-	if _, err := cl.MPut(items); err != nil {
+	if _, err := cl.MPut(ctx, items); err != nil {
 		log.Fatal(err)
 	}
-	results, err := cl.MGet(keys)
+	results, err := cl.MGet(ctx, keys)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,14 +73,14 @@ func main() {
 	}
 	fmt.Printf("POST /v1/kv:batch put+get of %d keys -> %d hits\n", len(keys), hits)
 
-	st, err := cl.Status()
+	st, err := cl.Status(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("GET /v1/status -> %d snodes, %d vnodes, %d groups, %d keys, σ̄(Qv)=%.1f%%\n",
 		len(st.Snodes), len(st.Vnodes), st.Groups, st.Keys, 100*st.SigmaQv)
 
-	text, err := cl.Metrics()
+	text, err := cl.Metrics(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,6 +34,9 @@ type batchReq struct {
 	Items   []batchItem
 	ReplyTo transport.NodeID
 	Hops    int
+	// ReadReplica marks a failover read: the receiver serves the keys
+	// straight from its replica store instead of the ownership path.
+	ReadReplica bool
 }
 
 // batchItemResp is the per-key outcome inside a batchResp, parallel to the
@@ -62,18 +65,39 @@ func init() {
 // are regrouped by next hop and forwarded as sub-batches awaited in
 // parallel.  Runs outside the actor loop (it performs nested RPCs).
 func (s *Snode) handleBatch(m batchReq) {
+	if m.ReadReplica {
+		s.serveReplicaRead(m)
+		return
+	}
 	s.stats.Batches.Add(1)
 	results := make([]batchItemResp, len(m.Items))
 	var served []routeEntry
 	forwards := make(map[transport.NodeID][]int)
+	replicate := s.cfg.Replicas > 1 && m.Kind != opGet
+	var (
+		replWrites map[hashspace.Partition][]batchItem
+		replDests  map[hashspace.Partition][]transport.NodeID
+	)
+	var localWrites []int // indices applied locally and pending replica acks
+	if s.cfg.Replicas > 1 {
+		// replDests doubles as a per-batch cache of replica placements for
+		// the served-route entries.
+		replDests = make(map[hashspace.Partition][]transport.NodeID)
+		if replicate {
+			replWrites = make(map[hashspace.Partition][]batchItem)
+		}
+	}
 
 	// Classify every item under one lock pass.  Items landing on a frozen
 	// partition (mid-transfer) are retried until the transfer settles and
-	// they either apply locally or chase the new custody pointer.
+	// they either apply locally or chase the new custody pointer — but
+	// only within FreezeTimeout: a wedged transfer must surface per-key
+	// errors, not spin this goroutine forever.
 	pending := make([]int, len(m.Items))
 	for i := range pending {
 		pending[i] = i
 	}
+	var freezeDeadline time.Time
 	for len(pending) > 0 {
 		var frozen []int
 		s.mu.Lock()
@@ -99,7 +123,20 @@ func (s *Snode) handleBatch(m batchReq) {
 					delete(bucket, it.Key)
 					results[i] = batchItemResp{Found: found}
 				}
-				served = append(served, routeEntry{Partition: p, Ref: ownerRef{Vnode: vs.name, Host: s.id}})
+				var reps []transport.NodeID
+				if s.cfg.Replicas > 1 {
+					if d, ok := replDests[p]; ok {
+						reps = d
+					} else {
+						reps = s.replicaHostsLocked(p)
+						replDests[p] = reps
+					}
+				}
+				if replicate && len(reps) > 0 {
+					replWrites[p] = append(replWrites[p], it)
+					localWrites = append(localWrites, i)
+				}
+				served = append(served, routeEntry{Partition: p, Ref: ownerRef{Vnode: vs.name, Host: s.id}, Replicas: reps})
 				continue
 			}
 			if m.Hops >= s.cfg.MaxHops {
@@ -115,18 +152,44 @@ func (s *Snode) handleBatch(m batchReq) {
 		}
 		s.mu.Unlock()
 		if len(frozen) > 0 {
-			s.stats.Requeues.Add(int64(len(frozen)))
-			time.Sleep(200 * time.Microsecond)
+			now := time.Now()
+			if freezeDeadline.IsZero() {
+				freezeDeadline = now.Add(s.cfg.FreezeTimeout)
+			} else if now.After(freezeDeadline) {
+				for _, i := range frozen {
+					results[i] = batchItemResp{Err: fmt.Sprintf(
+						"partition frozen: transfer did not settle within %v", s.cfg.FreezeTimeout)}
+				}
+				frozen = nil
+			}
+			if len(frozen) > 0 {
+				s.stats.Requeues.Add(int64(len(frozen)))
+				time.Sleep(200 * time.Microsecond)
+			}
 		}
 		pending = frozen
 	}
 
 	// Fan the sub-batches out in parallel — each next hop resolves its
-	// share concurrently — and scatter the answers back in place.
+	// share concurrently — and scatter the answers back in place.  The
+	// replica fan-out for locally applied writes rides the same wait:
+	// writes are acknowledged only after their replicas answered.
 	var (
 		wg      sync.WaitGroup
 		mergeMu sync.Mutex
+		replErr error
 	)
+	if replicate && len(replWrites) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.replicate(m.Kind, replWrites, replDests); err != nil {
+				mergeMu.Lock()
+				replErr = err
+				mergeMu.Unlock()
+			}
+		}()
+	}
 	for host, idxs := range forwards {
 		wg.Add(1)
 		go func(host transport.NodeID, idxs []int) {
@@ -159,6 +222,13 @@ func (s *Snode) handleBatch(m batchReq) {
 		}(host, idxs)
 	}
 	wg.Wait()
+	if replErr != nil {
+		// Stopping mid-batch: the local copies die with this snode, so
+		// the affected writes must not be acknowledged as durable.
+		for _, i := range localWrites {
+			results[i] = batchItemResp{Err: "replication aborted: " + replErr.Error()}
+		}
+	}
 
 	s.send(m.ReplyTo, batchResp{Op: m.Op, Results: results, Served: dedupRoutes(served)})
 }
@@ -236,8 +306,15 @@ func (c *Cluster) MDelete(keys []string) ([]BatchResult, error) {
 	return c.mbatch(opDel, keys, bi)
 }
 
+// route is one cached owner pointer at the handle, together with the
+// partition's replica hosts for read failover.
+type route struct {
+	ref      ownerRef
+	replicas []transport.NodeID
+}
+
 // routeFor consults the handle's learned owner cache.
-func (c *Cluster) routeFor(h hashspace.Index) (ownerRef, bool) {
+func (c *Cluster) routeFor(h hashspace.Index) (route, bool) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
 	return probeLevels(h, c.routes, c.routeLvls)
@@ -252,7 +329,7 @@ func (c *Cluster) learnRoutes(entries []routeEntry) {
 		if _, ok := c.routes[e.Partition]; !ok {
 			c.routeLvls[e.Partition.Level]++
 		}
-		c.routes[e.Partition] = e.Ref
+		c.routes[e.Partition] = route{ref: e.Ref, replicas: e.Replicas}
 	}
 }
 
@@ -261,8 +338,8 @@ func (c *Cluster) learnRoutes(entries []routeEntry) {
 func (c *Cluster) dropRoutesTo(host transport.NodeID) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
-	for p, ref := range c.routes {
-		if ref.Host == host {
+	for p, rt := range c.routes {
+		if rt.ref.Host == host {
 			delete(c.routes, p)
 			c.routeLvls[p.Level]--
 			if c.routeLvls[p.Level] == 0 {
@@ -272,9 +349,73 @@ func (c *Cluster) dropRoutesTo(host transport.NodeID) {
 	}
 }
 
+// invalidateStaleRoutes handles a host that stopped answering mid-batch:
+// routes aimed at it with no surviving replica are dropped (stale — the
+// retry re-resolves them via the normal lookup path), while routes that
+// know replica hosts are kept, so every later read of a dead primary's
+// partition keeps failing over instead of dead-ending in the custody
+// chain.
+func (c *Cluster) invalidateStaleRoutes(host transport.NodeID) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	for p, rt := range c.routes {
+		if rt.ref.Host != host {
+			continue
+		}
+		keep := false
+		for _, rep := range rt.replicas {
+			if rep != host {
+				keep = true
+				break
+			}
+		}
+		if keep {
+			continue
+		}
+		delete(c.routes, p)
+		c.routeLvls[p.Level]--
+		if c.routeLvls[p.Level] == 0 {
+			delete(c.routeLvls, p.Level)
+		}
+	}
+}
+
+// planFailover maps the items of a failed sub-batch to replica hosts able
+// to serve them, using the replica sets cached alongside the owner routes.
+// Called before the stale routes are dropped.
+func (c *Cluster) planFailover(failed transport.NodeID, idxs []int, items []batchItem) map[transport.NodeID][]int {
+	var plan map[transport.NodeID][]int
+	c.routeMu.Lock()
+	for _, i := range idxs {
+		rt, ok := probeLevels(hashspace.HashString(items[i].Key), c.routes, c.routeLvls)
+		if !ok {
+			continue
+		}
+		for _, rep := range rt.replicas {
+			if rep != failed {
+				if plan == nil {
+					plan = make(map[transport.NodeID][]int)
+				}
+				plan[rep] = append(plan[rep], i)
+				break
+			}
+		}
+	}
+	c.routeMu.Unlock()
+	return plan
+}
+
 // mbatch groups the items by believed owner — cache hits go straight to
 // the owning host, the rest spread across entry snodes by key hash — and
 // issues every sub-batch in parallel.
+//
+// Failure handling: when the RPC to a believed owner errors, its routes
+// are invalidated (invalidateStaleRoutes — routes whose partitions know
+// surviving replicas are deliberately KEPT so later reads keep failing
+// over), reads are failed over to the partition's cached replica hosts,
+// and whatever remains is retried once through the normal lookup path via
+// fresh entry snodes — hosts that just failed are not re-picked — before
+// per-key errors surface.
 func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]BatchResult, error) {
 	results := make([]BatchResult, len(items))
 	for i, k := range keys {
@@ -287,8 +428,7 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 	for i := range pending {
 		pending[i] = i
 	}
-	// Two passes: the second retries (via fresh entry points) items whose
-	// believed owner stopped answering mid-batch.
+	failedHosts := make(map[transport.NodeID]bool)
 	for attempt := 0; attempt < 2 && len(pending) > 0; attempt++ {
 		c.mu.Lock()
 		order := append([]transport.NodeID(nil), c.order...)
@@ -296,19 +436,33 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 		if len(order) == 0 {
 			return results, fmt.Errorf("cluster: no snodes")
 		}
+		// Entry candidates exclude hosts that already failed this batch
+		// (unless that would leave none).
+		entries := order
+		if len(failedHosts) > 0 {
+			live := make([]transport.NodeID, 0, len(order))
+			for _, id := range order {
+				if !failedHosts[id] {
+					live = append(live, id)
+				}
+			}
+			if len(live) > 0 {
+				entries = live
+			}
+		}
 		groups := make(map[transport.NodeID][]int)
 		for _, i := range pending {
 			h := hashspace.HashString(items[i].Key)
 			if attempt == 0 {
-				if ref, ok := c.routeFor(h); ok {
-					groups[ref.Host] = append(groups[ref.Host], i)
+				if rt, ok := c.routeFor(h); ok {
+					groups[rt.ref.Host] = append(groups[rt.ref.Host], i)
 					continue
 				}
 			}
 			// Unknown owner: deterministic spread over entry snodes, so
 			// cold batches still classify in parallel across the cluster.
 			// Retries rotate the entry so a dead first pick isn't re-chosen.
-			entry := order[(h+uint64(attempt))%uint64(len(order))]
+			entry := entries[(h+uint64(attempt))%uint64(len(entries))]
 			groups[entry] = append(groups[entry], i)
 		}
 		var (
@@ -327,13 +481,28 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 				v, err := c.rpc(host, func(op uint64) any {
 					return batchReq{Op: op, Kind: kind, Items: sub, ReplyTo: clientID}
 				})
-				mergeMu.Lock()
-				defer mergeMu.Unlock()
 				if err != nil {
-					c.dropRoutesTo(host)
-					retry = append(retry, idxs...)
+					// The believed owner stopped answering.  Plan read
+					// failover from the replica sets cached with the
+					// routes, then invalidate the stale routes.
+					var plan map[transport.NodeID][]int
+					if kind == opGet {
+						plan = c.planFailover(host, idxs, items)
+					}
+					c.invalidateStaleRoutes(host)
+					served := c.failoverReads(kind, plan, items, results, &mergeMu)
+					mergeMu.Lock()
+					failedHosts[host] = true
+					for _, i := range idxs {
+						if !served[i] {
+							retry = append(retry, i)
+						}
+					}
+					mergeMu.Unlock()
 					return
 				}
+				mergeMu.Lock()
+				defer mergeMu.Unlock()
 				resp := v.(batchResp)
 				for j, i := range idxs {
 					if j < len(resp.Results) {
@@ -358,4 +527,34 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 		pending = retry
 	}
 	return results, nil
+}
+
+// failoverReads issues the planned ReadReplica sub-batches and merges the
+// answers, returning the set of item indices actually served.
+func (c *Cluster) failoverReads(kind dataOp, plan map[transport.NodeID][]int, items []batchItem, results []BatchResult, mergeMu *sync.Mutex) map[int]bool {
+	served := make(map[int]bool)
+	for rhost, ridxs := range plan {
+		sub := make([]batchItem, len(ridxs))
+		for j, i := range ridxs {
+			sub[j] = items[i]
+		}
+		v, err := c.rpc(rhost, func(op uint64) any {
+			return batchReq{Op: op, Kind: kind, Items: sub, ReplyTo: clientID, ReadReplica: true}
+		})
+		if err != nil {
+			continue
+		}
+		resp := v.(batchResp)
+		mergeMu.Lock()
+		for j, i := range ridxs {
+			if j < len(resp.Results) && resp.Results[j].Err == "" {
+				results[i].Value = resp.Results[j].Value
+				results[i].Found = resp.Results[j].Found
+				results[i].Err = ""
+				served[i] = true
+			}
+		}
+		mergeMu.Unlock()
+	}
+	return served
 }

@@ -32,6 +32,7 @@ type Cluster struct {
 	snodes       map[transport.NodeID]*Snode
 	order        []transport.NodeID
 	nextID       transport.NodeID
+	viewEpoch    uint64
 	bootstrapped bool
 	firstOwner   ownerRef
 	rng          *rand.Rand
@@ -39,7 +40,7 @@ type Cluster struct {
 	// Owner-route cache learned from batch responses: batches aim straight
 	// at believed owners instead of random entry snodes.
 	routeMu   sync.Mutex
-	routes    map[hashspace.Partition]ownerRef
+	routes    map[hashspace.Partition]route
 	routeLvls map[uint8]int
 
 	retiredMu sync.Mutex
@@ -63,6 +64,10 @@ func (a *StatsSnapshot) fold(b StatsSnapshot) {
 	a.DataOps += b.DataOps
 	a.Requeues += b.Requeues
 	a.Batches += b.Batches
+	a.ReplWrites += b.ReplWrites
+	a.ReplRepairs += b.ReplRepairs
+	a.ReplLagged += b.ReplLagged
+	a.FailoverReads += b.FailoverReads
 }
 
 // New starts an empty cluster over the given fabric (use transport.NewMem()
@@ -83,7 +88,7 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 		snodes:    make(map[transport.NodeID]*Snode),
 		nextID:    1,
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
-		routes:    make(map[hashspace.Partition]ownerRef),
+		routes:    make(map[hashspace.Partition]route),
 		routeLvls: make(map[uint8]int),
 		done:      make(chan struct{}),
 	}
@@ -100,8 +105,6 @@ func (c *Cluster) loop(inbox <-chan transport.Envelope) {
 		case createVnodeResp:
 			op = m.Op
 		case leaveVnodeResp:
-			op = m.Op
-		case dataResp:
 			op = m.Op
 		case pingResp:
 			op = m.Op
@@ -168,8 +171,30 @@ func (c *Cluster) AddSnode() (transport.NodeID, error) {
 	if haveBoot {
 		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: boot}})
 	}
+	c.broadcastView()
 	return id, nil
 }
+
+// broadcastView refreshes every snode's sorted membership view — the
+// basis of replica placement.  The epoch is taken under the same lock as
+// the membership snapshot, so concurrent membership changes cannot make
+// an older view overwrite a newer one at a receiver.
+func (c *Cluster) broadcastView() {
+	c.mu.Lock()
+	ids := append([]transport.NodeID(nil), c.order...)
+	c.viewEpoch++
+	epoch := c.viewEpoch
+	c.mu.Unlock()
+	view := append([]transport.NodeID(nil), ids...)
+	sort.Slice(view, func(i, j int) bool { return view[i] < view[j] })
+	for _, id := range ids {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: viewUpdate{Epoch: epoch, Snodes: view}})
+	}
+}
+
+// ReplicationFactor returns R, the configured number of copies per
+// partition (1 = replication off).
+func (c *Cluster) ReplicationFactor() int { return c.cfg.Replicas }
 
 // Snodes returns the live snode ids in join order.
 func (c *Cluster) Snodes() []transport.NodeID {
@@ -305,6 +330,7 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	survivors := append([]transport.NodeID(nil), c.order...)
 	needNewBoot := c.firstOwner.Host == id
 	c.mu.Unlock()
+	c.broadcastView() // before any fallible step: placement must stop using the leaver
 	c.dropRoutesTo(id)
 	// Bequeath the leaver's custody table so no routing chain dangles.
 	leaving := snodeLeavingMsg{Leaving: id, Routes: s.routingTable()}
@@ -320,6 +346,53 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	c.retired.fold(s.stats.snapshot())
 	c.retiredMu.Unlock()
 	s.stop()
+	return nil
+}
+
+// KillSnode stops an snode abruptly — no graceful leave, no partition
+// migration — simulating a crash.  Its vnodes' partitions lose their
+// primary: with replication on (R ≥ 2) their data stays readable from the
+// replicas (failover reads) while writes to them fail fast; with R = 1
+// the data is lost, exactly the failure the paper's model excludes (§5).
+// Survivors drop their routing pointers at the dead snode and learn the
+// shrunken membership view, so anti-entropy re-homes the replica sets
+// that included it.
+func (c *Cluster) KillSnode(id transport.NodeID) error {
+	c.mu.Lock()
+	s, ok := c.snodes[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: snode %d not in cluster", id)
+	}
+	delete(c.snodes, id)
+	for i, o := range c.order {
+		if o == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	survivors := append([]transport.NodeID(nil), c.order...)
+	needNewBoot := c.firstOwner.Host == id
+	c.mu.Unlock()
+	// Keep the handle's routes to the dead snode: the replica hosts cached
+	// alongside them are exactly what read failover needs.  They fail fast
+	// and self-clean on first use instead.
+	c.retiredMu.Lock()
+	c.retired.fold(s.stats.snapshot())
+	c.retiredMu.Unlock()
+	s.stop()
+	c.broadcastView() // before any fallible step: placement must stop using the dead snode
+	// A crash bequeaths nothing: survivors just drop pointers at the dead
+	// snode (stale chains through it would only hit fast send errors).
+	dead := snodeLeavingMsg{Leaving: id}
+	for _, sid := range survivors {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: sid, Msg: dead})
+	}
+	if needNewBoot {
+		if err := c.reseedBootstrap(survivors); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -363,60 +436,46 @@ func (c *Cluster) entry() (transport.NodeID, error) {
 	return c.order[c.rng.Intn(len(c.order))], nil
 }
 
+// Single-key operations ride the batched data plane as one-item batches:
+// they share its owner-route cache (a warmed key goes straight to its
+// owner instead of through a random entry snode), its stale-route
+// invalidation and retry, and — with replication on — its read failover
+// to replica hosts when the owner stopped answering.
+
 // Put stores a key/value pair.
 func (c *Cluster) Put(key string, value []byte) error {
-	at, err := c.entry()
+	res, err := c.MPut([]KV{{Key: key, Value: value}})
 	if err != nil {
 		return err
 	}
-	v, err := c.rpc(at, func(op uint64) any {
-		return putReq{Op: op, Key: key, Value: value, ReplyTo: clientID}
-	})
-	if err != nil {
-		return err
-	}
-	if resp := v.(dataResp); resp.Err != "" {
-		return fmt.Errorf("cluster: put %q: %s", key, resp.Err)
+	if res[0].Err != "" {
+		return fmt.Errorf("cluster: put %q: %s", key, res[0].Err)
 	}
 	return nil
 }
 
 // Get fetches a key; found is false for absent keys.
 func (c *Cluster) Get(key string) (value []byte, found bool, err error) {
-	at, err := c.entry()
+	res, err := c.MGet([]string{key})
 	if err != nil {
 		return nil, false, err
 	}
-	v, err := c.rpc(at, func(op uint64) any {
-		return getReq{Op: op, Key: key, ReplyTo: clientID}
-	})
-	if err != nil {
-		return nil, false, err
+	if res[0].Err != "" {
+		return nil, false, fmt.Errorf("cluster: get %q: %s", key, res[0].Err)
 	}
-	resp := v.(dataResp)
-	if resp.Err != "" {
-		return nil, false, fmt.Errorf("cluster: get %q: %s", key, resp.Err)
-	}
-	return resp.Value, resp.Found, nil
+	return res[0].Value, res[0].Found, nil
 }
 
 // Delete removes a key; found reports whether it existed.
 func (c *Cluster) Delete(key string) (found bool, err error) {
-	at, err := c.entry()
+	res, err := c.MDelete([]string{key})
 	if err != nil {
 		return false, err
 	}
-	v, err := c.rpc(at, func(op uint64) any {
-		return delReq{Op: op, Key: key, ReplyTo: clientID}
-	})
-	if err != nil {
-		return false, err
+	if res[0].Err != "" {
+		return false, fmt.Errorf("cluster: delete %q: %s", key, res[0].Err)
 	}
-	resp := v.(dataResp)
-	if resp.Err != "" {
-		return false, fmt.Errorf("cluster: delete %q: %s", key, resp.Err)
-	}
-	return resp.Found, nil
+	return res[0].Found, nil
 }
 
 // Lookup resolves the vnode responsible for a key.

@@ -193,10 +193,13 @@ type bootstrapInfo struct {
 }
 
 // routeEntry is one custody pointer: the partition as it was when it left
-// its host, and where it went.
+// its host, and where it went.  Entries learned from batch responses also
+// carry the partition's replica hosts, so requesters can fail reads over
+// when the owner stops answering.
 type routeEntry struct {
 	Partition hashspace.Partition
 	Ref       ownerRef
+	Replicas  []transport.NodeID
 }
 
 // snodeLeavingMsg announces a graceful snode departure.  Survivors drop
@@ -208,36 +211,9 @@ type snodeLeavingMsg struct {
 	Routes  []routeEntry
 }
 
-// --- data plane ---
-
-type putReq struct {
-	Op      uint64
-	Key     string
-	Value   []byte
-	ReplyTo transport.NodeID
-	Hops    int
-}
-
-type getReq struct {
-	Op      uint64
-	Key     string
-	ReplyTo transport.NodeID
-	Hops    int
-}
-
-type delReq struct {
-	Op      uint64
-	Key     string
-	ReplyTo transport.NodeID
-	Hops    int
-}
-
-type dataResp struct {
-	Op    uint64
-	Value []byte
-	Found bool
-	Err   string
-}
+// The data plane is batched end to end: single-key operations on the
+// cluster handle are one-item batches (see batch.go), so batchReq /
+// batchResp are the only key/value messages on the wire.
 
 // pingReq/pingResp let tests and clients quiesce an snode's inbox.
 type pingReq struct {
@@ -261,7 +237,6 @@ func init() {
 		partitionData{}, partitionAck{},
 		groupInit{}, groupInitResp{},
 		lpdrSyncMsg{}, bootstrapInfo{}, snodeLeavingMsg{},
-		putReq{}, getReq{}, delReq{}, dataResp{},
 		pingReq{}, pingResp{},
 	} {
 		gob.Register(m)

@@ -1,0 +1,763 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/hashspace"
+)
+
+// R-way partition replication.  The paper's model is failure-free (§5);
+// this file grows the runtime beyond it: every partition's primary (the
+// owning vnode's host) keeps R−1 *replica buckets* on other snodes chosen
+// deterministically from the DHT view, so an abrupt snode crash loses no
+// acknowledged write.
+//
+//   - Writes are fanned to the replica hosts synchronously, reusing the
+//     batch sub-request machinery: a write is acknowledged only once every
+//     reachable replica applied it (an unreachable replica is recorded in
+//     ReplLagged and repaired by anti-entropy rather than failing the
+//     write — the primary still holds the data).
+//   - Reads fail over: when the client handle's RPC to a believed owner
+//     errors, it re-aims the affected keys at the partition's replicas
+//     (learned alongside owner routes from batch responses) with a
+//     ReadReplica batch, served straight from the replica store.
+//   - Partition transfers re-home replica sets with the primary: the new
+//     owner pushes fresh replica buckets before acknowledging the install,
+//     and the old owner drops the buckets that became orphans.
+//   - A background anti-entropy pass (per-partition key count + checksum
+//     exchange) repairs replicas that diverge after a crash or a missed
+//     write, and bootstraps replication for partitions that predate their
+//     replica hosts.
+//
+// Replica placement is a pure function of (partition, primary, view):
+// every snode with the same membership view picks the same replica hosts,
+// so primaries, their successors after a transfer, and the anti-entropy
+// pass all converge on one replica set without coordination.
+//
+// Limitations (documented, by design of this increment): a partition whose
+// primary crashes serves reads from its replicas but rejects writes until
+// an operator re-homes it; failover reads are eventually consistent if the
+// primary crashed with a replica write still in flight; two *concurrent*
+// writes of the same key may replicate in the opposite order from the
+// primary's apply order (callers racing same-key writes have no ordering
+// guarantee at the primary either — anti-entropy re-converges the replica
+// within one interval); replica placement
+// is a modular offset into the view, so a membership change re-shuffles
+// most replica sets and anti-entropy re-ships them (a rendezvous-hash
+// placement would move ~1/n — future work); ancestor buckets stranded at
+// hosts with no deeper local bucket escape the stale sweep and linger as
+// bounded garbage (shadowed on reads once current buckets sync).
+
+// viewUpdate is the cluster handle's membership broadcast: the sorted ids
+// of every live snode, stamped with a monotonically increasing epoch so
+// reordered deliveries cannot regress a receiver's view.  Replica
+// placement derives from it.
+type viewUpdate struct {
+	Epoch  uint64
+	Snodes []transport.NodeID
+}
+
+// replWriteReq applies one write (or a same-partition group of writes) to
+// a replica bucket.  Sent by the primary, synchronously, before the write
+// is acknowledged.
+type replWriteReq struct {
+	Op        uint64
+	Partition hashspace.Partition
+	Kind      dataOp
+	Items     []batchItem
+	ReplyTo   transport.NodeID
+}
+
+type replWriteResp struct {
+	Op  uint64
+	Err string
+}
+
+// replProbeReq is one anti-entropy exchange: the primary's key count and
+// order-independent checksum for a partition.  The replica answers whether
+// its bucket matches.
+type replProbeReq struct {
+	Op        uint64
+	Partition hashspace.Partition
+	Count     int
+	Sum       uint64
+	ReplyTo   transport.NodeID
+}
+
+type replProbeResp struct {
+	Op     uint64
+	InSync bool
+}
+
+// replSyncReq overwrites a replica bucket with the primary's full copy —
+// the repair step after a probe mismatch, and the re-homing push after a
+// partition transfer.
+type replSyncReq struct {
+	Op        uint64
+	Partition hashspace.Partition
+	Data      map[string][]byte
+	ReplyTo   transport.NodeID
+}
+
+type replSyncResp struct {
+	Op  uint64
+	Err string
+}
+
+// replDropMsg tells a host to discard replica buckets it no longer backs
+// (fire-and-forget; a missed drop is garbage, not corruption).
+type replDropMsg struct {
+	Partitions []hashspace.Partition
+}
+
+func init() {
+	for _, m := range []any{
+		viewUpdate{},
+		replWriteReq{}, replWriteResp{},
+		replProbeReq{}, replProbeResp{},
+		replSyncReq{}, replSyncResp{},
+		replDropMsg{},
+	} {
+		gob.Register(m)
+	}
+}
+
+// bucketDigest summarizes a bucket as (count, order-independent checksum):
+// two buckets with equal digests are treated as in sync.
+func bucketDigest(b map[string][]byte) (int, uint64) {
+	var sum uint64
+	for k, v := range b {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(k))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write(v)
+		sum ^= h.Sum64()
+	}
+	return len(b), sum
+}
+
+// overlapping reports whether two binary-trie partitions intersect, i.e.
+// one is an ancestor of (or equal to) the other.
+func overlapping(a, b hashspace.Partition) bool {
+	if a.Level > b.Level {
+		a, b = b, a
+	}
+	return b.Prefix>>(b.Level-a.Level) == a.Prefix
+}
+
+// replicaHostsLocked picks the R−1 replica hosts for a partition owned at
+// this snode.  Caller holds s.mu.
+func (s *Snode) replicaHostsLocked(p hashspace.Partition) []transport.NodeID {
+	return replicaHostsFor(p, s.id, s.view, s.cfg.Replicas)
+}
+
+// replicaHostsFor is the pure placement rule: from the sorted view minus
+// the primary, take R−1 hosts starting at an offset derived from the
+// partition, so replica load spreads across the cluster.
+func replicaHostsFor(p hashspace.Partition, primary transport.NodeID, view []transport.NodeID, r int) []transport.NodeID {
+	if r <= 1 || len(view) == 0 {
+		return nil
+	}
+	cands := make([]transport.NodeID, 0, len(view))
+	for _, id := range view {
+		if id != primary {
+			cands = append(cands, id)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	n := r - 1
+	if n > len(cands) {
+		n = len(cands)
+	}
+	start := int(p.Prefix % uint64(len(cands)))
+	out := make([]transport.NodeID, 0, n)
+	for k := 0; k < n; k++ {
+		out = append(out, cands[(start+k)%len(cands)])
+	}
+	return out
+}
+
+// --- replica store maintenance (caller holds s.mu) ---
+
+func (s *Snode) setReplicaBucketLocked(p hashspace.Partition, b map[string][]byte) {
+	if _, ok := s.rparts[p]; !ok {
+		s.rpartLvls[p.Level]++
+	}
+	s.rparts[p] = b
+}
+
+func (s *Snode) delReplicaBucketLocked(p hashspace.Partition) {
+	if _, ok := s.rparts[p]; ok {
+		delete(s.rparts, p)
+		delete(s.rprov, p)
+		s.rpartLvls[p.Level]--
+		if s.rpartLvls[p.Level] == 0 {
+			delete(s.rpartLvls, p.Level)
+		}
+	}
+}
+
+// sendOrdFor returns the per-destination mutex serializing replica-plane
+// sends to one host.
+func (s *Snode) sendOrdFor(host transport.NodeID) *sync.Mutex {
+	s.sendOrdMu.Lock()
+	defer s.sendOrdMu.Unlock()
+	mu, ok := s.sendOrd[host]
+	if !ok {
+		mu = &sync.Mutex{}
+		s.sendOrd[host] = mu
+	}
+	return mu
+}
+
+// dropReplicaWithinLocked discards every replica bucket contained in p
+// (p itself included).  Ancestors are deliberately spared: they may still
+// carry the only failover copy of a *sibling* region's acknowledged keys,
+// they are shadowed by deeper buckets on reads, and their own primary's
+// placement pass retires them once the current-level buckets are synced.
+func (s *Snode) dropReplicaWithinLocked(p hashspace.Partition) {
+	for q := range s.rparts {
+		if q.Level >= p.Level && overlapping(q, p) {
+			s.delReplicaBucketLocked(q)
+		}
+	}
+}
+
+// --- replica-side handlers (fast: no nested RPCs, run inline) ---
+
+func (s *Snode) handleViewUpdate(m viewUpdate) {
+	s.mu.Lock()
+	if m.Epoch > s.viewEpoch {
+		s.viewEpoch = m.Epoch
+		s.view = m.Snodes
+	}
+	s.mu.Unlock()
+}
+
+func (s *Snode) handleReplWrite(m replWriteReq) {
+	s.mu.Lock()
+	b := s.rparts[m.Partition]
+	if b == nil {
+		// First write at this partition (typically right after a split):
+		// seed the bucket from any stale ancestor's keys in range — they
+		// are acknowledged data that must stay failover-readable until
+		// anti-entropy ships the authoritative copy.  Until then the
+		// bucket is provisional: present keys are real, absent keys are
+		// unknown (serveReplicaRead refuses to vouch for them).
+		s.rprov[m.Partition] = true
+		b = make(map[string][]byte)
+		for q, ob := range s.rparts {
+			if q.Level < m.Partition.Level && overlapping(q, m.Partition) {
+				for k, v := range ob {
+					if m.Partition.Contains(hashspace.HashString(k)) {
+						b[k] = v
+					}
+				}
+			}
+		}
+		s.dropReplicaWithinLocked(m.Partition)
+		s.setReplicaBucketLocked(m.Partition, b)
+	}
+	for _, it := range m.Items {
+		switch m.Kind {
+		case opPut:
+			b[it.Key] = append([]byte(nil), it.Value...)
+		case opDel:
+			delete(b, it.Key)
+		}
+	}
+	s.mu.Unlock()
+	s.stats.ReplWrites.Add(int64(len(m.Items)))
+	s.send(m.ReplyTo, replWriteResp{Op: m.Op})
+}
+
+func (s *Snode) handleReplProbe(m replProbeReq) {
+	s.mu.Lock()
+	b, ok := s.rparts[m.Partition]
+	var n int
+	var sum uint64
+	if ok {
+		n, sum = bucketDigest(b)
+	}
+	inSync := ok && n == m.Count && sum == m.Sum
+	if inSync {
+		// Digest equality with the primary proves the bucket complete: a
+		// write-created (provisional) bucket becomes authoritative here.
+		delete(s.rprov, m.Partition)
+	}
+	s.mu.Unlock()
+	s.send(m.ReplyTo, replProbeResp{Op: m.Op, InSync: inSync})
+}
+
+func (s *Snode) handleReplSync(m replSyncReq) {
+	data := m.Data
+	if data == nil {
+		data = make(map[string][]byte)
+	}
+	s.mu.Lock()
+	s.dropReplicaWithinLocked(m.Partition)
+	s.setReplicaBucketLocked(m.Partition, data)
+	delete(s.rprov, m.Partition) // a full sync makes the bucket authoritative
+	s.mu.Unlock()
+	s.send(m.ReplyTo, replSyncResp{Op: m.Op})
+}
+
+func (s *Snode) handleReplDrop(m replDropMsg) {
+	s.mu.Lock()
+	for _, p := range m.Partitions {
+		s.delReplicaBucketLocked(p)
+	}
+	s.mu.Unlock()
+}
+
+// serveReplicaRead answers a ReadReplica batch from the replica store —
+// the read-failover path when a primary stopped answering.  Keys this
+// snode holds no replica bucket for get a per-key error (the requester
+// falls back to its normal retry path).
+func (s *Snode) serveReplicaRead(m batchReq) {
+	results := make([]batchItemResp, len(m.Items))
+	var served int64
+	s.mu.Lock()
+	for i, it := range m.Items {
+		if m.Kind != opGet {
+			results[i] = batchItemResp{Err: "replicas serve reads only"}
+			continue
+		}
+		p, b, ok := s.replicaBucketLocked(hashspace.HashString(it.Key))
+		if !ok {
+			results[i] = batchItemResp{Err: fmt.Sprintf("snode %d holds no replica for key %q", s.id, it.Key)}
+			continue
+		}
+		v, found := b[it.Key]
+		if !found && s.rprov[p] {
+			// The bucket was write-created and never full-synced: a
+			// missing key is unknown, not authoritatively absent.
+			results[i] = batchItemResp{Err: fmt.Sprintf("snode %d replica for key %q is provisional", s.id, it.Key)}
+			continue
+		}
+		results[i] = batchItemResp{Value: append([]byte(nil), v...), Found: found}
+		served++
+	}
+	s.mu.Unlock()
+	s.stats.FailoverReads.Add(served)
+	s.send(m.ReplyTo, batchResp{Op: m.Op, Results: results})
+}
+
+// replicaBucketLocked finds the deepest replica bucket covering h.
+// Caller holds s.mu.
+func (s *Snode) replicaBucketLocked(h hashspace.Index) (hashspace.Partition, map[string][]byte, bool) {
+	levels := make([]uint8, 0, len(s.rpartLvls))
+	for l := range s.rpartLvls {
+		levels = append(levels, l)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
+	for _, l := range levels {
+		p := hashspace.Containing(h, l)
+		if b, ok := s.rparts[p]; ok {
+			return p, b, true
+		}
+	}
+	return hashspace.Partition{}, nil, false
+}
+
+// --- primary-side fan-out ---
+
+// replicate synchronously applies a write set to its replica hosts, one
+// replWriteReq per (partition, host), all in parallel.  An unreachable
+// replica is recorded and skipped (the primary holds the data and
+// anti-entropy repairs the replica later); an error is returned only when
+// this snode is stopping, in which case the write must NOT be acknowledged
+// — the primary's copy dies with it.
+func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID) error {
+	type job struct {
+		p    hashspace.Partition
+		host transport.NodeID
+	}
+	var jobs []job
+	for p := range writes {
+		for _, host := range dests[p] {
+			jobs = append(jobs, job{p, host})
+		}
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	errs := make(chan error, len(jobs))
+	for _, j := range jobs {
+		go func(j job) {
+			// The send (not the wait) is serialized per destination so a
+			// concurrent full sync cannot be overtaken by a write it does
+			// not contain (see syncReplica).
+			_, err := s.rpcOrderedSend(j.host, func(op uint64) any {
+				return replWriteReq{Op: op, Partition: j.p, Kind: kind, Items: writes[j.p], ReplyTo: s.id}
+			})
+			errs <- err
+		}(j)
+	}
+	var stopping error
+	for range jobs {
+		if err := <-errs; err != nil {
+			select {
+			case <-s.stopCh:
+				stopping = err
+			default:
+				s.stats.ReplLagged.Add(1)
+			}
+		}
+	}
+	return stopping
+}
+
+// rpcOrderedSend is s.rpc with the send serialized through the
+// destination's replica-plane send mutex; the response wait happens
+// outside the mutex.
+func (s *Snode) rpcOrderedSend(to transport.NodeID, build func(op uint64) any) (any, error) {
+	op := s.opSeq.Add(1)
+	ch := make(chan any, 1)
+	s.pendMu.Lock()
+	s.pending[op] = ch
+	s.pendMu.Unlock()
+	defer func() {
+		s.pendMu.Lock()
+		delete(s.pending, op)
+		s.pendMu.Unlock()
+	}()
+	ord := s.sendOrdFor(to)
+	ord.Lock()
+	err := s.net.Send(transport.Envelope{From: s.id, To: to, Msg: build(op)})
+	ord.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-time.After(s.cfg.RPCTimeout):
+		return nil, fmt.Errorf("cluster: snode %d: rpc to %d timed out", s.id, to)
+	case <-s.stopCh:
+		return nil, fmt.Errorf("cluster: snode %d stopping", s.id)
+	}
+}
+
+// syncReplica ships the current bucket of an owned partition to one
+// replica host and waits for the ack.  The destination's send mutex is
+// held from before the snapshot copy until after the send, and every
+// replica write to that destination sends under the same mutex: a write
+// applied after the copy is therefore sent after the sync, so FIFO
+// delivery guarantees the full sync can never overwrite a newer
+// replicated write at the replica.  s.mu itself is released before the
+// send — a slow destination stalls only its own replica traffic, never
+// the data plane.  ok is false when the partition is no longer owned
+// here.
+func (s *Snode) syncReplica(p hashspace.Partition, host transport.NodeID) (ok bool, err error) {
+	op := s.opSeq.Add(1)
+	ch := make(chan any, 1)
+	s.pendMu.Lock()
+	s.pending[op] = ch
+	s.pendMu.Unlock()
+	defer func() {
+		s.pendMu.Lock()
+		delete(s.pending, op)
+		s.pendMu.Unlock()
+	}()
+	ord := s.sendOrdFor(host)
+	ord.Lock()
+	s.mu.Lock()
+	vs, p2, owned := s.ownsLocked(p.Start())
+	if !owned || p2 != p {
+		s.mu.Unlock()
+		ord.Unlock()
+		return false, nil
+	}
+	data := copyBucket(vs.parts[p])
+	s.mu.Unlock()
+	err = s.net.Send(transport.Envelope{From: s.id, To: host,
+		Msg: replSyncReq{Op: op, Partition: p, Data: data, ReplyTo: s.id}})
+	ord.Unlock()
+	if err != nil {
+		return true, err
+	}
+	select {
+	case v := <-ch:
+		if resp := v.(replSyncResp); resp.Err != "" {
+			return true, fmt.Errorf("cluster: replica sync at %d: %s", host, resp.Err)
+		}
+		return true, nil
+	case <-time.After(s.cfg.RPCTimeout):
+		return true, fmt.Errorf("cluster: replica sync to %d timed out", host)
+	case <-s.stopCh:
+		return true, fmt.Errorf("cluster: snode %d stopping", s.id)
+	}
+}
+
+// rehomeReplicas pushes full replica buckets for a freshly installed
+// partition to its (new) replica hosts, before the install is
+// acknowledged, so the transfer never shrinks the number of copies.
+// Best-effort: an unreachable replica host is left to anti-entropy.
+func (s *Snode) rehomeReplicas(p hashspace.Partition) {
+	s.mu.Lock()
+	hosts := s.replicaHostsLocked(p)
+	if len(hosts) > 0 {
+		s.placed[p] = hosts
+	}
+	s.mu.Unlock()
+	if len(hosts) == 0 {
+		return
+	}
+	done := make(chan struct{}, len(hosts))
+	for _, host := range hosts {
+		go func(host transport.NodeID) {
+			defer func() { done <- struct{}{} }()
+			if _, err := s.syncReplica(p, host); err != nil {
+				s.stats.ReplLagged.Add(1)
+			}
+		}(host)
+	}
+	for range hosts {
+		<-done
+	}
+}
+
+// dropOrphanReplicas tells the hosts that replicated p for this (old)
+// primary to discard their buckets, sparing any host the new primary's
+// placement still uses.  Fire-and-forget.
+func (s *Snode) dropOrphanReplicas(p hashspace.Partition, newPrimary transport.NodeID) {
+	if s.cfg.Replicas <= 1 {
+		return
+	}
+	s.mu.Lock()
+	old, tracked := s.placed[p]
+	if !tracked {
+		old = s.replicaHostsLocked(p)
+	}
+	delete(s.placed, p)
+	keep := make(map[transport.NodeID]bool)
+	for _, h := range replicaHostsFor(p, newPrimary, s.view, s.cfg.Replicas) {
+		keep[h] = true
+	}
+	s.mu.Unlock()
+	for _, host := range old {
+		if !keep[host] && host != newPrimary {
+			s.send(host, replDropMsg{Partitions: []hashspace.Partition{p}})
+		}
+	}
+}
+
+// --- anti-entropy ---
+
+// antiEntropyLoop periodically reconciles every owned partition with its
+// replica hosts.  Started by newSnode when replication is on.
+func (s *Snode) antiEntropyLoop() {
+	t := time.NewTicker(s.cfg.AntiEntropyInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			s.antiEntropyPass()
+			s.sweepStaleReplicas()
+		}
+	}
+}
+
+// sweepStaleReplicas retires replica buckets whose region has provably
+// moved to a deeper splitlevel.  Candidates are ancestors overlapped by a
+// deeper bucket at this host (the overlap proves the region is live and
+// locally reachable, so the validating lookup resolves fast); the routed
+// lookup makes the verdict exact — a region that still resolves at the
+// candidate's own level, or does not resolve at all (its primary may be
+// dead and this bucket its failover copy), is kept.
+func (s *Snode) sweepStaleReplicas() {
+	s.mu.Lock()
+	var cands []hashspace.Partition
+	for q := range s.rparts {
+		for q2 := range s.rparts {
+			if q2.Level > q.Level && overlapping(q, q2) {
+				cands = append(cands, q)
+				break
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, q := range cands {
+		select {
+		case <-s.stopCh:
+			return
+		default:
+		}
+		lr, err := s.resolveOwner(q.Start())
+		if err != nil {
+			continue
+		}
+		if lr.Partition.Level > q.Level {
+			s.mu.Lock()
+			s.delReplicaBucketLocked(q)
+			s.mu.Unlock()
+		}
+	}
+}
+
+// antiEntropyPass probes each replica of each owned partition with the
+// primary's digest and ships a full bucket on mismatch.  Divergence shows
+// up after crashes (a replica host died and placement moved), membership
+// changes (a new view re-homes replica sets) and partition splits (the
+// children need buckets at the new level).  The pass also reconciles
+// *placement*: hosts that dropped out of a partition's replica set since
+// the last pass are told to discard their now-orphaned buckets.
+func (s *Snode) antiEntropyPass() {
+	// Snapshot the current placement under one cheap lock pass (no
+	// hashing here, and no bookkeeping mutation yet — placement advances
+	// only for partitions whose replica set is confirmed below).
+	s.mu.Lock()
+	cur := make(map[hashspace.Partition][]transport.NodeID)
+	frozen := make(map[hashspace.Partition]bool)
+	for _, vs := range s.vnodes {
+		if !vs.joined {
+			continue
+		}
+		for p := range vs.parts {
+			// Frozen (mid-transfer) partitions stay in the snapshot so
+			// their placement record is not mistaken for a handover, but
+			// they are neither probed nor advanced this pass.
+			cur[p] = s.replicaHostsLocked(p)
+			if vs.frozen[p] {
+				frozen[p] = true
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	// Probe/repair every current replica.  synced[p] records that every
+	// host of p's placement holds a confirmed up-to-date bucket.
+	synced := make(map[hashspace.Partition]bool, len(cur))
+	for p, hosts := range cur {
+		if len(hosts) == 0 || frozen[p] {
+			continue
+		}
+		// Digest one bucket per lock acquisition so a large store never
+		// stalls the data plane for a whole scan; one digest serves every
+		// replica host of the partition.
+		s.mu.Lock()
+		vs, p2, owned := s.ownsLocked(p.Start())
+		if !owned || p2 != p {
+			s.mu.Unlock()
+			continue // moved or split since the snapshot; its new owner reconciles it
+		}
+		n, sum := bucketDigest(vs.parts[p])
+		s.mu.Unlock()
+		ok := true
+		for _, host := range hosts {
+			select {
+			case <-s.stopCh:
+				return
+			default:
+			}
+			v, err := s.rpc(host, func(op uint64) any {
+				return replProbeReq{Op: op, Partition: p, Count: n, Sum: sum, ReplyTo: s.id}
+			})
+			if err != nil {
+				s.stats.ReplLagged.Add(1)
+				ok = false
+				continue
+			}
+			if v.(replProbeResp).InSync {
+				continue
+			}
+			stillOwned, serr := s.syncReplica(p, host)
+			if !stillOwned {
+				ok = false
+				break
+			}
+			if serr != nil {
+				s.stats.ReplLagged.Add(1)
+				ok = false
+				continue
+			}
+			s.stats.ReplRepairs.Add(1)
+		}
+		synced[p] = ok
+	}
+
+	// Retire stale buckets only now, and only where the replacement set
+	// is confirmed: dropping before (or despite a failed) sync would open
+	// a window with the old copy gone and the new one not shipped, where
+	// a primary crash violates the R-copy guarantee.  Unconfirmed
+	// partitions keep their old `placed` record, so the move is retried —
+	// and the old copies retained — on the next pass.
+	drops := make(map[transport.NodeID][]hashspace.Partition)
+	s.mu.Lock()
+	for p, hosts := range cur {
+		if !synced[p] {
+			continue
+		}
+		inSet := make(map[transport.NodeID]bool, len(hosts))
+		for _, h := range hosts {
+			inSet[h] = true
+		}
+		for _, old := range s.placed[p] {
+			if !inSet[old] {
+				drops[old] = append(drops[old], p)
+			}
+		}
+		s.placed[p] = hosts
+	}
+	// Partitions that vanished from the owned set since the last pass
+	// split into children (handovers clean up their own bookkeeping in
+	// dropOrphanReplicas): once every child's replica set is confirmed,
+	// the parent-level buckets recorded for the old placement are pure
+	// leftovers and can go.
+	for p, hosts := range s.placed {
+		if _, owned := cur[p]; owned {
+			continue
+		}
+		covered, hasChild := true, false
+		for q := range cur {
+			if q.Level > p.Level && overlapping(p, q) {
+				hasChild = true
+				if !synced[q] {
+					covered = false
+					break
+				}
+			}
+		}
+		if hasChild && covered {
+			for _, h := range hosts {
+				drops[h] = append(drops[h], p)
+			}
+			delete(s.placed, p)
+		} else if !hasChild {
+			delete(s.placed, p) // handed over; the new primary tracks it now
+		}
+	}
+	s.mu.Unlock()
+	for host, ps := range drops {
+		s.send(host, replDropMsg{Partitions: ps})
+	}
+}
+
+// replicaPartitions lists the partitions this snode currently backs as a
+// replica, sorted — introspection for tests and status.
+func (s *Snode) replicaPartitions() []hashspace.Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]hashspace.Partition, 0, len(s.rparts))
+	for p := range s.rparts {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].Prefix < out[j].Prefix
+	})
+	return out
+}

@@ -1,0 +1,540 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/hashspace"
+)
+
+// newReplicatedCluster boots a cluster with R-way replication and a fast
+// anti-entropy cadence suited to tests.
+func newReplicatedCluster(t *testing.T, net transport.Network, snodes, r int, seed int64) *Cluster {
+	t.Helper()
+	// RPCTimeout is deliberately short: an envelope in flight to an snode
+	// at the instant it crashes is dropped, and the sender should give up
+	// (and fail over) quickly.
+	c, err := New(Config{
+		Pmin: 32, Vmin: 8, Seed: seed, RPCTimeout: 5 * time.Second,
+		Replicas: r, AntiEntropyInterval: 25 * time.Millisecond,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < snodes; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestReplicaPlacement(t *testing.T) {
+	view := []transport.NodeID{1, 2, 3, 4}
+	p := hashspace.Partition{Prefix: 5, Level: 4}
+	hosts := replicaHostsFor(p, 2, view, 3)
+	if len(hosts) != 2 {
+		t.Fatalf("R=3 placement over 4 snodes = %v, want 2 hosts", hosts)
+	}
+	seen := map[transport.NodeID]bool{}
+	for _, h := range hosts {
+		if h == 2 {
+			t.Fatalf("placement %v includes the primary", hosts)
+		}
+		if seen[h] {
+			t.Fatalf("placement %v repeats a host", hosts)
+		}
+		seen[h] = true
+	}
+	// Deterministic: same inputs, same placement.
+	again := replicaHostsFor(p, 2, view, 3)
+	for i := range hosts {
+		if hosts[i] != again[i] {
+			t.Fatalf("placement not deterministic: %v vs %v", hosts, again)
+		}
+	}
+	// Degraded modes: more replicas than candidates, no candidates, R=1.
+	if got := replicaHostsFor(p, 2, view, 16); len(got) != 3 {
+		t.Fatalf("oversized R should use every other host, got %v", got)
+	}
+	if got := replicaHostsFor(p, 7, []transport.NodeID{7}, 2); got != nil {
+		t.Fatalf("single-snode view must place no replicas, got %v", got)
+	}
+	if got := replicaHostsFor(p, 2, view, 1); got != nil {
+		t.Fatalf("R=1 must place no replicas, got %v", got)
+	}
+}
+
+// replicasConverged reports whether every owned, unfrozen partition has
+// digest-matching buckets at each of its placed replica hosts.
+func replicasConverged(c *Cluster) bool {
+	c.mu.Lock()
+	byID := make(map[transport.NodeID]*Snode, len(c.snodes))
+	snodes := make([]*Snode, 0, len(c.snodes))
+	for _, id := range c.order {
+		byID[id] = c.snodes[id]
+		snodes = append(snodes, c.snodes[id])
+	}
+	c.mu.Unlock()
+	type want struct {
+		p     hashspace.Partition
+		host  transport.NodeID
+		count int
+		sum   uint64
+	}
+	var wants []want
+	for _, s := range snodes {
+		s.mu.Lock()
+		for _, vs := range s.vnodes {
+			if !vs.joined {
+				continue
+			}
+			for p, b := range vs.parts {
+				if vs.frozen[p] {
+					continue
+				}
+				n, sum := bucketDigest(b)
+				for _, host := range s.replicaHostsLocked(p) {
+					wants = append(wants, want{p, host, n, sum})
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	for _, w := range wants {
+		r, ok := byID[w.host]
+		if !ok {
+			return false
+		}
+		r.mu.Lock()
+		b, ok := r.rparts[w.p]
+		var n int
+		var sum uint64
+		if ok {
+			n, sum = bucketDigest(b)
+		}
+		r.mu.Unlock()
+		if !ok || n != w.count || sum != w.sum {
+			return false
+		}
+	}
+	return true
+}
+
+func waitConverged(t *testing.T, c *Cluster) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !replicasConverged(c) {
+		if time.Now().After(deadline) {
+			t.Fatal("replicas did not converge with their primaries")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestReplicatedRoundTrip checks the R=2 write path end to end: puts and
+// deletes reach the replica buckets, and the replica set converges with
+// the primaries' digests.
+func TestReplicatedRoundTrip(t *testing.T) {
+	c := newReplicatedCluster(t, transport.NewMem(), 4, 2, 31)
+	growCluster(t, c, 12)
+	keys, items := batchKeys(256)
+	results, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Fatalf("MPut %q: %s", r.Key, r.Err)
+		}
+	}
+	if _, err := c.MDelete(keys[:64]); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, c)
+	st := c.StatsTotal()
+	if st.ReplWrites == 0 {
+		t.Fatal("replicated writes left ReplWrites at zero")
+	}
+	// The deleted keys are gone from the replicas too: kill any snode and
+	// read through whatever path survives.
+	victim := c.Snodes()[2]
+	if err := c.KillSnode(victim); err != nil {
+		t.Fatal(err)
+	}
+	results, err = c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("MGet %q after crash: %s", r.Key, r.Err)
+		}
+		if i < 64 && r.Found {
+			t.Fatalf("deleted key %q resurrected after crash", r.Key)
+		}
+		if i >= 64 && !r.Found {
+			t.Fatalf("acknowledged key %q lost after crash", r.Key)
+		}
+	}
+}
+
+// runCrashWorkload drives the acceptance scenario on any fabric: with
+// R=2, write under load, kill one snode mid-workload, and require every
+// acknowledged key to still be readable.
+func runCrashWorkload(t *testing.T, c *Cluster, vnodes, preload int) {
+	growCluster(t, c, vnodes)
+	keys, items := batchKeys(preload)
+	results, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make(map[string]string) // key → expected value
+	var ackedMu sync.Mutex
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("preload MPut %q: %s", r.Key, r.Err)
+		}
+		acked[keys[i]] = string(items[i].Value)
+	}
+
+	// Writer goroutine: keeps batching new keys while the crash happens;
+	// only acknowledged results count.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]KV, 32)
+			for j := range batch {
+				k := fmt.Sprintf("live-%04d-%02d", round, j)
+				batch[j] = KV{Key: k, Value: []byte("v-" + k)}
+			}
+			res, err := c.MPut(batch)
+			if err != nil {
+				continue // cluster-level hiccup: nothing acknowledged
+			}
+			ackedMu.Lock()
+			for _, r := range res {
+				if r.OK() {
+					acked[r.Key] = "v-" + r.Key
+				}
+			}
+			ackedMu.Unlock()
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // let the writer overlap the crash
+	victim := c.Snodes()[1]
+	if err := c.KillSnode(victim); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // keep writing into the degraded cluster
+	close(stop)
+	wg.Wait()
+
+	ackedKeys := make([]string, 0, len(acked))
+	for k := range acked {
+		ackedKeys = append(ackedKeys, k)
+	}
+	res, err := c.MGet(ackedKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for _, r := range res {
+		if !r.OK() || !r.Found || string(r.Value) != acked[r.Key] {
+			lost++
+			if lost <= 5 {
+				t.Errorf("acknowledged key %q unreadable after crash: %+v", r.Key, r)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("lost %d of %d acknowledged keys after killing snode %d", lost, len(ackedKeys), victim)
+	}
+	if st := c.StatsTotal(); st.FailoverReads == 0 {
+		t.Fatal("no read was served from a replica — the crash scenario did not exercise failover")
+	}
+}
+
+func TestCrashFailoverMem(t *testing.T) {
+	c := newReplicatedCluster(t, transport.NewMem(), 6, 2, 32)
+	runCrashWorkload(t, c, 16, 512)
+}
+
+func TestCrashFailoverTCP(t *testing.T) {
+	c := newReplicatedCluster(t, transport.NewTCP("127.0.0.1"), 4, 2, 33)
+	runCrashWorkload(t, c, 8, 128)
+}
+
+// TestAntiEntropyRehomesAfterCrash kills a replica-holding snode and
+// expects the background pass to re-establish R copies on the shrunken
+// view, so a *second* crash (of a primary) still loses no reads.
+func TestAntiEntropyRehomesAfterCrash(t *testing.T) {
+	c := newReplicatedCluster(t, transport.NewMem(), 5, 2, 34)
+	growCluster(t, c, 12)
+	keys, items := batchKeys(300)
+	results, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Fatalf("MPut %q: %s", r.Key, r.Err)
+		}
+	}
+	waitConverged(t, c)
+	if err := c.KillSnode(c.Snodes()[3]); err != nil {
+		t.Fatal(err)
+	}
+	// The survivors converge on the new placement: every partition backed
+	// by the dead snode gets a fresh replica elsewhere.
+	waitConverged(t, c)
+	if st := c.StatsTotal(); st.ReplRepairs == 0 {
+		t.Fatal("anti-entropy repaired nothing after a replica host crashed")
+	}
+	// Keys under a live primary at this point are at R copies again; the
+	// first victim's own partitions are down to their single replica (R=2
+	// tolerates one failure per partition) and are excluded from the
+	// strict post-second-crash check.
+	snap := c.Snapshot()
+	live := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		h := hashspace.HashString(k)
+		for _, v := range snap.Vnodes {
+			for _, p := range v.Partitions {
+				if p.Contains(h) {
+					live[k] = true
+				}
+			}
+		}
+	}
+	if len(live) == 0 || len(live) == len(keys) {
+		t.Fatalf("test setup: %d of %d keys under live primaries, want a strict subset", len(live), len(keys))
+	}
+	// Second crash, this time losing primaries: reads of re-replicated
+	// keys must fail over to the re-homed replicas.  Refresh the handle's
+	// replica routes first (they may predate the first crash).
+	if _, err := c.MGet(keys); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillSnode(c.Snodes()[1]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !live[keys[i]] {
+			continue
+		}
+		if !r.OK() || !r.Found {
+			t.Fatalf("MGet %q (re-replicated) after second crash = %+v", keys[i], r)
+		}
+	}
+}
+
+// TestAntiEntropyDropsOrphanedReplicas grows the cluster (a membership
+// change shifts nearly every partition's replica placement) and expects
+// the reconciliation machinery to discard the stranded buckets: any
+// live-partition bucket at a host outside the partition's placement
+// (placement drops), and any ancestor bucket shadowed by a deeper bucket
+// at the same host (the stale-replica sweep).  Ancestor leftovers with
+// no local deeper overlap are tolerated — they are bounded garbage the
+// sweep deliberately leaves rather than risk dropping a dead primary's
+// failover copy.
+func TestAntiEntropyDropsOrphanedReplicas(t *testing.T) {
+	c := newReplicatedCluster(t, transport.NewMem(), 3, 2, 37)
+	growCluster(t, c, 8)
+	_, items := batchKeys(200)
+	if _, err := c.MPut(items); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, c)
+	if _, err := c.AddSnode(); err != nil {
+		t.Fatal(err)
+	}
+	noOrphans := func() bool {
+		c.mu.Lock()
+		snodes := make([]*Snode, 0, len(c.snodes))
+		for _, id := range c.order {
+			snodes = append(snodes, c.snodes[id])
+		}
+		c.mu.Unlock()
+		expected := make(map[transport.NodeID]map[hashspace.Partition]bool)
+		live := make(map[hashspace.Partition]bool)
+		for _, s := range snodes {
+			s.mu.Lock()
+			for _, vs := range s.vnodes {
+				if !vs.joined {
+					continue
+				}
+				for p := range vs.parts {
+					live[p] = true
+					for _, host := range s.replicaHostsLocked(p) {
+						if expected[host] == nil {
+							expected[host] = make(map[hashspace.Partition]bool)
+						}
+						expected[host][p] = true
+					}
+				}
+			}
+			s.mu.Unlock()
+		}
+		for _, s := range snodes {
+			held := s.replicaPartitions()
+			for _, p := range held {
+				if live[p] && !expected[s.id][p] {
+					return false // live partition replicated at a host outside its placement
+				}
+				if !live[p] {
+					for _, q := range held {
+						if q.Level > p.Level && overlapping(p, q) {
+							return false // stale ancestor the sweep should have retired
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for !noOrphans() || !replicasConverged(c) {
+		if time.Now().After(deadline) {
+			c.mu.Lock()
+			for id, s := range c.snodes {
+				t.Logf("snode %d replica partitions: %v", id, s.replicaPartitions())
+			}
+			c.mu.Unlock()
+			t.Fatal("orphaned replica buckets were not dropped after the membership change")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestBatchFrozenPartitionDeadline is the regression test for the frozen
+// retry loop: a partition stuck mid-transfer must fail batch writes with
+// a per-key error once FreezeTimeout passes, not spin forever.
+func TestBatchFrozenPartitionDeadline(t *testing.T) {
+	c, err := New(Config{
+		Pmin: 32, Vmin: 8, Seed: 35, RPCTimeout: 20 * time.Second,
+		FreezeTimeout: 100 * time.Millisecond,
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	growCluster(t, c, 8)
+	const key = "freeze-me"
+	if err := c.Put(key, []byte("v0")); err != nil {
+		t.Fatal(err)
+	}
+	// Wedge the owning partition as a stuck transfer would.
+	freeze := func(on bool) {
+		h := hashspace.HashString(key)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, s := range c.snodes {
+			s.mu.Lock()
+			if vs, p, ok := s.ownsLocked(h); ok {
+				if on {
+					vs.frozen[p] = true
+				} else {
+					delete(vs.frozen, p)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+	freeze(true)
+	start := time.Now()
+	results, err := c.MPut([]KV{{Key: key, Value: []byte("v1")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].OK() || !strings.Contains(results[0].Err, "frozen") {
+		t.Fatalf("write to frozen partition = %+v, want a frozen per-key error", results[0])
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond || elapsed > 10*time.Second {
+		t.Fatalf("frozen write surfaced after %v, want ≈FreezeTimeout", elapsed)
+	}
+	// Reads are never blocked by a freeze, and the value is untouched.
+	if res, err := c.MGet([]string{key}); err != nil || !res[0].OK() || string(res[0].Value) != "v0" {
+		t.Fatalf("MGet during freeze = %+v, %v", res, err)
+	}
+	freeze(false)
+	results, err = c.MPut([]KV{{Key: key, Value: []byte("v2")}})
+	if err != nil || !results[0].OK() {
+		t.Fatalf("MPut after thaw = %+v, %v", results, err)
+	}
+}
+
+// TestMBatchRetriesStaleRoutes is the regression test for stale owner
+// routes: a cached owner that left the cluster must be invalidated on the
+// first RPC error and the affected sub-batch re-resolved through the
+// normal lookup path, succeeding without per-key errors.
+func TestMBatchRetriesStaleRoutes(t *testing.T) {
+	c := newTestCluster(t, 32, 8, 4, 36)
+	growCluster(t, c, 16)
+	keys, items := batchKeys(128)
+	if _, err := c.MPut(items); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MGet(keys); err != nil { // warm the route cache
+		t.Fatal(err)
+	}
+	victim := c.Snodes()[1]
+	// Snapshot the routes aimed at the victim, then remove it gracefully
+	// (which migrates its data and drops those routes) and re-inject the
+	// now-stale entries, simulating a handle that raced the departure.
+	c.routeMu.Lock()
+	var stale []routeEntry
+	for p, rt := range c.routes {
+		if rt.ref.Host == victim {
+			stale = append(stale, routeEntry{Partition: p, Ref: rt.ref})
+		}
+	}
+	c.routeMu.Unlock()
+	if len(stale) == 0 {
+		t.Fatal("test setup: no cached routes point at the victim")
+	}
+	if err := c.RemoveSnode(victim); err != nil {
+		t.Fatal(err)
+	}
+	c.learnRoutes(stale)
+	res, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.OK() || !r.Found || string(r.Value) != fmt.Sprintf("batch-val-%04d", i) {
+			t.Fatalf("MGet %q through stale route = %+v", keys[i], r)
+		}
+	}
+	// The stale routes were invalidated, not just worked around.
+	c.routeMu.Lock()
+	for p, rt := range c.routes {
+		if rt.ref.Host == victim {
+			t.Errorf("route %v still aims at removed snode %d", p, victim)
+		}
+	}
+	c.routeMu.Unlock()
+}

@@ -27,6 +27,18 @@ type Config struct {
 	MaxHops int
 	// Seed derives each snode's private RNG.
 	Seed int64
+	// Replicas is R, the number of copies of every partition (primary
+	// included).  1 (the default) disables replication, matching the
+	// paper's failure-free model; R ≥ 2 keeps R−1 replica buckets on
+	// other snodes and survives abrupt single-snode crashes for reads.
+	Replicas int
+	// AntiEntropyInterval paces the background replica reconciliation
+	// pass (default 1s; only runs when Replicas > 1).
+	AntiEntropyInterval time.Duration
+	// FreezeTimeout bounds how long a batch write waits for a frozen
+	// (mid-transfer) partition to settle before failing per key
+	// (default 5s).
+	FreezeTimeout time.Duration
 	// Transfer selects the victim-partition policy.  §2.5 step 4a says
 	// "choose a victim partition" without fixing the choice; the policy is
 	// invisible to balancement quality (all partitions in a scope have the
@@ -59,6 +71,18 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxHops == 0 {
 		c.MaxHops = 512
 	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Replicas < 1 {
+		return c, fmt.Errorf("cluster: Replicas must be ≥ 1, got %d", c.Replicas)
+	}
+	if c.AntiEntropyInterval == 0 {
+		c.AntiEntropyInterval = time.Second
+	}
+	if c.FreezeTimeout == 0 {
+		c.FreezeTimeout = 5 * time.Second
+	}
 	return c, nil
 }
 
@@ -79,6 +103,10 @@ type Stats struct {
 	DataOps        atomic.Int64
 	Requeues       atomic.Int64
 	Batches        atomic.Int64
+	ReplWrites     atomic.Int64 // write operations applied to replica buckets
+	ReplRepairs    atomic.Int64 // buckets shipped by anti-entropy repair
+	ReplLagged     atomic.Int64 // replica exchanges that failed (lagging replica)
+	FailoverReads  atomic.Int64 // reads served from the replica store
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -86,6 +114,8 @@ type StatsSnapshot struct {
 	MsgsIn, Forwards, PartitionsSent, KeysMoved int64
 	SplitAlls, GroupSplits, JoinsLed, LeavesLed int64
 	DataOps, Requeues, Batches                  int64
+	ReplWrites, ReplRepairs, ReplLagged         int64
+	FailoverReads                               int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -95,7 +125,9 @@ func (s *Stats) snapshot() StatsSnapshot {
 		SplitAlls: s.SplitAlls.Load(), GroupSplits: s.GroupSplits.Load(),
 		JoinsLed: s.JoinsLed.Load(), LeavesLed: s.LeavesLed.Load(),
 		DataOps: s.DataOps.Load(), Requeues: s.Requeues.Load(),
-		Batches: s.Batches.Load(),
+		Batches:    s.Batches.Load(),
+		ReplWrites: s.ReplWrites.Load(), ReplRepairs: s.ReplRepairs.Load(),
+		ReplLagged: s.ReplLagged.Load(), FailoverReads: s.FailoverReads.Load(),
 	}
 }
 
@@ -135,6 +167,18 @@ type Snode struct {
 	hasBoot   bool
 	replicas  map[core.GroupID]*lpdrState
 	led       map[core.GroupID]*ledGroup
+	view      []transport.NodeID                        // sorted DHT membership (replica placement)
+	viewEpoch uint64                                    // highest membership epoch seen
+	rparts    map[hashspace.Partition]map[string][]byte // replica buckets backed for other primaries
+	rpartLvls map[uint8]int
+	rprov     map[hashspace.Partition]bool               // replica buckets not yet full-synced (write-created)
+	placed    map[hashspace.Partition][]transport.NodeID // replica hosts last reconciled per owned partition
+
+	// sendOrd serializes replica-plane sends per destination, so a full
+	// sync and the writes racing it reach a replica in an order
+	// consistent with the primary's apply order (see syncReplica).
+	sendOrdMu sync.Mutex
+	sendOrd   map[transport.NodeID]*sync.Mutex
 
 	pendMu  sync.Mutex
 	pending map[uint64]chan any
@@ -166,11 +210,19 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		cacheLvls: make(map[uint8]int),
 		replicas:  make(map[core.GroupID]*lpdrState),
 		led:       make(map[core.GroupID]*ledGroup),
+		rparts:    make(map[hashspace.Partition]map[string][]byte),
+		rpartLvls: make(map[uint8]int),
+		rprov:     make(map[hashspace.Partition]bool),
+		placed:    make(map[hashspace.Partition][]transport.NodeID),
+		sendOrd:   make(map[transport.NodeID]*sync.Mutex),
 		pending:   make(map[uint64]chan any),
 		stopCh:    make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	go s.loop()
+	if cfg.Replicas > 1 {
+		go s.antiEntropyLoop()
+	}
 	return s, nil
 }
 
@@ -283,16 +335,8 @@ func (s *Snode) loop() {
 			s.deliver(m.Op, m)
 		case createVnodeResp:
 			s.deliver(m.Op, m)
-		case dataResp:
-			s.deliver(m.Op, m)
 		case lookupReq:
 			s.handleLookup(m)
-		case putReq:
-			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, m.Value, opPut, m.Hops, env.Msg)
-		case getReq:
-			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, nil, opGet, m.Hops, env.Msg)
-		case delReq:
-			s.handleData(env.From, m.Op, m.ReplyTo, m.Key, nil, opDel, m.Hops, env.Msg)
 		case batchReq:
 			go s.handleBatch(m)
 		case batchResp:
@@ -322,6 +366,22 @@ func (s *Snode) loop() {
 			s.mu.Unlock()
 		case snodeLeavingMsg:
 			s.handleSnodeLeaving(m)
+		case viewUpdate:
+			s.handleViewUpdate(m)
+		case replWriteReq:
+			s.handleReplWrite(m)
+		case replWriteResp:
+			s.deliver(m.Op, m)
+		case replProbeReq:
+			s.handleReplProbe(m)
+		case replProbeResp:
+			s.deliver(m.Op, m)
+		case replSyncReq:
+			s.handleReplSync(m)
+		case replSyncResp:
+			s.deliver(m.Op, m)
+		case replDropMsg:
+			s.handleReplDrop(m)
 		case pingReq:
 			s.send(m.ReplyTo, pingResp{Op: m.Op})
 		}
@@ -361,18 +421,19 @@ func (s *Snode) forwardTargetLocked(h hashspace.Index, useCache bool) (ownerRef,
 }
 
 // probeLevels finds the deepest entry of a partition-keyed map covering h.
-func probeLevels(h hashspace.Index, m map[hashspace.Partition]ownerRef, lvls map[uint8]int) (ownerRef, bool) {
+func probeLevels[V any](h hashspace.Index, m map[hashspace.Partition]V, lvls map[uint8]int) (V, bool) {
 	levels := make([]uint8, 0, len(lvls))
 	for l := range lvls {
 		levels = append(levels, l)
 	}
 	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
 	for _, l := range levels {
-		if ref, ok := m[hashspace.Containing(h, l)]; ok {
-			return ref, true
+		if v, ok := m[hashspace.Containing(h, l)]; ok {
+			return v, true
 		}
 	}
-	return ownerRef{}, false
+	var zero V
+	return zero, false
 }
 
 // setTomb records a custody pointer, replacing any coverage at other levels
@@ -458,66 +519,6 @@ const (
 	opPut
 	opDel
 )
-
-// handleData serves or forwards a data-plane operation.
-func (s *Snode) handleData(from transport.NodeID, op uint64, replyTo transport.NodeID, key string, value []byte, kind dataOp, hops int, raw any) {
-	h := hashspace.HashString(key)
-	s.mu.Lock()
-	if vs, p, ok := s.ownsLocked(h); ok {
-		if vs.frozen[p] && kind != opGet {
-			// Partition mid-transfer: writes must wait for the new owner.
-			s.mu.Unlock()
-			s.stats.Requeues.Add(1)
-			go func() {
-				time.Sleep(200 * time.Microsecond)
-				s.send(s.id, raw)
-			}()
-			return
-		}
-		s.stats.DataOps.Add(1)
-		var resp dataResp
-		bucket := vs.parts[p]
-		switch kind {
-		case opGet:
-			v, found := bucket[key]
-			resp = dataResp{Op: op, Value: append([]byte(nil), v...), Found: found}
-		case opPut:
-			bucket[key] = append([]byte(nil), value...)
-			resp = dataResp{Op: op, Found: true}
-		case opDel:
-			_, found := bucket[key]
-			delete(bucket, key)
-			resp = dataResp{Op: op, Found: found}
-		}
-		s.mu.Unlock()
-		s.send(replyTo, resp)
-		return
-	}
-	if hops >= s.cfg.MaxHops {
-		s.mu.Unlock()
-		s.send(replyTo, dataResp{Op: op, Err: fmt.Sprintf("data op exceeded %d hops", hops)})
-		return
-	}
-	ref, ok := s.forwardTargetLocked(h, hops == 0)
-	s.mu.Unlock()
-	if !ok {
-		s.send(replyTo, dataResp{Op: op, Err: "no route: empty DHT view"})
-		return
-	}
-	s.stats.Forwards.Add(1)
-	switch m := raw.(type) {
-	case putReq:
-		m.Hops = hops + 1
-		s.send(ref.Host, m)
-	case getReq:
-		m.Hops = hops + 1
-		s.send(ref.Host, m)
-	case delReq:
-		m.Hops = hops + 1
-		s.send(ref.Host, m)
-	}
-	_ = from
-}
 
 // handleSplitAll performs the scope-wide binary split on this host's
 // vnodes of the group: every partition splits in two and stored keys are
@@ -621,6 +622,7 @@ func (s *Snode) handleTransfer(m transferReq) {
 	delete(vs.frozen, p)
 	s.setTombLocked(p, ownerRef{Vnode: m.To, Host: m.ToHost})
 	s.mu.Unlock()
+	s.dropOrphanReplicas(p, m.ToHost)
 	s.stats.PartitionsSent.Add(1)
 	s.stats.KeysMoved.Add(int64(keys))
 	s.send(m.ReplyTo, transferResp{Op: m.Op, Partition: p, Keys: keys})
@@ -671,9 +673,16 @@ func (s *Snode) handleInstall(m partitionData) {
 	vs.parts[m.Partition] = data
 	vs.level = m.Level
 	vs.group = m.Group
-	// Owning again supersedes any old custody pointer for this region.
+	// Owning again supersedes any old custody pointer for this region,
+	// and any replica bucket we held for the previous primary.
 	s.delTombLocked(m.Partition)
+	s.dropReplicaWithinLocked(m.Partition)
 	s.mu.Unlock()
+	// Re-home the replica set with the primary before acknowledging, so
+	// the handover never shrinks the number of copies.
+	if s.cfg.Replicas > 1 {
+		s.rehomeReplicas(m.Partition)
+	}
 	s.send(m.ReplyTo, partitionAck{Op: m.Op})
 }
 
@@ -721,6 +730,7 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 		delete(vs.frozen, p)
 		s.setTombLocked(p, dest)
 		s.mu.Unlock()
+		s.dropOrphanReplicas(p, dest.Host)
 		s.stats.PartitionsSent.Add(1)
 		s.stats.KeysMoved.Add(int64(keys))
 	}

@@ -377,6 +377,7 @@ type StatusResponse struct {
 	Vnodes        []VnodeStatus         `json:"vnodes"`
 	Groups        int                   `json:"groups"`
 	Keys          int                   `json:"keys"`
+	Replicas      int                   `json:"replicas"` // configured copies per partition (R)
 	SigmaQv       float64               `json:"sigma_qv"` // σ̄(Q_v), fraction
 	Stats         cluster.StatsSnapshot `json:"stats"`
 	UptimeSeconds float64               `json:"uptime_seconds"`
@@ -392,6 +393,7 @@ func (s *Server) buildStatus() StatusResponse {
 	resp := StatusResponse{
 		Snodes:        []SnodeStatus{},
 		Vnodes:        make([]VnodeStatus, 0, len(snap.Vnodes)),
+		Replicas:      s.c.ReplicationFactor(),
 		Stats:         s.c.StatsTotal(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
@@ -462,6 +464,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("dbdht_vnodes", "enrolled vnodes", float64(len(st.Vnodes))),
 		gauge("dbdht_groups", "balancement groups", float64(st.Groups)),
 		gauge("dbdht_keys", "stored keys", float64(st.Keys)),
+		gauge("dbdht_replication_factor", "configured copies per partition (R)", float64(st.Replicas)),
 		gauge("dbdht_balance_sigma_qv", "relative stddev of vnode quotas (fraction)", st.SigmaQv),
 		gauge("dbdht_uptime_seconds", "server uptime", st.UptimeSeconds),
 		keysPerSnode,
@@ -477,6 +480,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("dbdht_data_ops_total", "data operations applied", st.Stats.DataOps),
 		counter("dbdht_requeues_total", "operations requeued on frozen partitions", st.Stats.Requeues),
 		counter("dbdht_batches_total", "batch requests handled", st.Stats.Batches),
+		counter("dbdht_repl_writes_total", "writes applied to replica buckets", st.Stats.ReplWrites),
+		counter("dbdht_repl_repairs_total", "replica buckets repaired by anti-entropy", st.Stats.ReplRepairs),
+		counter("dbdht_repl_lagged_total", "failed replica exchanges (replication lag)", st.Stats.ReplLagged),
+		counter("dbdht_failover_reads_total", "reads served from replica buckets", st.Stats.FailoverReads),
 		httpReqs,
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")

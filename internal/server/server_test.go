@@ -2,6 +2,7 @@ package server_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,10 @@ import (
 	"dbdht/internal/cluster/transport"
 	"dbdht/internal/server"
 )
+
+// ctx is the background context the client calls run under; per-request
+// deadlines come from the client's own timeout.
+var ctx = context.Background()
 
 // boot starts an in-memory cluster with the given shape and serves its API
 // from an httptest server.
@@ -45,18 +50,18 @@ func TestEndToEndRoundTrip(t *testing.T) {
 	_, ts := boot(t, 4, 16)
 	cl := client.New(ts.URL)
 
-	if err := cl.Put("alpha", []byte("one")); err != nil {
+	if err := cl.Put(ctx, "alpha", []byte("one")); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	if err := cl.Put("beta", []byte("two")); err != nil {
+	if err := cl.Put(ctx, "beta", []byte("two")); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	v, found, err := cl.Get("alpha")
+	v, found, err := cl.Get(ctx, "alpha")
 	if err != nil || !found || string(v) != "one" {
 		t.Fatalf("get alpha = %q, %v, %v; want \"one\", true, nil", v, found, err)
 	}
 
-	results, err := cl.MGet([]string{"alpha", "beta", "missing"})
+	results, err := cl.MGet(ctx, []string{"alpha", "beta", "missing"})
 	if err != nil {
 		t.Fatalf("batch get: %v", err)
 	}
@@ -73,15 +78,15 @@ func TestEndToEndRoundTrip(t *testing.T) {
 		t.Fatalf("batch get missing = %+v", results[2])
 	}
 
-	found, err = cl.Delete("alpha")
+	found, err = cl.Delete(ctx, "alpha")
 	if err != nil || !found {
 		t.Fatalf("delete alpha = %v, %v; want true, nil", found, err)
 	}
-	if _, found, _ = cl.Get("alpha"); found {
+	if _, found, _ = cl.Get(ctx, "alpha"); found {
 		t.Fatal("alpha still present after delete")
 	}
 
-	text, err := cl.Metrics()
+	text, err := cl.Metrics(ctx)
 	if err != nil {
 		t.Fatalf("metrics: %v", err)
 	}
@@ -110,7 +115,7 @@ func TestBatchPutDeleteOverHTTP(t *testing.T) {
 		keys[i] = fmt.Sprintf("key-%03d", i)
 		items[i] = client.Item{Key: keys[i], Value: []byte(fmt.Sprintf("val-%03d", i))}
 	}
-	results, err := cl.MPut(items)
+	results, err := cl.MPut(ctx, items)
 	if err != nil {
 		t.Fatalf("batch put: %v", err)
 	}
@@ -119,7 +124,7 @@ func TestBatchPutDeleteOverHTTP(t *testing.T) {
 			t.Fatalf("batch put %q failed: %s", r.Key, r.Error)
 		}
 	}
-	results, err = cl.MGet(keys)
+	results, err = cl.MGet(ctx, keys)
 	if err != nil {
 		t.Fatalf("batch get: %v", err)
 	}
@@ -128,7 +133,7 @@ func TestBatchPutDeleteOverHTTP(t *testing.T) {
 			t.Fatalf("batch get %q = %+v", keys[i], r)
 		}
 	}
-	results, err = cl.MDelete(keys)
+	results, err = cl.MDelete(ctx, keys)
 	if err != nil {
 		t.Fatalf("batch delete: %v", err)
 	}
@@ -137,7 +142,7 @@ func TestBatchPutDeleteOverHTTP(t *testing.T) {
 			t.Fatalf("batch delete %q = %+v", r.Key, r)
 		}
 	}
-	st, err := cl.Status()
+	st, err := cl.Status(ctx)
 	if err != nil {
 		t.Fatalf("status: %v", err)
 	}
@@ -153,14 +158,14 @@ func TestAdminPlane(t *testing.T) {
 	c, ts := boot(t, 2, 4)
 	cl := client.New(ts.URL)
 
-	id, err := cl.AddSnode()
+	id, err := cl.AddSnode(ctx)
 	if err != nil {
 		t.Fatalf("add snode: %v", err)
 	}
 	if got := len(c.Snodes()); got != 3 {
 		t.Fatalf("cluster has %d snodes after add, want 3", got)
 	}
-	vnode, group, err := cl.CreateVnode(id)
+	vnode, group, err := cl.CreateVnode(ctx, id)
 	if err != nil {
 		t.Fatalf("create vnode: %v", err)
 	}
@@ -168,20 +173,20 @@ func TestAdminPlane(t *testing.T) {
 		t.Fatalf("create vnode returned %q/%q", vnode, group)
 	}
 	// Server-side placement (snode 0 = pick least loaded).
-	if _, _, err := cl.CreateVnode(0); err != nil {
+	if _, _, err := cl.CreateVnode(ctx, 0); err != nil {
 		t.Fatalf("create vnode (auto): %v", err)
 	}
-	hosted, err := cl.SetEnrollment(id, 4)
+	hosted, err := cl.SetEnrollment(ctx, id, 4)
 	if err != nil || hosted != 4 {
 		t.Fatalf("set enrollment = %d, %v; want 4, nil", hosted, err)
 	}
-	if err := cl.RemoveSnode(id); err != nil {
+	if err := cl.RemoveSnode(ctx, id); err != nil {
 		t.Fatalf("remove snode: %v", err)
 	}
 	if got := len(c.Snodes()); got != 2 {
 		t.Fatalf("cluster has %d snodes after remove, want 2", got)
 	}
-	st, err := cl.Status()
+	st, err := cl.Status(ctx)
 	if err != nil {
 		t.Fatalf("status: %v", err)
 	}
@@ -243,10 +248,10 @@ func TestKeysWithSlashes(t *testing.T) {
 	_, ts := boot(t, 1, 2)
 	cl := client.New(ts.URL)
 	key := "users/42/profile"
-	if err := cl.Put(key, []byte("p")); err != nil {
+	if err := cl.Put(ctx, key, []byte("p")); err != nil {
 		t.Fatalf("put: %v", err)
 	}
-	v, found, err := cl.Get(key)
+	v, found, err := cl.Get(ctx, key)
 	if err != nil || !found || string(v) != "p" {
 		t.Fatalf("get %q = %q, %v, %v", key, v, found, err)
 	}
