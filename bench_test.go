@@ -185,6 +185,61 @@ func benchClusterR(b *testing.B, replicas int) *dbdht.Cluster {
 	return c
 }
 
+// benchClusterTCPR is benchClusterR over the real TCP fabric on loopback:
+// every protocol message is framed, encoded and sent through the kernel's
+// network stack, so encode cost and per-connection serialization show up.
+func benchClusterTCPR(b *testing.B, replicas int) *dbdht.Cluster {
+	b.Helper()
+	c, err := dbdht.NewClusterTCP(dbdht.ClusterOptions{Pmin: 32, Vmin: 8, Seed: 1, Replicas: replicas}, "127.0.0.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	for i := 0; i < 8; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < 32; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkClusterMPutTCP measures batched puts over the TCP fabric at
+// batch=256 — the headline wire-path number: it exercises the frame codec,
+// the per-connection writer and the snode storage locks end to end, with
+// (R=2) and without (R=1) the synchronous replica fan-out.
+func BenchmarkClusterMPutTCP(b *testing.B) {
+	for _, r := range []int{1, 2} {
+		b.Run(benchName("R", r), func(b *testing.B) {
+			const size = 256
+			c := benchClusterTCPR(b, r)
+			value := make([]byte, 64)
+			items := make([]dbdht.KV, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range items {
+					items[j] = dbdht.KV{Key: fmt.Sprintf("bench-key-%d", (i*size+j)%4096), Value: value}
+				}
+				results, err := c.MPut(items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.OK() {
+						b.Fatalf("MPut %q: %s", r.Key, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
+}
+
 // BenchmarkClusterPut measures single-key puts: one serial request/response
 // round-trip per key.  Compare ns/op·batch with BenchmarkClusterMPut at the
 // same batch sizes to see the batching win.

@@ -7,6 +7,7 @@
 //
 //	dhtd -listen :8080 -snodes 8 -vnodes 32
 //	dhtd -listen 127.0.0.1:8080 -transport tcp -host 127.0.0.1
+//	dhtd -listen :8080 -pprof 127.0.0.1:6060   # live profiling side port
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain, then the cluster's snodes stop.
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,15 +43,29 @@ func main() {
 		host       = flag.String("host", "127.0.0.1", "bind host for the tcp fabric")
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "internal RPC timeout")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
-	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain); err != nil {
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration) error {
+// pprofHandler mounts the net/http/pprof endpoints on a fresh mux, so the
+// profiling side port exposes nothing else (and the main API port exposes
+// no profiling).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string) error {
 	if snodes < 1 {
 		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
 	}
@@ -87,6 +103,17 @@ func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fa
 	}
 	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, R=%d, fabric=%s)",
 		snodes, vnodes, pmin, vmin, replicas, fabric)
+
+	if pprofAddr != "" {
+		pprofSrv := &http.Server{Addr: pprofAddr, Handler: pprofHandler()}
+		go func() {
+			log.Printf("dhtd: serving pprof on http://%s/debug/pprof/", pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("dhtd: pprof server: %v", err)
+			}
+		}()
+		defer pprofSrv.Close()
+	}
 
 	srv := &http.Server{
 		Addr:         listen,

@@ -37,6 +37,11 @@ type batchReq struct {
 	// ReadReplica marks a failover read: the receiver serves the keys
 	// straight from its replica store instead of the ownership path.
 	ReadReplica bool
+	// private (never on the wire; set by the frame decoder) marks Items
+	// whose slices are exclusively owned by this message — freshly
+	// allocated during decode — so puts may store the values without the
+	// defensive copy the by-reference in-memory fabric requires.
+	private bool
 }
 
 // batchItemResp is the per-key outcome inside a batchResp, parallel to the
@@ -88,7 +93,26 @@ func (s *Snode) handleBatch(m batchReq) {
 		}
 	}
 
-	// Classify every item under one lock pass.  Items landing on a frozen
+	// Hash every key before taking any lock.
+	hashes := make([]hashspace.Index, len(m.Items))
+	for i, it := range m.Items {
+		hashes[i] = hashspace.HashString(it.Key)
+	}
+
+	// bucketWork is one bucket's share of the batch: resolved during the
+	// classification pass, applied under the bucket's own lock.
+	type bucketWork struct {
+		owner ownerRef
+		p     hashspace.Partition
+		reps  []transport.NodeID
+		idxs  []int
+	}
+
+	// Classification runs under one short s.mu pass that only resolves
+	// ownership — no data is read or written while the snode-wide lock is
+	// held.  The data itself is then applied per bucket under that
+	// bucket's lock, so concurrent batches for different partitions on
+	// this snode proceed in parallel.  Items landing on a frozen
 	// partition (mid-transfer) are retried until the transfer settles and
 	// they either apply locally or chase the new custody pointer — but
 	// only within FreezeTimeout: a wedged transfer must surface per-key
@@ -100,43 +124,31 @@ func (s *Snode) handleBatch(m batchReq) {
 	var freezeDeadline time.Time
 	for len(pending) > 0 {
 		var frozen []int
+		work := make(map[*bucket]*bucketWork)
 		s.mu.Lock()
 		for _, i := range pending {
-			it := m.Items[i]
-			h := hashspace.HashString(it.Key)
-			if vs, p, ok := s.ownsLocked(h); ok {
-				if vs.frozen[p] && m.Kind != opGet {
+			h := hashes[i]
+			if ref, p, ok := s.ownedForLocked(h); ok {
+				bk := ref.bk
+				if bk.state == bucketFrozen && m.Kind != opGet { // state reads are safe under s.mu
 					frozen = append(frozen, i)
 					continue
 				}
-				s.stats.DataOps.Add(1)
-				bucket := vs.parts[p]
-				switch m.Kind {
-				case opGet:
-					v, found := bucket[it.Key]
-					results[i] = batchItemResp{Value: append([]byte(nil), v...), Found: found}
-				case opPut:
-					bucket[it.Key] = append([]byte(nil), it.Value...)
-					results[i] = batchItemResp{Found: true}
-				case opDel:
-					_, found := bucket[it.Key]
-					delete(bucket, it.Key)
-					results[i] = batchItemResp{Found: found}
-				}
-				var reps []transport.NodeID
-				if s.cfg.Replicas > 1 {
-					if d, ok := replDests[p]; ok {
-						reps = d
-					} else {
-						reps = s.replicaHostsLocked(p)
-						replDests[p] = reps
+				w := work[bk]
+				if w == nil {
+					var reps []transport.NodeID
+					if s.cfg.Replicas > 1 {
+						if d, ok := replDests[p]; ok {
+							reps = d
+						} else {
+							reps = s.replicaHostsLocked(p)
+							replDests[p] = reps
+						}
 					}
+					w = &bucketWork{owner: ownerRef{Vnode: ref.vs.name, Host: s.id}, p: p, reps: reps}
+					work[bk] = w
 				}
-				if replicate && len(reps) > 0 {
-					replWrites[p] = append(replWrites[p], it)
-					localWrites = append(localWrites, i)
-				}
-				served = append(served, routeEntry{Partition: p, Ref: ownerRef{Vnode: vs.name, Host: s.id}, Replicas: reps})
+				w.idxs = append(w.idxs, i)
 				continue
 			}
 			if m.Hops >= s.cfg.MaxHops {
@@ -151,6 +163,65 @@ func (s *Snode) handleBatch(m batchReq) {
 			forwards[ref.Host] = append(forwards[ref.Host], i)
 		}
 		s.mu.Unlock()
+
+		// Apply each bucket's share under its own lock.  A bucket whose
+		// state moved since classification requeues its items: a freeze
+		// joins the frozen-deadline path, a death (shipped or split away)
+		// re-classifies against the new ownership.
+		var again []int
+		for bk, w := range work {
+			if m.Kind == opGet {
+				bk.mu.RLock()
+				if bk.state == bucketDead {
+					bk.mu.RUnlock()
+					again = append(again, w.idxs...)
+					continue
+				}
+				for _, i := range w.idxs {
+					v, found := bk.m[m.Items[i].Key]
+					results[i] = batchItemResp{Value: append([]byte(nil), v...), Found: found}
+				}
+				bk.mu.RUnlock()
+			} else {
+				bk.mu.Lock()
+				if bk.state != bucketLive {
+					st := bk.state
+					bk.mu.Unlock()
+					if st == bucketFrozen {
+						frozen = append(frozen, w.idxs...)
+					} else {
+						again = append(again, w.idxs...)
+					}
+					continue
+				}
+				for _, i := range w.idxs {
+					it := m.Items[i]
+					switch m.Kind {
+					case opPut:
+						v := it.Value
+						if !m.private {
+							v = append([]byte(nil), v...)
+						}
+						bk.m[it.Key] = v
+						results[i] = batchItemResp{Found: true}
+					case opDel:
+						_, found := bk.m[it.Key]
+						delete(bk.m, it.Key)
+						results[i] = batchItemResp{Found: found}
+					}
+				}
+				bk.mu.Unlock()
+			}
+			s.stats.DataOps.Add(int64(len(w.idxs)))
+			if replicate && len(w.reps) > 0 {
+				for _, i := range w.idxs {
+					replWrites[w.p] = append(replWrites[w.p], m.Items[i])
+				}
+				localWrites = append(localWrites, w.idxs...)
+			}
+			served = append(served, routeEntry{Partition: w.p, Ref: w.owner, Replicas: w.reps})
+		}
+
 		if len(frozen) > 0 {
 			now := time.Now()
 			if freezeDeadline.IsZero() {
@@ -167,7 +238,7 @@ func (s *Snode) handleBatch(m batchReq) {
 				time.Sleep(200 * time.Microsecond)
 			}
 		}
-		pending = frozen
+		pending = append(frozen, again...)
 	}
 
 	// Fan the sub-batches out in parallel — each next hop resolves its
@@ -313,13 +384,6 @@ type route struct {
 	replicas []transport.NodeID
 }
 
-// routeFor consults the handle's learned owner cache.
-func (c *Cluster) routeFor(h hashspace.Index) (route, bool) {
-	c.routeMu.Lock()
-	defer c.routeMu.Unlock()
-	return probeLevels(h, c.routes, c.routeLvls)
-}
-
 // learnRoutes folds served-partition info from batch responses into the
 // handle's owner cache, so subsequent batches aim straight at the owners.
 func (c *Cluster) learnRoutes(entries []routeEntry) {
@@ -327,7 +391,7 @@ func (c *Cluster) learnRoutes(entries []routeEntry) {
 	defer c.routeMu.Unlock()
 	for _, e := range entries {
 		if _, ok := c.routes[e.Partition]; !ok {
-			c.routeLvls[e.Partition.Level]++
+			c.routeLvls.add(e.Partition.Level)
 		}
 		c.routes[e.Partition] = route{ref: e.Ref, replicas: e.Replicas}
 	}
@@ -341,10 +405,7 @@ func (c *Cluster) dropRoutesTo(host transport.NodeID) {
 	for p, rt := range c.routes {
 		if rt.ref.Host == host {
 			delete(c.routes, p)
-			c.routeLvls[p.Level]--
-			if c.routeLvls[p.Level] == 0 {
-				delete(c.routeLvls, p.Level)
-			}
+			c.routeLvls.remove(p.Level)
 		}
 	}
 }
@@ -373,10 +434,7 @@ func (c *Cluster) invalidateStaleRoutes(host transport.NodeID) {
 			continue
 		}
 		delete(c.routes, p)
-		c.routeLvls[p.Level]--
-		if c.routeLvls[p.Level] == 0 {
-			delete(c.routeLvls, p.Level)
-		}
+		c.routeLvls.remove(p.Level)
 	}
 }
 
@@ -387,7 +445,7 @@ func (c *Cluster) planFailover(failed transport.NodeID, idxs []int, items []batc
 	var plan map[transport.NodeID][]int
 	c.routeMu.Lock()
 	for _, i := range idxs {
-		rt, ok := probeLevels(hashspace.HashString(items[i].Key), c.routes, c.routeLvls)
+		rt, ok := probeLevels(hashspace.HashString(items[i].Key), c.routes, &c.routeLvls)
 		if !ok {
 			continue
 		}
@@ -424,6 +482,10 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 	if len(items) == 0 {
 		return results, nil
 	}
+	hashes := make([]hashspace.Index, len(items))
+	for i := range items {
+		hashes[i] = hashspace.HashString(items[i].Key)
+	}
 	pending := make([]int, len(items))
 	for i := range pending {
 		pending[i] = i
@@ -451,18 +513,27 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 			}
 		}
 		groups := make(map[transport.NodeID][]int)
-		for _, i := range pending {
-			h := hashspace.HashString(items[i].Key)
-			if attempt == 0 {
-				if rt, ok := c.routeFor(h); ok {
+		var unrouted []int
+		if attempt == 0 {
+			// Probe the owner cache for the whole batch under one lock
+			// acquisition, not one per item.
+			c.routeMu.Lock()
+			for _, i := range pending {
+				if rt, ok := probeLevels(hashes[i], c.routes, &c.routeLvls); ok {
 					groups[rt.ref.Host] = append(groups[rt.ref.Host], i)
-					continue
+				} else {
+					unrouted = append(unrouted, i)
 				}
 			}
+			c.routeMu.Unlock()
+		} else {
+			unrouted = pending
+		}
+		for _, i := range unrouted {
 			// Unknown owner: deterministic spread over entry snodes, so
 			// cold batches still classify in parallel across the cluster.
 			// Retries rotate the entry so a dead first pick isn't re-chosen.
-			entry := entries[(h+uint64(attempt))%uint64(len(entries))]
+			entry := entries[(hashes[i]+uint64(attempt))%uint64(len(entries))]
 			groups[entry] = append(groups[entry], i)
 		}
 		var (

@@ -41,7 +41,7 @@ type Cluster struct {
 	// at believed owners instead of random entry snodes.
 	routeMu   sync.Mutex
 	routes    map[hashspace.Partition]route
-	routeLvls map[uint8]int
+	routeLvls levelSet
 
 	retiredMu sync.Mutex
 	retired   StatsSnapshot // counters of snodes that left the cluster
@@ -82,15 +82,14 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		net:       net,
-		pending:   make(map[uint64]chan any),
-		snodes:    make(map[transport.NodeID]*Snode),
-		nextID:    1,
-		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
-		routes:    make(map[hashspace.Partition]route),
-		routeLvls: make(map[uint8]int),
-		done:      make(chan struct{}),
+		cfg:     cfg,
+		net:     net,
+		pending: make(map[uint64]chan any),
+		snodes:  make(map[transport.NodeID]*Snode),
+		nextID:  1,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		routes:  make(map[hashspace.Partition]route),
+		done:    make(chan struct{}),
 	}
 	go c.loop(inbox)
 	return c, nil
@@ -584,9 +583,9 @@ func (c *Cluster) Snapshot() Snapshot {
 				continue
 			}
 			info := VnodeInfo{Name: name, Host: s.id, Group: vs.group, Level: vs.level}
-			for p, bucket := range vs.parts {
+			for p, bk := range vs.parts {
 				info.Partitions = append(info.Partitions, p)
-				info.Keys += len(bucket)
+				info.Keys += bk.keys()
 			}
 			sort.Slice(info.Partitions, func(i, j int) bool {
 				return info.Partitions[i].Prefix < info.Partitions[j].Prefix

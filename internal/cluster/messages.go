@@ -11,8 +11,13 @@ import (
 // Protocol messages.  Every request carries Op (the sender's correlation
 // id) and ReplyTo (the endpoint awaiting the matching response); forwarded
 // requests keep both, so whichever snode completes the operation answers
-// the original requester directly.  All types are gob-registered so the
-// same protocol runs unchanged over the TCP fabric.
+// the original requester directly.
+//
+// Over the TCP fabric, hot-path messages (batch req/resp, replica
+// fan-out, lookup, ping) ride the hand-rolled binary frame codec — see
+// wire.go.  The control messages in this file are gob-registered and use
+// the frame codec's gob fallback: they are orders of magnitude rarer, so
+// reflection cost is irrelevant and schema flexibility wins.
 
 // memberInfo is one LPDR row: a vnode, its host and its partition count.
 type memberInfo struct {

@@ -63,15 +63,25 @@ type viewUpdate struct {
 	Snodes []transport.NodeID
 }
 
-// replWriteReq applies one write (or a same-partition group of writes) to
-// a replica bucket.  Sent by the primary, synchronously, before the write
-// is acknowledged.
-type replWriteReq struct {
-	Op        uint64
+// replWriteSet is one partition's share of a replica write fan-out.
+type replWriteSet struct {
 	Partition hashspace.Partition
-	Kind      dataOp
 	Items     []batchItem
-	ReplyTo   transport.NodeID
+}
+
+// replWriteReq applies a batch's writes to the replica buckets its
+// destination backs: one message per (primary → replica host) pair per
+// batch, carrying every affected partition's items — the fan-out cost
+// scales with hosts, not partitions.  Sent by the primary, synchronously,
+// before the writes are acknowledged.
+type replWriteReq struct {
+	Op      uint64
+	Kind    dataOp
+	Sets    []replWriteSet
+	ReplyTo transport.NodeID
+	// private is the frame decoder's exclusively-owned-slices mark, as on
+	// batchReq: it lets the replica store decoded values without copying.
+	private bool
 }
 
 type replWriteResp struct {
@@ -189,7 +199,7 @@ func replicaHostsFor(p hashspace.Partition, primary transport.NodeID, view []tra
 
 func (s *Snode) setReplicaBucketLocked(p hashspace.Partition, b map[string][]byte) {
 	if _, ok := s.rparts[p]; !ok {
-		s.rpartLvls[p.Level]++
+		s.rpartLvls.add(p.Level)
 	}
 	s.rparts[p] = b
 }
@@ -198,10 +208,7 @@ func (s *Snode) delReplicaBucketLocked(p hashspace.Partition) {
 	if _, ok := s.rparts[p]; ok {
 		delete(s.rparts, p)
 		delete(s.rprov, p)
-		s.rpartLvls[p.Level]--
-		if s.rpartLvls[p.Level] == 0 {
-			delete(s.rpartLvls, p.Level)
-		}
+		s.rpartLvls.remove(p.Level)
 	}
 }
 
@@ -243,39 +250,48 @@ func (s *Snode) handleViewUpdate(m viewUpdate) {
 }
 
 func (s *Snode) handleReplWrite(m replWriteReq) {
+	var applied int64
 	s.mu.Lock()
-	b := s.rparts[m.Partition]
-	if b == nil {
-		// First write at this partition (typically right after a split):
-		// seed the bucket from any stale ancestor's keys in range — they
-		// are acknowledged data that must stay failover-readable until
-		// anti-entropy ships the authoritative copy.  Until then the
-		// bucket is provisional: present keys are real, absent keys are
-		// unknown (serveReplicaRead refuses to vouch for them).
-		s.rprov[m.Partition] = true
-		b = make(map[string][]byte)
-		for q, ob := range s.rparts {
-			if q.Level < m.Partition.Level && overlapping(q, m.Partition) {
-				for k, v := range ob {
-					if m.Partition.Contains(hashspace.HashString(k)) {
-						b[k] = v
+	for _, set := range m.Sets {
+		b := s.rparts[set.Partition]
+		if b == nil {
+			// First write at this partition (typically right after a
+			// split): seed the bucket from any stale ancestor's keys in
+			// range — they are acknowledged data that must stay
+			// failover-readable until anti-entropy ships the
+			// authoritative copy.  Until then the bucket is provisional:
+			// present keys are real, absent keys are unknown
+			// (serveReplicaRead refuses to vouch for them).
+			s.rprov[set.Partition] = true
+			b = make(map[string][]byte)
+			for q, ob := range s.rparts {
+				if q.Level < set.Partition.Level && overlapping(q, set.Partition) {
+					for k, v := range ob {
+						if set.Partition.Contains(hashspace.HashString(k)) {
+							b[k] = v
+						}
 					}
 				}
 			}
+			s.dropReplicaWithinLocked(set.Partition)
+			s.setReplicaBucketLocked(set.Partition, b)
 		}
-		s.dropReplicaWithinLocked(m.Partition)
-		s.setReplicaBucketLocked(m.Partition, b)
-	}
-	for _, it := range m.Items {
-		switch m.Kind {
-		case opPut:
-			b[it.Key] = append([]byte(nil), it.Value...)
-		case opDel:
-			delete(b, it.Key)
+		for _, it := range set.Items {
+			switch m.Kind {
+			case opPut:
+				v := it.Value
+				if !m.private {
+					v = append([]byte(nil), v...)
+				}
+				b[it.Key] = v
+			case opDel:
+				delete(b, it.Key)
+			}
 		}
+		applied += int64(len(set.Items))
 	}
 	s.mu.Unlock()
-	s.stats.ReplWrites.Add(int64(len(m.Items)))
+	s.stats.ReplWrites.Add(applied)
 	s.send(m.ReplyTo, replWriteResp{Op: m.Op})
 }
 
@@ -354,12 +370,7 @@ func (s *Snode) serveReplicaRead(m batchReq) {
 // replicaBucketLocked finds the deepest replica bucket covering h.
 // Caller holds s.mu.
 func (s *Snode) replicaBucketLocked(h hashspace.Index) (hashspace.Partition, map[string][]byte, bool) {
-	levels := make([]uint8, 0, len(s.rpartLvls))
-	for l := range s.rpartLvls {
-		levels = append(levels, l)
-	}
-	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
-	for _, l := range levels {
+	for _, l := range s.rpartLvls.desc {
 		p := hashspace.Containing(h, l)
 		if b, ok := s.rparts[p]; ok {
 			return p, b, true
@@ -371,39 +382,36 @@ func (s *Snode) replicaBucketLocked(h hashspace.Index) (hashspace.Partition, map
 // --- primary-side fan-out ---
 
 // replicate synchronously applies a write set to its replica hosts, one
-// replWriteReq per (partition, host), all in parallel.  An unreachable
-// replica is recorded and skipped (the primary holds the data and
-// anti-entropy repairs the replica later); an error is returned only when
-// this snode is stopping, in which case the write must NOT be acknowledged
-// — the primary's copy dies with it.
+// replWriteReq per destination host (carrying every affected partition's
+// items placed there), all in parallel.  An unreachable replica is
+// recorded and skipped (the primary holds the data and anti-entropy
+// repairs the replica later); an error is returned only when this snode is
+// stopping, in which case the write must NOT be acknowledged — the
+// primary's copy dies with it.
 func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID) error {
-	type job struct {
-		p    hashspace.Partition
-		host transport.NodeID
-	}
-	var jobs []job
-	for p := range writes {
+	byHost := make(map[transport.NodeID][]replWriteSet)
+	for p, items := range writes {
 		for _, host := range dests[p] {
-			jobs = append(jobs, job{p, host})
+			byHost[host] = append(byHost[host], replWriteSet{Partition: p, Items: items})
 		}
 	}
-	if len(jobs) == 0 {
+	if len(byHost) == 0 {
 		return nil
 	}
-	errs := make(chan error, len(jobs))
-	for _, j := range jobs {
-		go func(j job) {
+	errs := make(chan error, len(byHost))
+	for host, sets := range byHost {
+		go func(host transport.NodeID, sets []replWriteSet) {
 			// The send (not the wait) is serialized per destination so a
 			// concurrent full sync cannot be overtaken by a write it does
 			// not contain (see syncReplica).
-			_, err := s.rpcOrderedSend(j.host, func(op uint64) any {
-				return replWriteReq{Op: op, Partition: j.p, Kind: kind, Items: writes[j.p], ReplyTo: s.id}
+			_, err := s.rpcOrderedSend(host, func(op uint64) any {
+				return replWriteReq{Op: op, Kind: kind, Sets: sets, ReplyTo: s.id}
 			})
 			errs <- err
-		}(j)
+		}(host, sets)
 	}
 	var stopping error
-	for range jobs {
+	for range byHost {
 		if err := <-errs; err != nil {
 			select {
 			case <-s.stopCh:
@@ -472,13 +480,23 @@ func (s *Snode) syncReplica(p hashspace.Partition, host transport.NodeID) (ok bo
 	ord.Lock()
 	s.mu.Lock()
 	vs, p2, owned := s.ownsLocked(p.Start())
-	if !owned || p2 != p {
-		s.mu.Unlock()
+	var bk *bucket
+	if owned && p2 == p {
+		bk = vs.parts[p]
+	}
+	s.mu.Unlock()
+	if bk == nil {
 		ord.Unlock()
 		return false, nil
 	}
-	data := copyBucket(vs.parts[p])
-	s.mu.Unlock()
+	bk.mu.RLock()
+	if bk.state == bucketDead {
+		bk.mu.RUnlock()
+		ord.Unlock()
+		return false, nil
+	}
+	data := copyBucket(bk.m)
+	bk.mu.RUnlock()
 	err = s.net.Send(transport.Envelope{From: s.id, To: host,
 		Msg: replSyncReq{Op: op, Partition: p, Data: data, ReplyTo: s.id}})
 	ord.Unlock()
@@ -531,6 +549,15 @@ func (s *Snode) rehomeReplicas(p hashspace.Partition) {
 // placement still uses.  Fire-and-forget.
 func (s *Snode) dropOrphanReplicas(p hashspace.Partition, newPrimary transport.NodeID) {
 	if s.cfg.Replicas <= 1 {
+		return
+	}
+	if newPrimary == s.id {
+		// Intra-snode transfer (vnode to vnode on this host): the
+		// placement is a function of (partition, host, view) and the host
+		// did not change, so there is nothing to drop — and the `placed`
+		// record was just refreshed by the receiving vnode's install;
+		// deleting it here would orphan the old replica on the next view
+		// change.
 		return
 	}
 	s.mu.Lock()
@@ -621,15 +648,15 @@ func (s *Snode) antiEntropyPass() {
 	cur := make(map[hashspace.Partition][]transport.NodeID)
 	frozen := make(map[hashspace.Partition]bool)
 	for _, vs := range s.vnodes {
-		if !vs.joined {
-			continue
-		}
-		for p := range vs.parts {
-			// Frozen (mid-transfer) partitions stay in the snapshot so
-			// their placement record is not mistaken for a handover, but
-			// they are neither probed nor advanced this pass.
+		for p, bk := range vs.parts {
+			// Frozen (mid-transfer) partitions and partitions of a vnode
+			// whose join has not completed stay in the snapshot so their
+			// placement record is not mistaken for a handover (which
+			// would delete it and orphan the old replica's bucket
+			// forever), but they are neither probed nor advanced this
+			// pass.
 			cur[p] = s.replicaHostsLocked(p)
-			if vs.frozen[p] {
+			if !vs.joined || bk.state != bucketLive { // state reads are safe under s.mu
 				frozen[p] = true
 			}
 		}
@@ -643,17 +670,26 @@ func (s *Snode) antiEntropyPass() {
 		if len(hosts) == 0 || frozen[p] {
 			continue
 		}
-		// Digest one bucket per lock acquisition so a large store never
-		// stalls the data plane for a whole scan; one digest serves every
-		// replica host of the partition.
+		// Digest under the bucket's own lock: a large store stalls only
+		// writers of that one partition, never the rest of the data
+		// plane; one digest serves every replica host of the partition.
 		s.mu.Lock()
 		vs, p2, owned := s.ownsLocked(p.Start())
-		if !owned || p2 != p {
-			s.mu.Unlock()
+		var bk *bucket
+		if owned && p2 == p {
+			bk = vs.parts[p]
+		}
+		s.mu.Unlock()
+		if bk == nil {
 			continue // moved or split since the snapshot; its new owner reconciles it
 		}
-		n, sum := bucketDigest(vs.parts[p])
-		s.mu.Unlock()
+		bk.mu.RLock()
+		if bk.state != bucketLive {
+			bk.mu.RUnlock()
+			continue
+		}
+		n, sum := bucketDigest(bk.m)
+		bk.mu.RUnlock()
 		ok := true
 		for _, host := range hosts {
 			select {
@@ -717,6 +753,15 @@ func (s *Snode) antiEntropyPass() {
 	// leftovers and can go.
 	for p, hosts := range s.placed {
 		if _, owned := cur[p]; owned {
+			continue
+		}
+		// cur is a pass-START snapshot and this pass spent real time in
+		// probe/sync RPCs: a partition installed meanwhile is absent from
+		// cur yet owned right now, and its `placed` record — just written
+		// by the install's re-homing — must survive, or its old replica
+		// host is never told to drop.  Re-validate against the live
+		// ownership index before treating the record as a leftover.
+		if _, p2, ok := s.ownedForLocked(p.Start()); ok && p2 == p {
 			continue
 		}
 		covered, hasChild := true, false

@@ -95,10 +95,12 @@ func replicasConverged(c *Cluster) bool {
 				continue
 			}
 			for p, b := range vs.parts {
-				if vs.frozen[p] {
+				if b.state != bucketLive {
 					continue
 				}
-				n, sum := bucketDigest(b)
+				b.mu.RLock()
+				n, sum := bucketDigest(b.m)
+				b.mu.RUnlock()
 				for _, host := range s.replicaHostsLocked(p) {
 					wants = append(wants, want{p, host, n, sum})
 				}
@@ -456,9 +458,9 @@ func TestBatchFrozenPartitionDeadline(t *testing.T) {
 			s.mu.Lock()
 			if vs, p, ok := s.ownsLocked(h); ok {
 				if on {
-					vs.frozen[p] = true
+					vs.parts[p].setStateLocked(bucketFrozen)
 				} else {
-					delete(vs.frozen, p)
+					vs.parts[p].setStateLocked(bucketLive)
 				}
 			}
 			s.mu.Unlock()

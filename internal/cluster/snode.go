@@ -131,16 +131,78 @@ func (s *Stats) snapshot() StatsSnapshot {
 	}
 }
 
+// bucketState is a bucket's lifecycle phase.  Transitions are made while
+// holding BOTH s.mu and the bucket's own mutex, so either lock alone makes
+// a read race-free: the batch path checks state under bucket.mu without
+// touching the snode-wide lock.
+type bucketState uint8
+
+const (
+	// bucketLive serves reads and writes.
+	bucketLive bucketState = iota
+	// bucketFrozen is mid-transfer: reads ok, writes requeued until the
+	// transfer settles (back to live on failure, dead on success).
+	bucketFrozen
+	// bucketDead has been shipped away or split; a batch holding a stale
+	// pointer re-classifies and chases the custody chain.
+	bucketDead
+)
+
+// bucket is one partition's key/value store behind its own lock — the
+// striping that lets concurrent batches for different partitions on the
+// same snode proceed without contending on the snode-wide mutex.  s.mu
+// still guards the *maps* of buckets (ownership, custody, membership);
+// the data inside a bucket is guarded by the bucket's mutex alone.
+type bucket struct {
+	mu    sync.RWMutex
+	state bucketState
+	m     map[string][]byte
+}
+
+// newBucket wraps a key/value map as a live bucket.
+func newBucket(m map[string][]byte) *bucket {
+	if m == nil {
+		m = make(map[string][]byte)
+	}
+	return &bucket{m: m}
+}
+
+// setStateLocked transitions the bucket's lifecycle state.  Caller holds
+// s.mu; the bucket's own mutex is taken here, completing the dual-lock
+// write that makes single-lock reads safe.
+func (b *bucket) setStateLocked(st bucketState) {
+	b.mu.Lock()
+	b.state = st
+	if st == bucketDead {
+		b.m = nil
+	}
+	b.mu.Unlock()
+}
+
+// keys returns the bucket's current key count.
+func (b *bucket) keys() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.m)
+}
+
+// snapshot copies the bucket's contents.
+func (b *bucket) snapshot() map[string][]byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return copyBucket(b.m)
+}
+
 // vnodeState is one hosted vnode: its group binding, its partitions at the
-// group's splitlevel, and the stored data, bucketed per partition so a
-// partition transfer ships one bucket.
+// group's splitlevel, and the stored data, bucketed per partition (behind
+// per-partition locks) so a transfer ships — and concurrent batches lock —
+// one bucket.
 type vnodeState struct {
 	name   VnodeName
 	group  core.GroupID
 	level  uint8
 	joined bool
-	parts  map[hashspace.Partition]map[string][]byte
-	frozen map[hashspace.Partition]bool // mid-transfer: reads ok, writes requeued
+	parts  map[hashspace.Partition]*bucket
 }
 
 // Snode is one software node (§2.1.1): an actor hosting vnodes, holding
@@ -158,11 +220,13 @@ type Snode struct {
 
 	mu        sync.Mutex
 	vnodes    map[VnodeName]*vnodeState
+	owned     map[hashspace.Partition]ownedRef // ownership index over every hosted vnode's partitions
+	ownedLvls levelSet
 	nextLocal int
 	tombs     map[hashspace.Partition]ownerRef // custody forwarding pointers
-	tombLvls  map[uint8]int
+	tombLvls  levelSet
 	cache     map[hashspace.Partition]ownerRef // requester-side accelerator
-	cacheLvls map[uint8]int
+	cacheLvls levelSet
 	boot      ownerRef
 	hasBoot   bool
 	replicas  map[core.GroupID]*lpdrState
@@ -170,7 +234,7 @@ type Snode struct {
 	view      []transport.NodeID                        // sorted DHT membership (replica placement)
 	viewEpoch uint64                                    // highest membership epoch seen
 	rparts    map[hashspace.Partition]map[string][]byte // replica buckets backed for other primaries
-	rpartLvls map[uint8]int
+	rpartLvls levelSet
 	rprov     map[hashspace.Partition]bool               // replica buckets not yet full-synced (write-created)
 	placed    map[hashspace.Partition][]transport.NodeID // replica hosts last reconciled per owned partition
 
@@ -198,26 +262,24 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		return nil, err
 	}
 	s := &Snode{
-		id:        id,
-		cfg:       cfg,
-		net:       net,
-		inbox:     inbox,
-		rng:       rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id)*0x9E3779B97F4A7C15))),
-		vnodes:    make(map[VnodeName]*vnodeState),
-		tombs:     make(map[hashspace.Partition]ownerRef),
-		tombLvls:  make(map[uint8]int),
-		cache:     make(map[hashspace.Partition]ownerRef),
-		cacheLvls: make(map[uint8]int),
-		replicas:  make(map[core.GroupID]*lpdrState),
-		led:       make(map[core.GroupID]*ledGroup),
-		rparts:    make(map[hashspace.Partition]map[string][]byte),
-		rpartLvls: make(map[uint8]int),
-		rprov:     make(map[hashspace.Partition]bool),
-		placed:    make(map[hashspace.Partition][]transport.NodeID),
-		sendOrd:   make(map[transport.NodeID]*sync.Mutex),
-		pending:   make(map[uint64]chan any),
-		stopCh:    make(chan struct{}),
-		done:      make(chan struct{}),
+		id:       id,
+		cfg:      cfg,
+		net:      net,
+		inbox:    inbox,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id)*0x9E3779B97F4A7C15))),
+		vnodes:   make(map[VnodeName]*vnodeState),
+		owned:    make(map[hashspace.Partition]ownedRef),
+		tombs:    make(map[hashspace.Partition]ownerRef),
+		cache:    make(map[hashspace.Partition]ownerRef),
+		replicas: make(map[core.GroupID]*lpdrState),
+		led:      make(map[core.GroupID]*ledGroup),
+		rparts:   make(map[hashspace.Partition]map[string][]byte),
+		rprov:    make(map[hashspace.Partition]bool),
+		placed:   make(map[hashspace.Partition][]transport.NodeID),
+		sendOrd:  make(map[transport.NodeID]*sync.Mutex),
+		pending:  make(map[uint64]chan any),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	go s.loop()
 	if cfg.Replicas > 1 {
@@ -388,16 +450,51 @@ func (s *Snode) loop() {
 	}
 }
 
-// ownsLocked returns the hosted vnode and partition owning hash index h, if
-// any.  Caller holds s.mu.
-func (s *Snode) ownsLocked(h hashspace.Index) (*vnodeState, hashspace.Partition, bool) {
-	for _, vs := range s.vnodes {
-		p := hashspace.Containing(h, vs.level)
-		if _, ok := vs.parts[p]; ok {
-			return vs, p, true
+// ownedRef binds an owned partition to its hosting vnode and bucket — one
+// entry of the snode-level ownership index behind ownsLocked.  The index
+// mirrors every vs.parts map; the two are mutated together under s.mu.
+type ownedRef struct {
+	vs *vnodeState
+	bk *bucket
+}
+
+func (s *Snode) setOwnedLocked(p hashspace.Partition, vs *vnodeState, bk *bucket) {
+	if _, ok := s.owned[p]; !ok {
+		s.ownedLvls.add(p.Level)
+	}
+	s.owned[p] = ownedRef{vs: vs, bk: bk}
+}
+
+// delOwnedLocked removes a partition's index entry, but only while it
+// still points at the given bucket: when a partition moves between two
+// vnodes on the SAME snode, the receiving vnode's install re-points the
+// entry before the sender's cleanup runs, and that newer entry must
+// survive.
+func (s *Snode) delOwnedLocked(p hashspace.Partition, bk *bucket) {
+	if ref, ok := s.owned[p]; ok && ref.bk == bk {
+		delete(s.owned, p)
+		s.ownedLvls.remove(p.Level)
+	}
+}
+
+// ownedForLocked returns the ownership-index entry covering hash index h,
+// if any.  One index probe per live level — it runs once per batch item,
+// so it must not scan the hosted vnodes.  Caller holds s.mu.
+func (s *Snode) ownedForLocked(h hashspace.Index) (ownedRef, hashspace.Partition, bool) {
+	for _, l := range s.ownedLvls.desc {
+		p := hashspace.Containing(h, l)
+		if ref, ok := s.owned[p]; ok {
+			return ref, p, true
 		}
 	}
-	return nil, hashspace.Partition{}, false
+	return ownedRef{}, hashspace.Partition{}, false
+}
+
+// ownsLocked returns the hosted vnode and partition owning hash index h,
+// if any.  Caller holds s.mu.
+func (s *Snode) ownsLocked(h hashspace.Index) (*vnodeState, hashspace.Partition, bool) {
+	ref, p, ok := s.ownedForLocked(h)
+	return ref.vs, p, ok
 }
 
 // forwardTargetLocked picks the next hop for hash index h: the deepest
@@ -406,11 +503,11 @@ func (s *Snode) ownsLocked(h hashspace.Index) (*vnodeState, hashspace.Partition,
 // strictly along the chain of custody, guaranteeing termination; the
 // requester-side cache (useCache) may only seed the first hop.
 func (s *Snode) forwardTargetLocked(h hashspace.Index, useCache bool) (ownerRef, bool) {
-	if ref, ok := probeLevels(h, s.tombs, s.tombLvls); ok {
+	if ref, ok := probeLevels(h, s.tombs, &s.tombLvls); ok {
 		return ref, true
 	}
 	if useCache {
-		if ref, ok := probeLevels(h, s.cache, s.cacheLvls); ok {
+		if ref, ok := probeLevels(h, s.cache, &s.cacheLvls); ok {
 			return ref, true
 		}
 	}
@@ -420,14 +517,44 @@ func (s *Snode) forwardTargetLocked(h hashspace.Index, useCache bool) (ownerRef,
 	return ownerRef{}, false
 }
 
-// probeLevels finds the deepest entry of a partition-keyed map covering h.
-func probeLevels[V any](h hashspace.Index, m map[hashspace.Partition]V, lvls map[uint8]int) (V, bool) {
-	levels := make([]uint8, 0, len(lvls))
-	for l := range lvls {
-		levels = append(levels, l)
+// levelSet tracks, for a partition-keyed map, how many entries exist at
+// each splitlevel and keeps the live levels in a descending slice — the
+// probe order.  Membership changes are rare (splits, transfers); probes
+// run per key per hop, so they must not iterate or sort a map.
+type levelSet struct {
+	count [hashspace.MaxLevel + 1]int
+	desc  []uint8 // live levels, deepest first
+}
+
+// add records one more entry at level l.
+func (ls *levelSet) add(l uint8) {
+	ls.count[l]++
+	if ls.count[l] == 1 {
+		i := sort.Search(len(ls.desc), func(i int) bool { return ls.desc[i] < l })
+		ls.desc = append(ls.desc, 0)
+		copy(ls.desc[i+1:], ls.desc[i:])
+		ls.desc[i] = l
 	}
-	sort.Slice(levels, func(i, j int) bool { return levels[i] > levels[j] })
-	for _, l := range levels {
+}
+
+// remove drops one entry at level l.
+func (ls *levelSet) remove(l uint8) {
+	ls.count[l]--
+	if ls.count[l] == 0 {
+		for i, v := range ls.desc {
+			if v == l {
+				ls.desc = append(ls.desc[:i], ls.desc[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// probeLevels finds the deepest entry of a partition-keyed map covering h.
+// It runs on every item of every batch, so it is allocation-free: one map
+// lookup per live level, deepest first.
+func probeLevels[V any](h hashspace.Index, m map[hashspace.Partition]V, lvls *levelSet) (V, bool) {
+	for _, l := range lvls.desc {
 		if v, ok := m[hashspace.Containing(h, l)]; ok {
 			return v, true
 		}
@@ -440,7 +567,7 @@ func probeLevels[V any](h hashspace.Index, m map[hashspace.Partition]V, lvls map
 // implicitly (probes prefer deeper entries, which are newer).
 func (s *Snode) setTombLocked(p hashspace.Partition, ref ownerRef) {
 	if _, ok := s.tombs[p]; !ok {
-		s.tombLvls[p.Level]++
+		s.tombLvls.add(p.Level)
 	}
 	s.tombs[p] = ref
 }
@@ -448,16 +575,13 @@ func (s *Snode) setTombLocked(p hashspace.Partition, ref ownerRef) {
 func (s *Snode) delTombLocked(p hashspace.Partition) {
 	if _, ok := s.tombs[p]; ok {
 		delete(s.tombs, p)
-		s.tombLvls[p.Level]--
-		if s.tombLvls[p.Level] == 0 {
-			delete(s.tombLvls, p.Level)
-		}
+		s.tombLvls.remove(p.Level)
 	}
 }
 
 func (s *Snode) setCacheLocked(p hashspace.Partition, ref ownerRef) {
 	if _, ok := s.cache[p]; !ok {
-		s.cacheLvls[p.Level]++
+		s.cacheLvls.add(p.Level)
 	}
 	s.cache[p] = ref
 }
@@ -529,20 +653,29 @@ func (s *Snode) handleSplitAll(m splitAllReq) {
 		if !vs.joined || vs.group != m.Group || vs.level >= m.NewLevel {
 			continue
 		}
-		next := make(map[hashspace.Partition]map[string][]byte, 2*len(vs.parts))
-		for p, bucket := range vs.parts {
+		next := make(map[hashspace.Partition]*bucket, 2*len(vs.parts))
+		for p, bk := range vs.parts {
 			lo, hi := p.Split()
 			loB := make(map[string][]byte)
 			hiB := make(map[string][]byte)
-			for k, v := range bucket {
+			bk.mu.Lock()
+			for k, v := range bk.m {
 				if lo.Contains(hashspace.HashString(k)) {
 					loB[k] = v
 				} else {
 					hiB[k] = v
 				}
 			}
-			next[lo] = loB
-			next[hi] = hiB
+			// The parent dies under its own lock: a batch that resolved it
+			// before the split re-classifies against the children.
+			bk.state = bucketDead
+			bk.m = nil
+			bk.mu.Unlock()
+			next[lo] = newBucket(loB)
+			next[hi] = newBucket(hiB)
+			s.delOwnedLocked(p, bk)
+			s.setOwnedLocked(lo, vs, next[lo])
+			s.setOwnedLocked(hi, vs, next[hi])
 		}
 		vs.parts = next
 		vs.level = m.NewLevel
@@ -568,10 +701,10 @@ func (s *Snode) handleTransfer(m transferReq) {
 		return
 	}
 	// Pick the victim partition (the paper leaves the choice open): any
-	// non-frozen partition, selected per the configured policy.
+	// live (non-frozen) partition, selected per the configured policy.
 	var candidates []hashspace.Partition
-	for p := range vs.parts {
-		if !vs.frozen[p] {
+	for p, bk := range vs.parts {
+		if bk.state == bucketLive { // state reads are safe under s.mu
 			candidates = append(candidates, p)
 		}
 	}
@@ -591,35 +724,39 @@ func (s *Snode) handleTransfer(m transferReq) {
 	case TransferFewestKeys:
 		p = candidates[0]
 		for _, c := range candidates[1:] {
-			if len(vs.parts[c]) < len(vs.parts[p]) {
+			if vs.parts[c].keys() < vs.parts[p].keys() {
 				p = c
 			}
 		}
 	default:
 		p = candidates[s.randIntn(len(candidates))]
 	}
-	if vs.frozen == nil {
-		vs.frozen = make(map[hashspace.Partition]bool)
-	}
-	vs.frozen[p] = true
+	bk := vs.parts[p]
+	// Freeze, then snapshot: the freeze and the copy happen under the
+	// bucket's lock, so every write applied before the freeze is in the
+	// snapshot and every write after it is requeued by the batch path.
 	// Ship a copy: over the in-memory fabric the payload is delivered by
 	// reference and becomes the new owner's live bucket the moment it is
 	// installed — the original must stay private to this host, and the
 	// key count must be taken before the handoff.
-	snapshot := copyBucket(vs.parts[p])
+	bk.mu.Lock()
+	bk.state = bucketFrozen
+	snapshot := copyBucket(bk.m)
+	bk.mu.Unlock()
 	keys := len(snapshot)
 	s.mu.Unlock()
 
 	if err := s.shipPartition(m.Group, m.To, m.ToHost, p, m.Level, snapshot); err != nil {
 		s.mu.Lock()
-		delete(vs.frozen, p)
+		bk.setStateLocked(bucketLive)
 		s.mu.Unlock()
 		s.send(m.ReplyTo, transferResp{Op: m.Op, Err: err.Error()})
 		return
 	}
 	s.mu.Lock()
+	bk.setStateLocked(bucketDead)
 	delete(vs.parts, p)
-	delete(vs.frozen, p)
+	s.delOwnedLocked(p, bk)
 	s.setTombLocked(p, ownerRef{Vnode: m.To, Host: m.ToHost})
 	s.mu.Unlock()
 	s.dropOrphanReplicas(p, m.ToHost)
@@ -664,13 +801,14 @@ func (s *Snode) handleInstall(m partitionData) {
 		return
 	}
 	if vs.parts == nil {
-		vs.parts = make(map[hashspace.Partition]map[string][]byte)
+		vs.parts = make(map[hashspace.Partition]*bucket)
 	}
-	data := m.Data
-	if data == nil {
-		data = make(map[string][]byte)
+	if old, ok := vs.parts[m.Partition]; ok {
+		old.setStateLocked(bucketDead) // a re-install supersedes the previous bucket
 	}
-	vs.parts[m.Partition] = data
+	bk := newBucket(m.Data)
+	vs.parts[m.Partition] = bk
+	s.setOwnedLocked(m.Partition, vs, bk)
 	vs.level = m.Level
 	vs.group = m.Group
 	// Owning again supersedes any old custody pointer for this region,
@@ -706,18 +844,16 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 		s.send(m.ReplyTo, shipVnodeResp{Op: m.Op, Err: fmt.Sprintf("vnode %v has %d partitions, plan has %d dests", m.Vnode, len(parts), len(m.Dests))})
 		return
 	}
-	if vs.frozen == nil {
-		vs.frozen = make(map[hashspace.Partition]bool)
-	}
 	for _, p := range parts {
-		vs.frozen[p] = true
+		vs.parts[p].setStateLocked(bucketFrozen)
 	}
 	group, level := vs.group, vs.level
 	s.mu.Unlock()
 
 	for i, p := range parts {
 		s.mu.Lock()
-		snapshot := copyBucket(vs.parts[p]) // see handleTransfer
+		bk := vs.parts[p]
+		snapshot := bk.snapshot() // see handleTransfer
 		keys := len(snapshot)
 		s.mu.Unlock()
 		dest := m.Dests[i]
@@ -726,8 +862,9 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 			return
 		}
 		s.mu.Lock()
+		bk.setStateLocked(bucketDead)
 		delete(vs.parts, p)
-		delete(vs.frozen, p)
+		s.delOwnedLocked(p, bk)
 		s.setTombLocked(p, dest)
 		s.mu.Unlock()
 		s.dropOrphanReplicas(p, dest.Host)
@@ -766,10 +903,7 @@ func (s *Snode) handleSnodeLeaving(m snodeLeavingMsg) {
 	for p, ref := range s.cache {
 		if ref.Host == m.Leaving {
 			delete(s.cache, p)
-			s.cacheLvls[p.Level]--
-			if s.cacheLvls[p.Level] == 0 {
-				delete(s.cacheLvls, p.Level)
-			}
+			s.cacheLvls.remove(p.Level)
 		}
 	}
 	for _, r := range m.Routes {
@@ -823,9 +957,8 @@ func (s *Snode) handleCreateVnode(m createVnodeReq) {
 	// Allocate the (empty) vnode so partition installs can land.
 	s.mu.Lock()
 	s.vnodes[name] = &vnodeState{
-		name:   name,
-		parts:  make(map[hashspace.Partition]map[string][]byte),
-		frozen: make(map[hashspace.Partition]bool),
+		name:  name,
+		parts: make(map[hashspace.Partition]*bucket),
 	}
 	s.mu.Unlock()
 
@@ -876,9 +1009,9 @@ func (s *Snode) abandonVnode(name VnodeName) {
 // snode leading.
 func (s *Snode) bootstrapFirstVnode(name VnodeName) error {
 	level := uint8(bits.TrailingZeros(uint(s.cfg.Pmin)))
-	parts := make(map[hashspace.Partition]map[string][]byte, s.cfg.Pmin)
+	parts := make(map[hashspace.Partition]*bucket, s.cfg.Pmin)
 	for pre := uint64(0); pre < uint64(s.cfg.Pmin); pre++ {
-		parts[hashspace.Partition{Prefix: pre, Level: level}] = make(map[string][]byte)
+		parts[hashspace.Partition{Prefix: pre, Level: level}] = newBucket(nil)
 	}
 	g0 := core.GroupID{}
 	s.mu.Lock()
@@ -886,9 +1019,13 @@ func (s *Snode) bootstrapFirstVnode(name VnodeName) error {
 		s.mu.Unlock()
 		return fmt.Errorf("cluster: snode %d is not empty; cannot bootstrap", s.id)
 	}
-	s.vnodes[name] = &vnodeState{
+	vs := &vnodeState{
 		name: name, group: g0, level: level, joined: true,
-		parts: parts, frozen: make(map[hashspace.Partition]bool),
+		parts: parts,
+	}
+	s.vnodes[name] = vs
+	for p, bk := range parts {
+		s.setOwnedLocked(p, vs, bk)
 	}
 	st := lpdrState{
 		Group: g0, Level: level, Leader: s.id,

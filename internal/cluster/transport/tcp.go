@@ -1,20 +1,30 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"sync"
 )
 
-// TCP is a fabric whose messages travel over real TCP connections encoded
-// with encoding/gob.  Endpoints listen on ephemeral loopback ports; the
-// fabric object doubles as the address registry (on a physical cluster this
-// registry is the deployment's static node list — the paper's model assumes
-// cluster membership is known, §5).
+// TCP is a fabric whose messages travel over real TCP connections as
+// length-prefixed frames (see codec.go): hot-path payloads use the
+// hand-rolled binary codec, the rest ride a per-frame gob fallback.
+// Endpoints listen on ephemeral loopback ports; the fabric object doubles
+// as the address registry (on a physical cluster this registry is the
+// deployment's static node list — the paper's model assumes cluster
+// membership is known, §5).
 //
-// One connection per ordered (From, To) pair, dialed lazily, preserves the
-// FIFO-per-pair guarantee Network requires.
+// One connection per ordered (From, To) pair preserves the FIFO-per-pair
+// guarantee Network requires.  Each outbound connection is drained by a
+// dedicated writer goroutine fed from an unbounded queue: senders enqueue
+// and return immediately (Send never blocks on a slow peer), the writer
+// dials outside any endpoint-wide lock, encodes into a bufio.Writer and
+// flushes only when the queue runs dry — many envelopes per syscall under
+// load, prompt delivery when idle.
 type TCP struct {
 	mu        sync.RWMutex
 	addr      string // listen address, e.g. "127.0.0.1:0"
@@ -23,19 +33,30 @@ type TCP struct {
 }
 
 type tcpEndpoint struct {
-	id       NodeID
-	lis      net.Listener
-	box      *mailbox
-	mu       sync.Mutex
-	conns    map[NodeID]*outConn // ordered-pair outbound connections
-	shutdown chan struct{}
-	wg       sync.WaitGroup
+	id     NodeID
+	lis    net.Listener
+	box    *mailbox
+	mu     sync.Mutex
+	conns  map[NodeID]*outConn // ordered-pair outbound connections
+	closed bool
+	wg     sync.WaitGroup
 }
 
+// outConn is one outbound ordered-pair connection.  The queue is unbounded
+// (matching the fabric's never-block-the-sender contract); the writer
+// goroutine owns the net.Conn lifecycle: it dials, drains, coalesces
+// flushes, and on any error removes the connection so the next send
+// redials.
 type outConn struct {
-	mu  sync.Mutex
-	enc *gob.Encoder
-	c   net.Conn
+	ep   *tcpEndpoint
+	to   NodeID
+	addr string
+
+	mu     sync.Mutex
+	q      []Envelope
+	closed bool
+	c      net.Conn // set by the writer once dialed
+	wake   chan struct{}
 }
 
 // NewTCP returns a TCP fabric listening on the given host (usually
@@ -60,11 +81,10 @@ func (t *TCP) Register(id NodeID) (<-chan Envelope, error) {
 		return nil, fmt.Errorf("transport: listen for node %d: %w", id, err)
 	}
 	ep := &tcpEndpoint{
-		id:       id,
-		lis:      lis,
-		box:      newMailbox(0),
-		conns:    make(map[NodeID]*outConn),
-		shutdown: make(chan struct{}),
+		id:    id,
+		lis:   lis,
+		box:   newMailbox(0),
+		conns: make(map[NodeID]*outConn),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -84,13 +104,44 @@ func (ep *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// frameBufPool holds the read-side frame buffers: one per active read
+// loop, grown to the largest frame seen and reused for every subsequent
+// frame (DecodeFrame copies what messages keep).
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 4096)
+		return &b
+	},
+}
+
 func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 	defer ep.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bufp := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(bufp)
+	var hdr [frameHeaderLen]byte
 	for {
-		var env Envelope
-		if err := dec.Decode(&env); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < 2 || n > maxFrame {
+			log.Printf("transport: node %d: dropping connection: frame body of %d bytes out of range", ep.id, n)
+			return
+		}
+		if cap(*bufp) < int(n) {
+			*bufp = make([]byte, n)
+		}
+		body := (*bufp)[:n]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		env, err := DecodeFrame(body)
+		if err != nil {
+			// Fail loudly: a mixed-version peer or corrupt stream must
+			// surface in logs, not vanish as a silent disconnect.
+			log.Printf("transport: node %d: dropping connection: %v", ep.id, err)
 			return
 		}
 		if !ep.box.push(env) {
@@ -117,16 +168,21 @@ func (t *TCP) Unregister(id NodeID) error {
 func (ep *tcpEndpoint) close() {
 	ep.lis.Close()
 	ep.mu.Lock()
-	for _, oc := range ep.conns {
-		oc.c.Close()
-	}
+	ep.closed = true
+	conns := ep.conns
 	ep.conns = make(map[NodeID]*outConn)
 	ep.mu.Unlock()
+	for _, oc := range conns {
+		oc.shut()
+	}
 	ep.box.close()
 }
 
-// Send implements Network.  The sender's endpoint dials (or reuses) its
-// connection to the destination and gob-encodes the envelope.
+// Send implements Network: the envelope is enqueued on the sender's
+// per-destination connection and encoded by its writer goroutine.  Send
+// fails synchronously when either endpoint is off the fabric; transmission
+// itself is asynchronous (a connection that later breaks surfaces as RPC
+// timeouts, and the next send redials).
 func (t *TCP) Send(env Envelope) error {
 	t.mu.RLock()
 	src, okSrc := t.endpoints[env.From]
@@ -138,38 +194,150 @@ func (t *TCP) Send(env Envelope) error {
 	if !okSrc {
 		return fmt.Errorf("transport: sender %d not registered", env.From)
 	}
-	oc, err := src.connTo(env.To, dst.lis.Addr().String())
-	if err != nil {
-		return err
+	oc := src.connTo(env.To, dst.lis.Addr().String())
+	if oc == nil {
+		return fmt.Errorf("transport: sender %d shutting down", env.From)
 	}
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
-	if err := oc.enc.Encode(&env); err != nil {
-		// Drop the broken connection so the next send redials.
-		src.mu.Lock()
-		if src.conns[env.To] == oc {
-			delete(src.conns, env.To)
+	if !oc.enqueue(env) {
+		// The connection failed under a concurrent writer error; fail()
+		// already removed it from the endpoint's map, so re-resolving
+		// yields a fresh record whose writer redials.
+		oc = src.connTo(env.To, dst.lis.Addr().String())
+		if oc == nil {
+			return fmt.Errorf("transport: sender %d shutting down", env.From)
 		}
-		src.mu.Unlock()
-		oc.c.Close()
-		return fmt.Errorf("transport: send %d→%d: %w", env.From, env.To, err)
+		if !oc.enqueue(env) {
+			return fmt.Errorf("transport: send %d→%d: connection unavailable", env.From, env.To)
+		}
 	}
 	return nil
 }
 
-func (ep *tcpEndpoint) connTo(to NodeID, addr string) (*outConn, error) {
+// connTo finds or creates the outbound connection record for a
+// destination.  No I/O happens under ep.mu: the writer goroutine dials,
+// so a slow or unreachable peer never blocks sends to other peers.
+func (ep *tcpEndpoint) connTo(to NodeID, addr string) *outConn {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil
+	}
 	if oc, ok := ep.conns[to]; ok {
-		return oc, nil
+		return oc
 	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %d→%d: %w", ep.id, to, err)
-	}
-	oc := &outConn{enc: gob.NewEncoder(c), c: c}
+	oc := &outConn{ep: ep, to: to, addr: addr, wake: make(chan struct{}, 1)}
 	ep.conns[to] = oc
-	return oc, nil
+	ep.wg.Add(1)
+	go oc.writeLoop()
+	return oc
+}
+
+// enqueue appends the envelope to the send queue; false if the connection
+// shut down (the caller re-resolves and redials).
+func (oc *outConn) enqueue(env Envelope) bool {
+	oc.mu.Lock()
+	if oc.closed {
+		oc.mu.Unlock()
+		return false
+	}
+	oc.q = append(oc.q, env)
+	oc.mu.Unlock()
+	select {
+	case oc.wake <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// shut marks the connection closed and unblocks its writer.
+func (oc *outConn) shut() {
+	oc.mu.Lock()
+	oc.closed = true
+	oc.q = nil
+	c := oc.c
+	oc.mu.Unlock()
+	select {
+	case oc.wake <- struct{}{}:
+	default:
+	}
+	if c != nil {
+		c.Close()
+	}
+}
+
+// fail tears the connection down after an I/O error: queued envelopes are
+// dropped (the fabric's reliability model treats a broken peer as gone;
+// in-flight RPCs surface it as timeouts) and the record is removed so the
+// next send redials.
+func (oc *outConn) fail() {
+	oc.mu.Lock()
+	oc.closed = true
+	oc.q = nil
+	c := oc.c
+	oc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	oc.ep.mu.Lock()
+	if oc.ep.conns[oc.to] == oc {
+		delete(oc.ep.conns, oc.to)
+	}
+	oc.ep.mu.Unlock()
+}
+
+// writeLoop owns the connection: dial, then drain the queue forever,
+// encoding each envelope into the buffered writer and flushing only when
+// the queue runs dry — consecutive envelopes coalesce into one syscall.
+func (oc *outConn) writeLoop() {
+	defer oc.ep.wg.Done()
+	c, err := net.Dial("tcp", oc.addr)
+	if err != nil {
+		oc.fail()
+		return
+	}
+	oc.mu.Lock()
+	if oc.closed {
+		oc.mu.Unlock()
+		c.Close()
+		return
+	}
+	oc.c = c
+	oc.mu.Unlock()
+	bw := bufio.NewWriterSize(c, 64<<10)
+	buf := make([]byte, 0, 4096) // per-connection scratch, reused per envelope
+	for {
+		oc.mu.Lock()
+		for len(oc.q) == 0 {
+			closed := oc.closed
+			oc.mu.Unlock()
+			// Queue dry: push buffered frames out before sleeping.
+			if err := bw.Flush(); err != nil {
+				oc.fail()
+				return
+			}
+			if closed {
+				c.Close()
+				return
+			}
+			<-oc.wake
+			oc.mu.Lock()
+		}
+		batch := oc.q
+		oc.q = nil
+		oc.mu.Unlock()
+		for _, env := range batch {
+			buf = buf[:0]
+			buf, err = AppendFrame(buf, env)
+			if err != nil {
+				log.Printf("transport: node %d→%d: dropping envelope: %v", env.From, env.To, err)
+				continue // unencodable payload; the rest of the batch still goes
+			}
+			if _, err := bw.Write(buf); err != nil {
+				oc.fail()
+				return
+			}
+		}
+	}
 }
 
 // Close implements Network.

@@ -51,13 +51,20 @@ type Network interface {
 // latency models the interconnect's one-way delay: each envelope becomes
 // deliverable latency after it was pushed (FIFO order is preserved because
 // the delay is uniform).
+//
+// The common case — a request/response mailbox that is empty when a
+// message arrives — takes a fast path: push places the envelope straight
+// into the (buffered) out channel, skipping the pump goroutine and its two
+// scheduler handoffs.  The fast path is taken only while the pump has
+// nothing queued and nothing in flight, so FIFO order is preserved.
 type mailbox struct {
-	mu      sync.Mutex
-	queue   []timedEnvelope
-	wake    chan struct{}
-	out     chan Envelope
-	closed  bool
-	latency time.Duration
+	mu         sync.Mutex
+	queue      []timedEnvelope
+	delivering bool // pump holds an undelivered batch outside the lock
+	wake       chan struct{}
+	out        chan Envelope
+	closed     bool
+	latency    time.Duration
 }
 
 type timedEnvelope struct {
@@ -68,7 +75,7 @@ type timedEnvelope struct {
 func newMailbox(latency time.Duration) *mailbox {
 	m := &mailbox{
 		wake:    make(chan struct{}, 1),
-		out:     make(chan Envelope),
+		out:     make(chan Envelope, 256),
 		latency: latency,
 	}
 	go m.pump()
@@ -85,6 +92,18 @@ func (m *mailbox) push(env Envelope) bool {
 	if m.closed {
 		m.mu.Unlock()
 		return false
+	}
+	if m.latency == 0 && !m.delivering && len(m.queue) == 0 {
+		// Nothing ahead of this envelope: hand it to the receiver
+		// directly if the channel has room.  The send happens under m.mu,
+		// so pushes cannot reorder against each other, and the pump only
+		// sends while delivering is set, so it cannot interleave.
+		select {
+		case m.out <- env:
+			m.mu.Unlock()
+			return true
+		default:
+		}
 	}
 	m.queue = append(m.queue, te)
 	m.mu.Unlock()
@@ -112,6 +131,7 @@ func (m *mailbox) pump() {
 		}
 		batch := m.queue
 		m.queue = nil
+		m.delivering = true
 		m.mu.Unlock()
 		for _, te := range batch {
 			if m.latency > 0 {
@@ -121,6 +141,9 @@ func (m *mailbox) pump() {
 			}
 			m.out <- te.env
 		}
+		m.mu.Lock()
+		m.delivering = false
+		m.mu.Unlock()
 	}
 }
 

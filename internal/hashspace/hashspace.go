@@ -18,7 +18,6 @@ package hashspace
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 )
 
@@ -155,6 +154,14 @@ func Containing(i Index, level uint8) Partition {
 	return Partition{Prefix: i >> (Bits - uint(level)), Level: level}
 }
 
+// FNV-1a parameters (matching hash/fnv), inlined below: the hash runs once
+// per key per hop on the batched data plane, and the hash.Hash64 interface
+// costs two heap allocations per call that this path cannot afford.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // Hash maps an arbitrary key to an Index in R_h.  The model requires a
 // fixed hash with uniform dispersion (§2.2) *in the most significant bits*,
 // because partitions are identified by hash prefixes.  Raw FNV-1a disperses
@@ -163,17 +170,22 @@ func Containing(i Index, level uint8) Partition {
 // keys), so the FNV output is passed through a murmur3-style avalanche
 // finalizer, which spreads every input bit across the whole word.
 func Hash(key []byte) Index {
-	h := fnv.New64a()
-	h.Write(key) // never fails per hash.Hash contract
-	return mix(h.Sum64())
+	h := uint64(fnvOffset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return mix(h)
 }
 
 // HashString is Hash for string keys without forcing a copy at call sites.
 func HashString(key string) Index {
-	h := fnv.New64a()
-	// io.WriteString would allocate via interface; fnv accepts []byte only.
-	h.Write([]byte(key))
-	return mix(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return mix(h)
 }
 
 // mix is the 64-bit murmur3 avalanche finalizer.
