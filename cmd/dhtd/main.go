@@ -19,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,12 +47,39 @@ func main() {
 		rpcTimeout = flag.Duration("rpc-timeout", 30*time.Second, "internal RPC timeout")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful shutdown drain window")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. 127.0.0.1:6060; empty = off)")
+		capacity   = flag.String("capacity", "", "comma-separated per-snode capacity weights, cycled over the boot snodes (e.g. \"1,1,4,4\"; empty = all 1)")
+		balance    = flag.Duration("balance", 0, "autonomous balancer interval (0 = off; e.g. 5s)")
+		balThresh  = flag.Float64("balance-threshold", 0.15, "capacity-normalized per-snode quota deviation that triggers rebalancing")
+		balMoves   = flag.Int("balance-moves", 2, "max enrollment adjustments per balancer round")
 	)
 	flag.Parse()
-	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr); err != nil {
+	caps, err := parseCapacities(*capacity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
+		os.Exit(2)
+	}
+	bal := dbdht.BalanceConfig{Interval: *balance, QuotaDeviation: *balThresh, MaxMovesPerRound: *balMoves}
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal); err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// parseCapacities parses the -capacity list of positive weights.
+func parseCapacities(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || !(w > 0) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("-capacity entry %q must be a positive finite number", p)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // pprofHandler mounts the net/http/pprof endpoints on a fresh mux, so the
@@ -65,14 +95,14 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string) error {
+func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig) error {
 	if snodes < 1 {
 		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
 	}
 	if vnodes < 0 {
 		return fmt.Errorf("-vnodes must be >= 0, got %d", vnodes)
 	}
-	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout, Replicas: replicas}
+	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout, Replicas: replicas, Balance: bal}
 	var (
 		c   *dbdht.Cluster
 		err error
@@ -91,7 +121,11 @@ func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fa
 	defer c.Close()
 
 	for i := 0; i < snodes; i++ {
-		if _, err := c.AddSnode(); err != nil {
+		w := 1.0
+		if len(caps) > 0 {
+			w = caps[i%len(caps)]
+		}
+		if _, err := c.AddSnodeWithCapacity(w); err != nil {
 			return err
 		}
 	}
@@ -101,8 +135,12 @@ func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fa
 			return err
 		}
 	}
-	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, R=%d, fabric=%s)",
-		snodes, vnodes, pmin, vmin, replicas, fabric)
+	balanced := "off"
+	if bal.Interval > 0 {
+		balanced = bal.Interval.String()
+	}
+	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, R=%d, fabric=%s, balance=%s)",
+		snodes, vnodes, pmin, vmin, replicas, fabric, balanced)
 
 	if pprofAddr != "" {
 		pprofSrv := &http.Server{Addr: pprofAddr, Handler: pprofHandler()}

@@ -66,6 +66,19 @@ type KV = cluster.KV
 // batches have partial-failure semantics — check each result's Err.
 type BatchResult = cluster.BatchResult
 
+// BalanceConfig tunes the autonomous load-aware balancer (interval,
+// quota-deviation threshold, per-round move budget).
+type BalanceConfig = cluster.BalanceConfig
+
+// BalanceRound is one balancer round's outcome.
+type BalanceRound = cluster.BalanceRound
+
+// BalancerStats aggregates the balancer's lifetime counters.
+type BalancerStats = cluster.BalancerStats
+
+// SnodeLoad is one snode's load report (capacity, quota, EWMA rates).
+type SnodeLoad = cluster.SnodeLoad
+
 // GroupID is the decentralized binary group identifier of §3.7.1.
 type GroupID = core.GroupID
 
@@ -103,6 +116,13 @@ type ClusterOptions struct {
 	// AntiEntropyInterval paces the background replica repair pass
 	// (default 1s; only runs when Replicas > 1).
 	AntiEntropyInterval time.Duration
+	// Balance configures the autonomous load-aware balancer.  Zero value:
+	// the background loop is off; Cluster.BalanceNow still runs rounds on
+	// demand.
+	Balance BalanceConfig
+	// LoadInterval paces the per-bucket EWMA load accounting the balancer
+	// observes (default 500ms).
+	LoadInterval time.Duration
 }
 
 // NewLocal returns an empty local-approach DHT.
@@ -127,6 +147,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
+		Balance: o.Balance, LoadInterval: o.LoadInterval,
 	}, transport.NewMem())
 }
 
@@ -136,6 +157,7 @@ func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
+		Balance: o.Balance, LoadInterval: o.LoadInterval,
 	}, transport.NewTCP(host))
 }
 

@@ -288,6 +288,78 @@ func (t *Table[K]) MergeNeeded(pmax int) bool {
 	return len(t.counts) > 0 && t.Total() >= len(t.counts)*pmax
 }
 
+// WeightedTargets apportions total discrete units (the cluster runtime
+// uses it for per-snode vnode enrollment slots) across keys proportionally
+// to their positive capacity weights, by the largest-remainder method:
+// every key gets the floor of its exact share, and the leftover units go
+// to the largest fractional remainders (ties broken toward the smallest
+// key, keeping the apportionment deterministic).  When total ≥ len(weights)
+// every key is guaranteed at least one unit — a zero target would evict a
+// host from the DHT entirely, which is an operator decision, not a
+// balancement one — with the units taken from the largest targets.
+func WeightedTargets[K comparable](weights map[K]float64, total int, less func(a, b K) bool) (map[K]int, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("balance: negative total %d", total)
+	}
+	sum := 0.0
+	for k, w := range weights {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("balance: weight of %v must be a positive finite number, got %v", k, w)
+		}
+		sum += w
+	}
+	out := make(map[K]int, len(weights))
+	if len(weights) == 0 || total == 0 {
+		for k := range weights {
+			out[k] = 0
+		}
+		return out, nil
+	}
+	type ent struct {
+		k    K
+		frac float64
+	}
+	ents := make([]ent, 0, len(weights))
+	assigned := 0
+	for k, w := range weights {
+		share := float64(total) * w / sum
+		fl := int(math.Floor(share))
+		out[k] = fl
+		assigned += fl
+		ents = append(ents, ent{k: k, frac: share - float64(fl)})
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		if ents[i].frac != ents[j].frac {
+			return ents[i].frac > ents[j].frac
+		}
+		return less(ents[i].k, ents[j].k)
+	})
+	for i := 0; assigned < total; i++ {
+		out[ents[i%len(ents)].k]++
+		assigned++
+	}
+	// Min-one fixup: lift zero targets by taking from the current maxima.
+	if total >= len(weights) {
+		for k, c := range out {
+			if c > 0 {
+				continue
+			}
+			var maxK K
+			maxC := -1
+			for k2, c2 := range out {
+				if c2 > maxC || (c2 == maxC && less(k2, maxK)) {
+					maxK, maxC = k2, c2
+				}
+			}
+			if maxC > 1 {
+				out[maxK]--
+				out[k] = 1
+			}
+		}
+	}
+	return out, nil
+}
+
 // Flatten repeatedly moves one partition from the current maximum to the
 // current minimum while that decreases σ, never driving a victim below pmin.
 // It is used after merges and removals to restore the flattest reachable

@@ -177,11 +177,14 @@ func (s *Snode) handleBatch(m batchReq) {
 					again = append(again, w.idxs...)
 					continue
 				}
+				var readBytes int64
 				for _, i := range w.idxs {
 					v, found := bk.m[m.Items[i].Key]
+					readBytes += int64(len(v))
 					results[i] = batchItemResp{Value: append([]byte(nil), v...), Found: found}
 				}
 				bk.mu.RUnlock()
+				bk.noteReads(int64(len(w.idxs)), readBytes)
 			} else {
 				bk.mu.Lock()
 				if bk.state != bucketLive {
@@ -194,6 +197,7 @@ func (s *Snode) handleBatch(m batchReq) {
 					}
 					continue
 				}
+				var wroteBytes int64
 				for _, i := range w.idxs {
 					it := m.Items[i]
 					switch m.Kind {
@@ -203,14 +207,21 @@ func (s *Snode) handleBatch(m batchReq) {
 							v = append([]byte(nil), v...)
 						}
 						bk.m[it.Key] = v
+						wroteBytes += int64(len(v))
 						results[i] = batchItemResp{Found: true}
 					case opDel:
 						_, found := bk.m[it.Key]
 						delete(bk.m, it.Key)
 						results[i] = batchItemResp{Found: found}
 					}
+					if bk.mig != nil {
+						// The bucket is streaming out in a live migration:
+						// record the key so a delta round re-ships it.
+						bk.mig.dirty[it.Key] = struct{}{}
+					}
 				}
 				bk.mu.Unlock()
+				bk.noteWrites(int64(len(w.idxs)), wroteBytes)
 			}
 			s.stats.DataOps.Add(int64(len(w.idxs)))
 			if replicate && len(w.reps) > 0 {
@@ -227,6 +238,7 @@ func (s *Snode) handleBatch(m batchReq) {
 			if freezeDeadline.IsZero() {
 				freezeDeadline = now.Add(s.cfg.FreezeTimeout)
 			} else if now.After(freezeDeadline) {
+				s.stats.FreezeTimeouts.Add(int64(len(frozen)))
 				for _, i := range frozen {
 					results[i] = batchItemResp{Err: fmt.Sprintf(
 						"partition frozen: transfer did not settle within %v", s.cfg.FreezeTimeout)}
@@ -378,10 +390,13 @@ func (c *Cluster) MDelete(keys []string) ([]BatchResult, error) {
 }
 
 // route is one cached owner pointer at the handle, together with the
-// partition's replica hosts for read failover.
+// partition's replica hosts for read failover.  dead marks a route whose
+// primary crashed but whose replicas survive: reads aim straight at a
+// replica (no doomed RPC to the dead primary first), writes re-resolve.
 type route struct {
 	ref      ownerRef
 	replicas []transport.NodeID
+	dead     bool
 }
 
 // learnRoutes folds served-partition info from batch responses into the
@@ -397,17 +412,67 @@ func (c *Cluster) learnRoutes(entries []routeEntry) {
 	}
 }
 
-// dropRoutesTo forgets every cached route aimed at a host that stopped
-// answering (it left the cluster or the fabric).
-func (c *Cluster) dropRoutesTo(host transport.NodeID) {
+// purgeRoutesTo rewrites the handle's cache when a snode departs, so the
+// first post-departure batch pays no failed round-trip discovering it.
+//
+// Graceful leave: the leaver's partitions all migrated to survivors and
+// its custody table was bequeathed, so every pointer at it — owner routes
+// and replica-set entries alike — is dropped outright; re-resolution
+// through the (intact) custody chains relearns fresh routes.
+//
+// Crash: a route whose primary died but whose replicas survive is kept
+// and marked dead, so the very next read goes straight to a replica
+// instead of burning a failed RPC; a victim route that knows no replicas
+// is dropped (nothing can serve it).  Replica-set entries at OTHER
+// routes are deliberately NOT stripped: a crash can orphan custody
+// chains, leaving cached routes as the only path to perfectly healthy
+// partitions, and invalidateStaleRoutes uses a non-empty replica list as
+// its keep signal when a live primary merely times out under the
+// post-crash congestion — blanking those lists would let one transient
+// timeout evict the irreplaceable route.
+func (c *Cluster) purgeRoutesTo(host transport.NodeID, crashed bool) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
 	for p, rt := range c.routes {
-		if rt.ref.Host == host {
-			delete(c.routes, p)
-			c.routeLvls.remove(p.Level)
+		if !crashed {
+			if n := stripHost(rt.replicas, host); len(n) != len(rt.replicas) {
+				rt.replicas = n
+				c.routes[p] = rt
+			}
+		}
+		if rt.ref.Host != host {
+			continue
+		}
+		if crashed && len(rt.replicas) > 0 {
+			rt.dead = true
+			c.routes[p] = rt
+			continue
+		}
+		delete(c.routes, p)
+		c.routeLvls.remove(p.Level)
+	}
+}
+
+// stripHost filters one host out of a replica list, returning the input
+// slice unchanged when the host is absent.
+func stripHost(reps []transport.NodeID, host transport.NodeID) []transport.NodeID {
+	found := false
+	for _, r := range reps {
+		if r == host {
+			found = true
+			break
 		}
 	}
+	if !found {
+		return reps
+	}
+	out := make([]transport.NodeID, 0, len(reps)-1)
+	for _, r := range reps {
+		if r != host {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // invalidateStaleRoutes handles a host that stopped answering mid-batch:
@@ -415,7 +480,11 @@ func (c *Cluster) dropRoutesTo(host transport.NodeID) {
 // retry re-resolves them via the normal lookup path), while routes that
 // know replica hosts are kept, so every later read of a dead primary's
 // partition keeps failing over instead of dead-ending in the custody
-// chain.
+// chain.  Kept routes are deliberately NOT marked dead here: an RPC
+// failure may be transient congestion at a live host (e.g. it is stuck
+// forwarding into a crash), and only an authoritative departure
+// (purgeRoutesTo, from RemoveSnode/KillSnode) may divert its traffic
+// permanently.
 func (c *Cluster) invalidateStaleRoutes(host transport.NodeID) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
@@ -514,15 +583,30 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 		}
 		groups := make(map[transport.NodeID][]int)
 		var unrouted []int
+		var replicaGroups map[transport.NodeID][]int
 		if attempt == 0 {
 			// Probe the owner cache for the whole batch under one lock
-			// acquisition, not one per item.
+			// acquisition, not one per item.  A dead-primary route (crash
+			// with surviving replicas) sends reads straight to a replica
+			// and everything else back through the lookup path — never a
+			// doomed RPC at the dead host.
 			c.routeMu.Lock()
 			for _, i := range pending {
-				if rt, ok := probeLevels(hashes[i], c.routes, &c.routeLvls); ok {
-					groups[rt.ref.Host] = append(groups[rt.ref.Host], i)
-				} else {
+				rt, ok := probeLevels(hashes[i], c.routes, &c.routeLvls)
+				switch {
+				case !ok:
 					unrouted = append(unrouted, i)
+				case rt.dead:
+					if kind == opGet && len(rt.replicas) > 0 {
+						if replicaGroups == nil {
+							replicaGroups = make(map[transport.NodeID][]int)
+						}
+						replicaGroups[rt.replicas[0]] = append(replicaGroups[rt.replicas[0]], i)
+					} else {
+						unrouted = append(unrouted, i)
+					}
+				default:
+					groups[rt.ref.Host] = append(groups[rt.ref.Host], i)
 				}
 			}
 			c.routeMu.Unlock()
@@ -541,6 +625,22 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 			mergeMu sync.Mutex
 			retry   []int
 		)
+		if len(replicaGroups) > 0 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				served := c.failoverReads(kind, replicaGroups, items, results, &mergeMu)
+				mergeMu.Lock()
+				for _, idxs := range replicaGroups {
+					for _, i := range idxs {
+						if !served[i] {
+							retry = append(retry, i)
+						}
+					}
+				}
+				mergeMu.Unlock()
+			}()
+		}
 		for host, idxs := range groups {
 			wg.Add(1)
 			go func(host transport.NodeID, idxs []int) {
@@ -556,6 +656,7 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 					// The believed owner stopped answering.  Plan read
 					// failover from the replica sets cached with the
 					// routes, then invalidate the stale routes.
+					c.subFails.Add(1)
 					var plan map[transport.NodeID][]int
 					if kind == opGet {
 						plan = c.planFailover(host, idxs, items)
@@ -613,6 +714,7 @@ func (c *Cluster) failoverReads(kind dataOp, plan map[transport.NodeID][]int, it
 			return batchReq{Op: op, Kind: kind, Items: sub, ReplyTo: clientID, ReadReplica: true}
 		})
 		if err != nil {
+			c.subFails.Add(1)
 			continue
 		}
 		resp := v.(batchResp)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -31,11 +32,23 @@ type Cluster struct {
 	mu           sync.Mutex
 	snodes       map[transport.NodeID]*Snode
 	order        []transport.NodeID
+	caps         map[transport.NodeID]float64 // per-snode capacity weights
 	nextID       transport.NodeID
 	viewEpoch    uint64
 	bootstrapped bool
 	firstOwner   ownerRef
 	rng          *rand.Rand
+
+	// Autonomous balancer state (see balancer.go).
+	balMu     sync.Mutex // serializes balance rounds
+	balRounds atomic.Int64
+	balMoves  atomic.Int64
+	balSigma  atomic.Uint64 // float64 bits of the last round's deviation
+
+	// subFails counts batch sub-requests that failed with a transport or
+	// RPC error — the handle-side cost of stale routes (tests assert a
+	// graceful departure leaves none behind).
+	subFails atomic.Int64
 
 	// Owner-route cache learned from batch responses: batches aim straight
 	// at believed owners instead of random entry snodes.
@@ -68,6 +81,9 @@ func (a *StatsSnapshot) fold(b StatsSnapshot) {
 	a.ReplRepairs += b.ReplRepairs
 	a.ReplLagged += b.ReplLagged
 	a.FailoverReads += b.FailoverReads
+	a.ChunksSent += b.ChunksSent
+	a.MigAborts += b.MigAborts
+	a.FreezeTimeouts += b.FreezeTimeouts
 }
 
 // New starts an empty cluster over the given fabric (use transport.NewMem()
@@ -86,12 +102,16 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 		net:     net,
 		pending: make(map[uint64]chan any),
 		snodes:  make(map[transport.NodeID]*Snode),
+		caps:    make(map[transport.NodeID]float64),
 		nextID:  1,
 		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
 		routes:  make(map[hashspace.Partition]route),
 		done:    make(chan struct{}),
 	}
 	go c.loop(inbox)
+	if cfg.Balance.Interval > 0 {
+		go c.balancerLoop()
+	}
 	return c, nil
 }
 
@@ -110,6 +130,8 @@ func (c *Cluster) loop(inbox <-chan transport.Envelope) {
 		case lookupResp:
 			op = m.Op
 		case batchResp:
+			op = m.Op
+		case loadReportResp:
 			op = m.Op
 		default:
 			continue
@@ -149,8 +171,26 @@ func (c *Cluster) rpc(to transport.NodeID, build func(op uint64) any) (any, erro
 	}
 }
 
-// AddSnode joins a fresh snode to the cluster and returns its id.
+// AddSnode joins a fresh snode of unit capacity to the cluster and
+// returns its id.
 func (c *Cluster) AddSnode() (transport.NodeID, error) {
+	return c.AddSnodeWithCapacity(1)
+}
+
+// validCapacity rejects non-positive, NaN and infinite weights — the
+// same domain balance.WeightedTargets demands, enforced at the entry
+// points so a bad weight cannot wedge the balancer's rounds later.
+func validCapacity(w float64) bool {
+	return w > 0 && !math.IsInf(w, 0) // NaN fails w > 0
+}
+
+// AddSnodeWithCapacity joins a fresh snode with the given capacity weight
+// (base-model feature (a): heterogeneous nodes).  The autonomous balancer
+// aims each snode's share of the hash space at weight/Σweights.
+func (c *Cluster) AddSnodeWithCapacity(weight float64) (transport.NodeID, error) {
+	if !validCapacity(weight) {
+		return 0, fmt.Errorf("cluster: capacity weight must be a positive finite number, got %v", weight)
+	}
 	c.mu.Lock()
 	id := c.nextID
 	c.nextID++
@@ -166,6 +206,7 @@ func (c *Cluster) AddSnode() (transport.NodeID, error) {
 	c.mu.Lock()
 	c.snodes[id] = s
 	c.order = append(c.order, id)
+	c.caps[id] = weight
 	c.mu.Unlock()
 	if haveBoot {
 		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: boot}})
@@ -194,6 +235,32 @@ func (c *Cluster) broadcastView() {
 // ReplicationFactor returns R, the configured number of copies per
 // partition (1 = replication off).
 func (c *Cluster) ReplicationFactor() int { return c.cfg.Replicas }
+
+// SetCapacity re-weights a live snode; the balancer's next round adjusts
+// enrollment toward the new target.
+func (c *Cluster) SetCapacity(id transport.NodeID, weight float64) error {
+	if !validCapacity(weight) {
+		return fmt.Errorf("cluster: capacity weight must be a positive finite number, got %v", weight)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.snodes[id]; !ok {
+		return fmt.Errorf("cluster: snode %d not in cluster", id)
+	}
+	c.caps[id] = weight
+	return nil
+}
+
+// Capacities returns the per-snode capacity weights.
+func (c *Cluster) Capacities() map[transport.NodeID]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[transport.NodeID]float64, len(c.caps))
+	for id, w := range c.caps {
+		out[id] = w
+	}
+	return out
+}
 
 // Snodes returns the live snode ids in join order.
 func (c *Cluster) Snodes() []transport.NodeID {
@@ -320,6 +387,7 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	}
 	c.mu.Lock()
 	delete(c.snodes, id)
+	delete(c.caps, id)
 	for i, o := range c.order {
 		if o == id {
 			c.order = append(c.order[:i], c.order[i+1:]...)
@@ -330,7 +398,10 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	needNewBoot := c.firstOwner.Host == id
 	c.mu.Unlock()
 	c.broadcastView() // before any fallible step: placement must stop using the leaver
-	c.dropRoutesTo(id)
+	// Proactive purge: the leaver's partitions all moved to survivors, so
+	// every cached pointer at it — owner routes and replica sets alike —
+	// is stale now, not on the first failed batch RPC.
+	c.purgeRoutesTo(id, false)
 	// Bequeath the leaver's custody table so no routing chain dangles.
 	leaving := snodeLeavingMsg{Leaving: id, Routes: s.routingTable()}
 	for _, sid := range survivors {
@@ -364,6 +435,7 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 		return fmt.Errorf("cluster: snode %d not in cluster", id)
 	}
 	delete(c.snodes, id)
+	delete(c.caps, id)
 	for i, o := range c.order {
 		if o == id {
 			c.order = append(c.order[:i], c.order[i+1:]...)
@@ -373,9 +445,12 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 	survivors := append([]transport.NodeID(nil), c.order...)
 	needNewBoot := c.firstOwner.Host == id
 	c.mu.Unlock()
-	// Keep the handle's routes to the dead snode: the replica hosts cached
-	// alongside them are exactly what read failover needs.  They fail fast
-	// and self-clean on first use instead.
+	// Proactive purge: routes aimed at the dead snode with surviving
+	// replicas are retargeted (marked dead-primary, so the very next read
+	// goes straight to a replica instead of burning a failed RPC first);
+	// routes with no surviving copy are dropped, and the dead host is
+	// stripped from every cached replica set.
+	c.purgeRoutesTo(id, true)
 	c.retiredMu.Lock()
 	c.retired.fold(s.stats.snapshot())
 	c.retiredMu.Unlock()

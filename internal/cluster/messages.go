@@ -152,21 +152,8 @@ type shipVnodeResp struct {
 	Err string
 }
 
-// partitionData carries one partition's contents to its new owner.
-type partitionData struct {
-	Op        uint64
-	Group     core.GroupID
-	To        VnodeName
-	Partition hashspace.Partition
-	Level     uint8
-	Data      map[string][]byte
-	ReplyTo   transport.NodeID
-}
-
-type partitionAck struct {
-	Op  uint64
-	Err string
-}
+// Partition contents travel by chunked live migration — see migrate.go
+// for migBeginReq/migChunkReq/migCommitReq/migAbortMsg.
 
 // --- group management ---
 
@@ -239,7 +226,6 @@ func init() {
 		splitAllReq{}, splitAllResp{},
 		transferReq{}, transferResp{},
 		shipVnodeReq{}, shipVnodeResp{},
-		partitionData{}, partitionAck{},
 		groupInit{}, groupInitResp{},
 		lpdrSyncMsg{}, bootstrapInfo{}, snodeLeavingMsg{},
 		pingReq{}, pingResp{},

@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
+	"dbdht/internal/hashspace"
+)
+
+// Chunked live partition migration.  The original transfer path froze the
+// whole bucket for the entire handover — snapshot, ship, ack — so a large
+// partition under sustained writes could hold writers across the full
+// transfer and, with an autonomous balancer migrating frequently, drive
+// them into FreezeTimeout errors.  This file replaces it with an
+// incremental protocol that keeps the bucket LIVE while its contents
+// stream out in bounded chunks and freezes only for the final delta:
+//
+//  1. migBeginReq opens a staging bucket at the receiving snode.
+//  2. The sender snapshots the key list, turns on dirty-key tracking in
+//     the live bucket (writes keep landing locally and are recorded), and
+//     streams the base contents as migChunkReq messages of bounded size.
+//  3. Keys written during the stream are re-sent in delta rounds, still
+//     live, until the dirty set is small or the round budget is spent.
+//  4. Only then does the bucket freeze: migCommitReq carries the last
+//     (small) delta, the receiver folds it into the staging bucket and
+//     installs it as the live owned partition, and the sender retires its
+//     copy behind a custody tombstone.  The freeze window is one small
+//     message round-trip instead of a whole-bucket ship.
+//
+// Any failure aborts: the sender flips its bucket back to live (requeued
+// writes proceed) and the receiver discards the staging bucket, so the
+// partition stays owned by exactly one host.  The one ambiguous case is
+// a commit whose ACK is lost after the receiver installed: the sender
+// then probes the receiver with a lookup and completes the handover if
+// the receiver answers as owner, aborting only when it provably does
+// not own the region — reverting blindly would leave both sides
+// serving.
+//
+// All five messages ride the hand-rolled binary frame codec (wire.go):
+// with the balancer migrating continuously they are data-plane volume,
+// not control-plane volume.
+
+// migSender is the outbound side's tracking state, hung off the live
+// bucket.  The pointer itself transitions under BOTH s.mu and the
+// bucket's mutex (like bucket.state), so either lock alone makes a read
+// race-free; the dirty set inside is guarded by the bucket's mutex alone,
+// exactly like the bucket's data map.
+type migSender struct {
+	// dirty records keys written (put or deleted) since their last chunk
+	// was streamed; each delta round swaps it for a fresh map.
+	dirty map[string]struct{}
+}
+
+// migInbound is one staging bucket at the receiving snode: contents
+// accumulate here, invisible to the data plane, until the commit installs
+// them as the live owned partition.
+type migInbound struct {
+	to    VnodeName
+	group core.GroupID
+	level uint8
+	data  map[string][]byte
+}
+
+// migItem is one key of a migration chunk.  Del marks a deletion observed
+// during the live stream (the staging bucket must forget the key).
+type migItem struct {
+	Key   string
+	Value []byte
+	Del   bool
+}
+
+// migBeginReq opens a staging bucket for a partition about to stream in.
+type migBeginReq struct {
+	Op        uint64
+	Group     core.GroupID
+	To        VnodeName
+	Partition hashspace.Partition
+	Level     uint8
+	ReplyTo   transport.NodeID
+}
+
+type migBeginResp struct {
+	Op  uint64
+	Err string
+}
+
+// migChunkReq carries one bounded slice of the partition's contents (base
+// snapshot or delta round) into the staging bucket.
+type migChunkReq struct {
+	Op        uint64
+	To        VnodeName
+	Partition hashspace.Partition
+	Items     []migItem
+	ReplyTo   transport.NodeID
+	// private is the frame decoder's exclusively-owned-slices mark, as on
+	// batchReq: decoded values may be stored without a defensive copy.
+	private bool
+}
+
+type migChunkResp struct {
+	Op  uint64
+	Err string
+}
+
+// migCommitReq is the final, frozen-window delta: the receiver folds it in
+// and installs the staging bucket as the live owned partition.
+type migCommitReq struct {
+	Op        uint64
+	To        VnodeName
+	Partition hashspace.Partition
+	Items     []migItem
+	ReplyTo   transport.NodeID
+	private   bool
+}
+
+type migCommitResp struct {
+	Op  uint64
+	Err string
+}
+
+// migAbortMsg discards a staging bucket after a sender-side failure
+// (fire-and-forget; a missed abort is bounded garbage, not corruption —
+// a later begin for the same partition replaces the staging bucket).
+type migAbortMsg struct {
+	To        VnodeName
+	Partition hashspace.Partition
+}
+
+func init() {
+	for _, m := range []any{
+		migBeginReq{}, migBeginResp{},
+		migChunkReq{}, migChunkResp{},
+		migCommitReq{}, migCommitResp{},
+		migAbortMsg{},
+	} {
+		gob.Register(m)
+	}
+}
+
+// --- sender side ---
+
+// collectDeltaLocked turns a dirty-key set into chunk items reflecting the
+// bucket's current contents (absent key ⇒ deletion).  Caller holds the
+// bucket's mutex (read or write).
+func collectDeltaLocked(bk *bucket, dirty map[string]struct{}) []migItem {
+	if len(dirty) == 0 {
+		return nil
+	}
+	items := make([]migItem, 0, len(dirty))
+	for k := range dirty {
+		if v, ok := bk.m[k]; ok {
+			items = append(items, migItem{Key: k, Value: v})
+		} else {
+			items = append(items, migItem{Key: k, Del: true})
+		}
+	}
+	return items
+}
+
+// sendChunk ships one chunk and waits for the ack.
+func (s *Snode) sendChunk(toHost transport.NodeID, to VnodeName, p hashspace.Partition, items []migItem) error {
+	v, err := s.rpc(toHost, func(op uint64) any {
+		return migChunkReq{Op: op, To: to, Partition: p, Items: items, ReplyTo: s.id}
+	})
+	if err != nil {
+		return err
+	}
+	if resp := v.(migChunkResp); resp.Err != "" {
+		return fmt.Errorf("cluster: migration chunk at %d: %s", toHost, resp.Err)
+	}
+	s.stats.ChunksSent.Add(1)
+	return nil
+}
+
+// migratePartition streams one owned, live partition to its new owner and
+// returns the number of key entries shipped.  On error the bucket is live
+// again and still owned here; on success it is dead behind a custody
+// tombstone and the receiver owns the partition.
+func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.NodeID, p hashspace.Partition, level uint8, vs *vnodeState, bk *bucket) (int, error) {
+	chunk := s.cfg.MigrationChunkKeys
+
+	// Open the staging bucket before touching local state, so a dead or
+	// refusing receiver costs nothing.
+	v, err := s.rpc(toHost, func(op uint64) any {
+		return migBeginReq{Op: op, Group: g, To: to, Partition: p, Level: level, ReplyTo: s.id}
+	})
+	if err != nil {
+		return 0, err
+	}
+	if resp := v.(migBeginResp); resp.Err != "" {
+		return 0, fmt.Errorf("cluster: migration begin at %d: %s", toHost, resp.Err)
+	}
+
+	// Turn on dirty tracking and snapshot the key list in one critical
+	// section: every write from here on either is in the key snapshot or
+	// lands in the dirty set (or both — re-sent values are idempotent).
+	s.mu.Lock()
+	bk.mu.Lock()
+	if bk.state != bucketLive || bk.mig != nil {
+		bk.mu.Unlock()
+		s.mu.Unlock()
+		s.send(toHost, migAbortMsg{To: to, Partition: p})
+		return 0, fmt.Errorf("cluster: partition %v not live for migration", p)
+	}
+	bk.mig = &migSender{dirty: make(map[string]struct{})}
+	keys := make([]string, 0, len(bk.m))
+	for k := range bk.m {
+		keys = append(keys, k)
+	}
+	bk.mu.Unlock()
+	s.mu.Unlock()
+
+	moved := 0
+	abort := func(err error) (int, error) {
+		s.mu.Lock()
+		bk.mu.Lock()
+		bk.mig = nil
+		if bk.state == bucketFrozen {
+			bk.state = bucketLive
+		}
+		bk.mu.Unlock()
+		s.mu.Unlock()
+		s.send(toHost, migAbortMsg{To: to, Partition: p})
+		s.stats.MigAborts.Add(1)
+		return moved, err
+	}
+
+	// Base stream: bounded chunks read under the bucket's read lock, so
+	// concurrent writes proceed between chunks.  A key deleted since the
+	// snapshot is skipped here — the deletion is in the dirty set.
+	for start := 0; start < len(keys); start += chunk {
+		end := min(start+chunk, len(keys))
+		items := make([]migItem, 0, end-start)
+		bk.mu.RLock()
+		for _, k := range keys[start:end] {
+			if v, ok := bk.m[k]; ok {
+				items = append(items, migItem{Key: k, Value: v})
+			}
+		}
+		bk.mu.RUnlock()
+		if len(items) == 0 {
+			continue
+		}
+		if err := s.sendChunk(toHost, to, p, items); err != nil {
+			return abort(err)
+		}
+		moved += len(items)
+	}
+
+	// Delta rounds, still live: keys written during the stream are re-sent
+	// until the dirty set fits the final frozen delta or the round budget
+	// is spent (a write rate that outruns the stream indefinitely would
+	// otherwise never converge — the final delta then pays a longer freeze,
+	// bounded by the write rate times one round).
+	for round := 0; round < s.cfg.MigrationMaxDeltaRounds; round++ {
+		bk.mu.Lock()
+		if len(bk.mig.dirty) <= chunk {
+			bk.mu.Unlock()
+			break
+		}
+		dirty := bk.mig.dirty
+		bk.mig.dirty = make(map[string]struct{})
+		items := collectDeltaLocked(bk, dirty)
+		bk.mu.Unlock()
+		if err := s.sendChunk(toHost, to, p, items); err != nil {
+			return abort(err)
+		}
+		moved += len(items)
+	}
+
+	// Freeze for the final delta only.  Writes arriving now requeue on the
+	// batch path's frozen-deadline loop; the window is one commit
+	// round-trip carrying at most one round of residual writes.
+	s.mu.Lock()
+	bk.mu.Lock()
+	bk.state = bucketFrozen
+	final := collectDeltaLocked(bk, bk.mig.dirty)
+	bk.mu.Unlock()
+	s.mu.Unlock()
+
+	v, err = s.rpc(toHost, func(op uint64) any {
+		return migCommitReq{Op: op, To: to, Partition: p, Items: final, ReplyTo: s.id}
+	})
+	if err != nil {
+		// The commit RPC failing does NOT mean the commit failed: the
+		// receiver installs before acking (and re-homes replicas, which
+		// can outlast the RPC timeout), so the install may have landed
+		// with only its ack lost.  Blindly reverting to live would leave
+		// BOTH snodes serving the partition.  Ask the receiver who owns
+		// the region now and complete the handover if it answers as
+		// owner.  A probe error or a not-yet-owning answer is retried
+		// with a pause: the commit handler runs in its own goroutine, so
+		// a just-dispatched install may still be racing the (inline)
+		// lookup.  Abort only when the receiver repeatedly answers as
+		// NOT owning, or never answers at all (under the model's
+		// no-partition assumption an unreachable receiver has crashed,
+		// and a crashed receiver serves nobody, so reverting to live
+		// cannot create a second server).
+		for attempt := 0; attempt < 5; attempt++ {
+			if attempt > 0 {
+				time.Sleep(20 * time.Millisecond)
+			}
+			lv, lerr := s.rpc(toHost, func(op uint64) any {
+				return lookupReq{Op: op, R: p.Start(), ReplyTo: s.id}
+			})
+			if lerr != nil {
+				continue
+			}
+			if lr, ok := lv.(lookupResp); ok && lr.Err == "" &&
+				lr.Owner == to && lr.Host == toHost && lr.Partition == p {
+				err = nil
+				break
+			}
+		}
+		if err != nil {
+			return abort(err)
+		}
+	} else if resp := v.(migCommitResp); resp.Err != "" {
+		return abort(fmt.Errorf("cluster: migration commit at %d: %s", toHost, resp.Err))
+	}
+	moved += len(final)
+
+	// Committed: retire the local copy behind a custody tombstone.
+	s.mu.Lock()
+	bk.mu.Lock()
+	bk.state = bucketDead
+	bk.m = nil
+	bk.mig = nil
+	bk.mu.Unlock()
+	delete(vs.parts, p)
+	s.delOwnedLocked(p, bk)
+	s.setTombLocked(p, ownerRef{Vnode: to, Host: toHost})
+	s.mu.Unlock()
+	s.dropOrphanReplicas(p, toHost)
+	s.stats.PartitionsSent.Add(1)
+	s.stats.KeysMoved.Add(int64(moved))
+	return moved, nil
+}
+
+// --- receiver side ---
+
+// applyMigItems folds chunk items into a staging map.
+func applyMigItems(data map[string][]byte, items []migItem, private bool) {
+	for _, it := range items {
+		if it.Del {
+			delete(data, it.Key)
+			continue
+		}
+		v := it.Value
+		if !private {
+			// Over the by-reference in-memory fabric values stay shared
+			// with the sender's bucket (immutable by convention, exactly
+			// as the data plane stores them); only the slice header is
+			// copied.  Decoded frames pass private and skip even that.
+			v = append([]byte(nil), v...)
+		}
+		data[it.Key] = v
+	}
+}
+
+// handleMigBegin opens (or replaces) the staging bucket for a partition.
+// Runs inline: no nested RPCs.
+func (s *Snode) handleMigBegin(m migBeginReq) {
+	s.mu.Lock()
+	if _, ok := s.vnodes[m.To]; !ok {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, migBeginResp{Op: m.Op, Err: fmt.Sprintf("vnode %v not allocated at %d", m.To, s.id)})
+		return
+	}
+	s.migIn[m.Partition] = &migInbound{
+		to: m.To, group: m.Group, level: m.Level,
+		data: make(map[string][]byte),
+	}
+	s.mu.Unlock()
+	s.send(m.ReplyTo, migBeginResp{Op: m.Op})
+}
+
+// handleMigChunk folds one chunk into the staging bucket.  Runs inline.
+func (s *Snode) handleMigChunk(m migChunkReq) {
+	s.mu.Lock()
+	st, ok := s.migIn[m.Partition]
+	if !ok || st.to != m.To {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, migChunkResp{Op: m.Op, Err: fmt.Sprintf("no migration staged for %v at %d", m.Partition, s.id)})
+		return
+	}
+	applyMigItems(st.data, m.Items, m.private)
+	s.mu.Unlock()
+	s.send(m.ReplyTo, migChunkResp{Op: m.Op})
+}
+
+// handleMigCommit applies the final delta and installs the staging bucket
+// as the live owned partition — the successor of the retired
+// whole-bucket install, same bookkeeping: ownership index, level/group
+// adoption, custody cleanup, replica re-homing before the ack.  Runs in
+// its own goroutine (re-homing performs nested RPCs).
+func (s *Snode) handleMigCommit(m migCommitReq) {
+	s.mu.Lock()
+	st, ok := s.migIn[m.Partition]
+	if !ok || st.to != m.To {
+		s.mu.Unlock()
+		s.send(m.ReplyTo, migCommitResp{Op: m.Op, Err: fmt.Sprintf("no migration staged for %v at %d", m.Partition, s.id)})
+		return
+	}
+	vs, ok := s.vnodes[m.To]
+	if !ok {
+		delete(s.migIn, m.Partition)
+		s.mu.Unlock()
+		s.send(m.ReplyTo, migCommitResp{Op: m.Op, Err: fmt.Sprintf("vnode %v not allocated at %d", m.To, s.id)})
+		return
+	}
+	delete(s.migIn, m.Partition)
+	applyMigItems(st.data, m.Items, m.private)
+	if vs.parts == nil {
+		vs.parts = make(map[hashspace.Partition]*bucket)
+	}
+	if old, ok := vs.parts[m.Partition]; ok {
+		old.setStateLocked(bucketDead) // a re-install supersedes the previous bucket
+	}
+	bk := newBucket(st.data)
+	vs.parts[m.Partition] = bk
+	s.setOwnedLocked(m.Partition, vs, bk)
+	vs.level = st.level
+	vs.group = st.group
+	// Owning again supersedes any old custody pointer for this region,
+	// and any replica bucket we held for the previous primary.
+	s.delTombLocked(m.Partition)
+	s.dropReplicaWithinLocked(m.Partition)
+	s.mu.Unlock()
+	// Re-home the replica set with the primary before acknowledging, so
+	// the handover never shrinks the number of copies.
+	if s.cfg.Replicas > 1 {
+		s.rehomeReplicas(m.Partition)
+	}
+	s.send(m.ReplyTo, migCommitResp{Op: m.Op})
+}
+
+// handleMigAbort discards a staging bucket.  Runs inline.
+func (s *Snode) handleMigAbort(m migAbortMsg) {
+	s.mu.Lock()
+	if st, ok := s.migIn[m.Partition]; ok && st.to == m.To {
+		delete(s.migIn, m.Partition)
+	}
+	s.mu.Unlock()
+}

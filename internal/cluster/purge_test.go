@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+)
+
+// loadedCluster boots a cluster, loads keys through the batch plane and
+// returns the keys — every touched partition's route is now cached at the
+// handle.
+func loadedCluster(t *testing.T, r int, seed int64) (*Cluster, []string) {
+	t.Helper()
+	c, err := New(Config{
+		Pmin: 32, Vmin: 8, Seed: seed, RPCTimeout: 20 * time.Second,
+		Replicas: r, AntiEntropyInterval: 25 * time.Millisecond,
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < 4; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < 12; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := make([]string, 512)
+	items := make([]KV, len(keys))
+	for i := range keys {
+		keys[i] = fmt.Sprintf("purge-%04d", i)
+		items[i] = KV{Key: keys[i], Value: []byte("v")}
+	}
+	res, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.OK() {
+			t.Fatalf("preload %q: %s", r.Key, r.Err)
+		}
+	}
+	// A second pass so the handle's cache holds a route for every key.
+	if _, err := c.MGet(keys); err != nil {
+		t.Fatal(err)
+	}
+	return c, keys
+}
+
+// TestRemoveSnodePurgesRoutes: a graceful departure must leave no stale
+// pointer behind — the first post-removal batch (reads AND writes) takes
+// zero failed round-trips.
+func TestRemoveSnodePurgesRoutes(t *testing.T) {
+	c, keys := loadedCluster(t, 1, 51)
+	victim := c.Snodes()[1]
+	if err := c.RemoveSnode(victim); err != nil {
+		t.Fatal(err)
+	}
+	// No cached route may still aim at the leaver, as primary or replica.
+	c.routeMu.Lock()
+	for p, rt := range c.routes {
+		if rt.ref.Host == victim {
+			c.routeMu.Unlock()
+			t.Fatalf("route %v still aims at removed snode %d", p, victim)
+		}
+		for _, rep := range rt.replicas {
+			if rep == victim {
+				c.routeMu.Unlock()
+				t.Fatalf("route %v still lists removed snode %d as a replica", p, victim)
+			}
+		}
+	}
+	c.routeMu.Unlock()
+
+	before := c.subFails.Load()
+	res, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.OK() || !r.Found {
+			t.Fatalf("key %q unreadable after graceful removal: %+v", r.Key, r)
+		}
+	}
+	items := make([]KV, len(keys))
+	for i, k := range keys {
+		items[i] = KV{Key: k, Value: []byte("v2")}
+	}
+	wres, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range wres {
+		if !r.OK() {
+			t.Fatalf("key %q unwritable after graceful removal: %s", r.Key, r.Err)
+		}
+	}
+	if fails := c.subFails.Load() - before; fails != 0 {
+		t.Fatalf("first post-removal batches took %d failed round-trips, want 0", fails)
+	}
+}
+
+// TestKillSnodePurgesRoutes: after a crash with R=2, the purge retargets
+// the dead primary's routes at its surviving replicas, so the first
+// post-crash read batch is served entirely from replicas with zero
+// failed round-trips — not by discovering the death one failed RPC at a
+// time.
+func TestKillSnodePurgesRoutes(t *testing.T) {
+	c, keys := loadedCluster(t, 2, 52)
+	victim := c.Snodes()[1]
+	if err := c.KillSnode(victim); err != nil {
+		t.Fatal(err)
+	}
+	c.routeMu.Lock()
+	deadRoutes := 0
+	for p, rt := range c.routes {
+		if rt.ref.Host == victim && !rt.dead {
+			c.routeMu.Unlock()
+			t.Fatalf("route %v still aims live traffic at crashed snode %d", p, victim)
+		}
+		if rt.dead {
+			deadRoutes++
+		}
+	}
+	c.routeMu.Unlock()
+	if deadRoutes == 0 {
+		t.Fatal("no route was retargeted at the crashed primary's replicas")
+	}
+
+	before := c.subFails.Load()
+	res, err := c.MGet(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if !r.OK() || !r.Found {
+			t.Fatalf("key %q unreadable after crash: %+v", r.Key, r)
+		}
+	}
+	if fails := c.subFails.Load() - before; fails != 0 {
+		t.Fatalf("first post-crash read batch took %d failed round-trips, want 0", fails)
+	}
+	if c.StatsTotal().FailoverReads == 0 {
+		t.Fatal("no read was served from a replica — the dead routes were not exercised")
+	}
+}

@@ -44,6 +44,20 @@ type Config struct {
 	// invisible to balancement quality (all partitions in a scope have the
 	// same size) but changes the *migration cost* in moved keys.
 	Transfer TransferPolicy
+	// LoadInterval paces the per-bucket EWMA load accounting tick
+	// (default 500ms; see load.go).
+	LoadInterval time.Duration
+	// MigrationChunkKeys bounds how many keys one chunk of a live
+	// partition migration carries (default 512; see migrate.go).
+	MigrationChunkKeys int
+	// MigrationMaxDeltaRounds bounds how many live delta rounds a
+	// migration spends chasing concurrent writes before freezing for the
+	// final delta (default 4).
+	MigrationMaxDeltaRounds int
+	// Balance configures the autonomous load-aware balancer at the
+	// cluster handle (see balancer.go).  Zero value: background loop off,
+	// BalanceNow still available with default thresholds.
+	Balance BalanceConfig
 }
 
 // TransferPolicy is the victim-partition selection rule.
@@ -83,6 +97,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FreezeTimeout == 0 {
 		c.FreezeTimeout = 5 * time.Second
 	}
+	if c.LoadInterval == 0 {
+		c.LoadInterval = 500 * time.Millisecond
+	}
+	if c.MigrationChunkKeys == 0 {
+		c.MigrationChunkKeys = 512
+	}
+	if c.MigrationMaxDeltaRounds == 0 {
+		c.MigrationMaxDeltaRounds = 4
+	}
+	if c.Balance.QuotaDeviation == 0 {
+		c.Balance.QuotaDeviation = 0.15
+	}
+	if c.Balance.MaxMovesPerRound == 0 {
+		c.Balance.MaxMovesPerRound = 2
+	}
 	return c, nil
 }
 
@@ -107,6 +136,9 @@ type Stats struct {
 	ReplRepairs    atomic.Int64 // buckets shipped by anti-entropy repair
 	ReplLagged     atomic.Int64 // replica exchanges that failed (lagging replica)
 	FailoverReads  atomic.Int64 // reads served from the replica store
+	ChunksSent     atomic.Int64 // live-migration chunks streamed
+	MigAborts      atomic.Int64 // live migrations aborted (bucket back to live)
+	FreezeTimeouts atomic.Int64 // writes failed because a frozen partition never settled
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -116,6 +148,7 @@ type StatsSnapshot struct {
 	DataOps, Requeues, Batches                  int64
 	ReplWrites, ReplRepairs, ReplLagged         int64
 	FailoverReads                               int64
+	ChunksSent, MigAborts, FreezeTimeouts       int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -128,6 +161,8 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Batches:    s.Batches.Load(),
 		ReplWrites: s.ReplWrites.Load(), ReplRepairs: s.ReplRepairs.Load(),
 		ReplLagged: s.ReplLagged.Load(), FailoverReads: s.FailoverReads.Load(),
+		ChunksSent: s.ChunksSent.Load(), MigAborts: s.MigAborts.Load(),
+		FreezeTimeouts: s.FreezeTimeouts.Load(),
 	}
 }
 
@@ -157,6 +192,16 @@ type bucket struct {
 	mu    sync.RWMutex
 	state bucketState
 	m     map[string][]byte
+	// mig is non-nil while the bucket streams out in a chunked live
+	// migration (see migrate.go).  Like state, the pointer transitions
+	// under BOTH s.mu and mu, so a read under either lock is race-free;
+	// the dirty set inside is guarded by mu alone.
+	mig *migSender
+
+	// Load window counters, bumped atomically on the data path and folded
+	// into the EWMA rates by the snode's load ticker (load.go).
+	nReads, nWrites, nBytes atomic.Int64
+	rates                   loadRates // guarded by mu
 }
 
 // newBucket wraps a key/value map as a live bucket.
@@ -184,13 +229,6 @@ func (b *bucket) keys() int {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	return len(b.m)
-}
-
-// snapshot copies the bucket's contents.
-func (b *bucket) snapshot() map[string][]byte {
-	b.mu.RLock()
-	defer b.mu.RUnlock()
-	return copyBucket(b.m)
 }
 
 // vnodeState is one hosted vnode: its group binding, its partitions at the
@@ -235,6 +273,7 @@ type Snode struct {
 	viewEpoch uint64                                    // highest membership epoch seen
 	rparts    map[hashspace.Partition]map[string][]byte // replica buckets backed for other primaries
 	rpartLvls levelSet
+	migIn     map[hashspace.Partition]*migInbound        // staging buckets of inbound live migrations
 	rprov     map[hashspace.Partition]bool               // replica buckets not yet full-synced (write-created)
 	placed    map[hashspace.Partition][]transport.NodeID // replica hosts last reconciled per owned partition
 
@@ -275,6 +314,7 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		led:      make(map[core.GroupID]*ledGroup),
 		rparts:   make(map[hashspace.Partition]map[string][]byte),
 		rprov:    make(map[hashspace.Partition]bool),
+		migIn:    make(map[hashspace.Partition]*migInbound),
 		placed:   make(map[hashspace.Partition][]transport.NodeID),
 		sendOrd:  make(map[transport.NodeID]*sync.Mutex),
 		pending:  make(map[uint64]chan any),
@@ -282,6 +322,7 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		done:     make(chan struct{}),
 	}
 	go s.loop()
+	go s.loadLoop()
 	if cfg.Replicas > 1 {
 		go s.antiEntropyLoop()
 	}
@@ -389,8 +430,6 @@ func (s *Snode) loop() {
 			s.deliver(m.Op, m)
 		case shipVnodeResp:
 			s.deliver(m.Op, m)
-		case partitionAck:
-			s.deliver(m.Op, m)
 		case groupInitResp:
 			s.deliver(m.Op, m)
 		case pingResp:
@@ -415,8 +454,22 @@ func (s *Snode) loop() {
 			go s.handleTransfer(m)
 		case shipVnodeReq:
 			go s.handleShipVnode(m)
-		case partitionData:
-			go s.handleInstall(m)
+		case migBeginReq:
+			s.handleMigBegin(m)
+		case migBeginResp:
+			s.deliver(m.Op, m)
+		case migChunkReq:
+			s.handleMigChunk(m)
+		case migChunkResp:
+			s.deliver(m.Op, m)
+		case migCommitReq:
+			go s.handleMigCommit(m)
+		case migCommitResp:
+			s.deliver(m.Op, m)
+		case migAbortMsg:
+			s.handleMigAbort(m)
+		case loadReportReq:
+			s.handleLoadReport(m)
 		case groupInit:
 			s.handleGroupInit(m)
 		case lpdrSyncMsg:
@@ -502,16 +555,25 @@ func (s *Snode) ownsLocked(h hashspace.Index) (*vnodeState, hashspace.Partition,
 // custody pointers are followed on forwarded requests — they advance
 // strictly along the chain of custody, guaranteeing termination; the
 // requester-side cache (useCache) may only seed the first hop.
+//
+// A target pointing back at THIS snode is never returned: the caller just
+// failed to classify h here under the same lock, so a self-hop cannot make
+// progress — a stale self-pointer is skipped, and a self-pointing boot
+// fallback means the region is orphaned (its chain died with a crashed
+// snode) and the request must fail fast instead of ping-ponging through
+// the fallback until MaxHops.  Before this guard a single crash could
+// leave every lookup of an orphaned region spinning 512 hops through the
+// survivors' mailboxes, congesting the data plane for seconds.
 func (s *Snode) forwardTargetLocked(h hashspace.Index, useCache bool) (ownerRef, bool) {
-	if ref, ok := probeLevels(h, s.tombs, &s.tombLvls); ok {
+	if ref, ok := probeLevels(h, s.tombs, &s.tombLvls); ok && ref.Host != s.id {
 		return ref, true
 	}
 	if useCache {
-		if ref, ok := probeLevels(h, s.cache, &s.cacheLvls); ok {
+		if ref, ok := probeLevels(h, s.cache, &s.cacheLvls); ok && ref.Host != s.id {
 			return ref, true
 		}
 	}
-	if s.hasBoot {
+	if s.hasBoot && s.boot.Host != s.id {
 		return s.boot, true
 	}
 	return ownerRef{}, false
@@ -685,8 +747,10 @@ func (s *Snode) handleSplitAll(m splitAllReq) {
 	s.send(m.ReplyTo, splitAllResp{Op: m.Op})
 }
 
-// handleTransfer hands one partition of the victim vnode to the new owner:
-// freeze → ship snapshot → on ack, drop data and leave a custody tombstone.
+// handleTransfer hands one partition of the victim vnode to the new owner
+// by chunked live migration (migrate.go): the bucket keeps serving reads
+// AND writes while its contents stream out, freezing only for the final
+// delta round-trip.
 func (s *Snode) handleTransfer(m transferReq) {
 	s.mu.Lock()
 	vs, ok := s.vnodes[m.From]
@@ -701,10 +765,10 @@ func (s *Snode) handleTransfer(m transferReq) {
 		return
 	}
 	// Pick the victim partition (the paper leaves the choice open): any
-	// live (non-frozen) partition, selected per the configured policy.
+	// live partition not already streaming out, per the configured policy.
 	var candidates []hashspace.Partition
 	for p, bk := range vs.parts {
-		if bk.state == bucketLive { // state reads are safe under s.mu
+		if bk.state == bucketLive && bk.mig == nil { // state/mig reads are safe under s.mu
 			candidates = append(candidates, p)
 		}
 	}
@@ -732,36 +796,13 @@ func (s *Snode) handleTransfer(m transferReq) {
 		p = candidates[s.randIntn(len(candidates))]
 	}
 	bk := vs.parts[p]
-	// Freeze, then snapshot: the freeze and the copy happen under the
-	// bucket's lock, so every write applied before the freeze is in the
-	// snapshot and every write after it is requeued by the batch path.
-	// Ship a copy: over the in-memory fabric the payload is delivered by
-	// reference and becomes the new owner's live bucket the moment it is
-	// installed — the original must stay private to this host, and the
-	// key count must be taken before the handoff.
-	bk.mu.Lock()
-	bk.state = bucketFrozen
-	snapshot := copyBucket(bk.m)
-	bk.mu.Unlock()
-	keys := len(snapshot)
 	s.mu.Unlock()
 
-	if err := s.shipPartition(m.Group, m.To, m.ToHost, p, m.Level, snapshot); err != nil {
-		s.mu.Lock()
-		bk.setStateLocked(bucketLive)
-		s.mu.Unlock()
+	keys, err := s.migratePartition(m.Group, m.To, m.ToHost, p, m.Level, vs, bk)
+	if err != nil {
 		s.send(m.ReplyTo, transferResp{Op: m.Op, Err: err.Error()})
 		return
 	}
-	s.mu.Lock()
-	bk.setStateLocked(bucketDead)
-	delete(vs.parts, p)
-	s.delOwnedLocked(p, bk)
-	s.setTombLocked(p, ownerRef{Vnode: m.To, Host: m.ToHost})
-	s.mu.Unlock()
-	s.dropOrphanReplicas(p, m.ToHost)
-	s.stats.PartitionsSent.Add(1)
-	s.stats.KeysMoved.Add(int64(keys))
 	s.send(m.ReplyTo, transferResp{Op: m.Op, Partition: p, Keys: keys})
 }
 
@@ -775,57 +816,10 @@ func copyBucket(b map[string][]byte) map[string][]byte {
 	return out
 }
 
-// shipPartition sends one partition's contents and waits for the ack.
-func (s *Snode) shipPartition(g core.GroupID, to VnodeName, toHost transport.NodeID, p hashspace.Partition, level uint8, data map[string][]byte) error {
-	v, err := s.rpc(toHost, func(op uint64) any {
-		return partitionData{Op: op, Group: g, To: to, Partition: p, Level: level, Data: data, ReplyTo: s.id}
-	})
-	if err != nil {
-		return err
-	}
-	if ack := v.(partitionAck); ack.Err != "" {
-		return fmt.Errorf("cluster: install at %d: %s", toHost, ack.Err)
-	}
-	return nil
-}
-
-// handleInstall receives a partition into a hosted vnode, creating the
-// vnode state on first contact (a new vnode receives partitions before its
-// join completes).
-func (s *Snode) handleInstall(m partitionData) {
-	s.mu.Lock()
-	vs, ok := s.vnodes[m.To]
-	if !ok {
-		s.mu.Unlock()
-		s.send(m.ReplyTo, partitionAck{Op: m.Op, Err: fmt.Sprintf("vnode %v not allocated at %d", m.To, s.id)})
-		return
-	}
-	if vs.parts == nil {
-		vs.parts = make(map[hashspace.Partition]*bucket)
-	}
-	if old, ok := vs.parts[m.Partition]; ok {
-		old.setStateLocked(bucketDead) // a re-install supersedes the previous bucket
-	}
-	bk := newBucket(m.Data)
-	vs.parts[m.Partition] = bk
-	s.setOwnedLocked(m.Partition, vs, bk)
-	vs.level = m.Level
-	vs.group = m.Group
-	// Owning again supersedes any old custody pointer for this region,
-	// and any replica bucket we held for the previous primary.
-	s.delTombLocked(m.Partition)
-	s.dropReplicaWithinLocked(m.Partition)
-	s.mu.Unlock()
-	// Re-home the replica set with the primary before acknowledging, so
-	// the handover never shrinks the number of copies.
-	if s.cfg.Replicas > 1 {
-		s.rehomeReplicas(m.Partition)
-	}
-	s.send(m.ReplyTo, partitionAck{Op: m.Op})
-}
-
-// handleShipVnode ships every partition of a leaving vnode to the leader's
-// planned destinations (sorted partition order ↔ dests order).
+// handleShipVnode migrates every partition of a leaving vnode to the
+// leader's planned destinations (sorted partition order ↔ dests order),
+// one chunked live migration at a time — each bucket keeps serving until
+// its own final delta, instead of the whole vnode freezing upfront.
 func (s *Snode) handleShipVnode(m shipVnodeReq) {
 	s.mu.Lock()
 	vs, ok := s.vnodes[m.Vnode]
@@ -844,32 +838,18 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 		s.send(m.ReplyTo, shipVnodeResp{Op: m.Op, Err: fmt.Sprintf("vnode %v has %d partitions, plan has %d dests", m.Vnode, len(parts), len(m.Dests))})
 		return
 	}
-	for _, p := range parts {
-		vs.parts[p].setStateLocked(bucketFrozen)
-	}
 	group, level := vs.group, vs.level
 	s.mu.Unlock()
 
 	for i, p := range parts {
 		s.mu.Lock()
 		bk := vs.parts[p]
-		snapshot := bk.snapshot() // see handleTransfer
-		keys := len(snapshot)
 		s.mu.Unlock()
 		dest := m.Dests[i]
-		if err := s.shipPartition(group, dest.Vnode, dest.Host, p, level, snapshot); err != nil {
+		if _, err := s.migratePartition(group, dest.Vnode, dest.Host, p, level, vs, bk); err != nil {
 			s.send(m.ReplyTo, shipVnodeResp{Op: m.Op, Err: err.Error()})
 			return
 		}
-		s.mu.Lock()
-		bk.setStateLocked(bucketDead)
-		delete(vs.parts, p)
-		s.delOwnedLocked(p, bk)
-		s.setTombLocked(p, dest)
-		s.mu.Unlock()
-		s.dropOrphanReplicas(p, dest.Host)
-		s.stats.PartitionsSent.Add(1)
-		s.stats.KeysMoved.Add(int64(keys))
 	}
 	s.mu.Lock()
 	delete(s.vnodes, m.Vnode)

@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"encoding/gob"
+	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -132,10 +134,13 @@ func BenchmarkDecodeFrameGob(b *testing.B) {
 }
 
 // BenchmarkTransportPipe measures envelopes/sec through one (From, To)
-// connection of each fabric: a sender pushing batch payloads as fast as
-// the fabric accepts them, a receiver draining.  On the TCP fabric this
-// exercises the full framed path — writer goroutine, flush coalescing,
-// pooled frame reads.
+// connection of each fabric: a sender pushing batch payloads, a receiver
+// draining.  The sender keeps a bounded number of envelopes in flight —
+// like the request/response traffic the cluster actually runs — so the
+// TCP writer queue's byte budget (there to cut off peers that STOP
+// reading) never trips against a healthy-but-slower reader.  On the TCP
+// fabric this exercises the full framed path: sender-side slab encode,
+// writer goroutine, flush coalescing, pooled frame reads.
 func BenchmarkTransportPipe(b *testing.B) {
 	for name, mk := range map[string]func() Network{
 		"mem": func() Network { return NewMem() },
@@ -152,11 +157,14 @@ func BenchmarkTransportPipe(b *testing.B) {
 				b.Fatal(err)
 			}
 			env := Envelope{From: 2, To: 1, Msg: benchPayloadBinary{Op: 1, Items: benchItems()}}
+			const window = 1024 // envelopes in flight (~1.4 MB) — a realistic RPC fan-out depth
+			var received atomic.Int64
 			done := make(chan int)
 			go func() {
 				got := 0
 				for range in {
 					got++
+					received.Store(int64(got))
 					if got == b.N {
 						break
 					}
@@ -166,6 +174,9 @@ func BenchmarkTransportPipe(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				for i-int(received.Load()) >= window {
+					runtime.Gosched()
+				}
 				if err := n.Send(env); err != nil {
 					b.Fatal(err)
 				}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -20,40 +21,57 @@ import (
 //
 // One connection per ordered (From, To) pair preserves the FIFO-per-pair
 // guarantee Network requires.  Each outbound connection is drained by a
-// dedicated writer goroutine fed from an unbounded queue: senders enqueue
-// and return immediately (Send never blocks on a slow peer), the writer
-// dials outside any endpoint-wide lock, encodes into a bufio.Writer and
-// flushes only when the queue runs dry — many envelopes per syscall under
-// load, prompt delivery when idle.
+// dedicated writer goroutine fed from a byte-budgeted queue: senders
+// encode and enqueue without blocking (Send never waits on a slow peer),
+// the writer dials outside any endpoint-wide lock and flushes only when
+// the queue runs dry — many envelopes per syscall under load, prompt
+// delivery when idle.  A peer that accepts TCP but stops reading cannot
+// grow process memory without bound: once the queue exceeds its budget
+// the envelope is dropped, Send fails, and the connection is torn down
+// (the next send redials — a recovered peer resumes service, a stalled
+// one keeps failing fast).
 type TCP struct {
 	mu        sync.RWMutex
 	addr      string // listen address, e.g. "127.0.0.1:0"
 	endpoints map[NodeID]*tcpEndpoint
+	budget    int
 	closed    bool
 }
+
+// DefaultWriterBudget bounds the bytes queued on one outbound connection
+// awaiting its writer.  Generous — a healthy reader drains far faster
+// than this — so hitting it means the peer has genuinely stalled.
+const DefaultWriterBudget = 64 << 20
 
 type tcpEndpoint struct {
 	id     NodeID
 	lis    net.Listener
 	box    *mailbox
+	budget int
 	mu     sync.Mutex
 	conns  map[NodeID]*outConn // ordered-pair outbound connections
 	closed bool
 	wg     sync.WaitGroup
 }
 
-// outConn is one outbound ordered-pair connection.  The queue is unbounded
-// (matching the fabric's never-block-the-sender contract); the writer
-// goroutine owns the net.Conn lifecycle: it dials, drains, coalesces
-// flushes, and on any error removes the connection so the next send
-// redials.
+// outConn is one outbound ordered-pair connection.  Senders encode their
+// envelope straight into the pending slab under the connection lock —
+// the byte budget is simply the slab's length — and the writer goroutine
+// swaps the slab against a recycled spare and writes it out in one pass:
+// no per-envelope allocation, one buffer copy, many envelopes per
+// syscall.  The writer owns the net.Conn lifecycle: it dials, drains,
+// coalesces flushes, and on any error removes the connection so the next
+// send redials.  The slab it currently writes was itself within budget,
+// so buffered memory per connection stays under two budgets.
 type outConn struct {
-	ep   *tcpEndpoint
-	to   NodeID
-	addr string
+	ep     *tcpEndpoint
+	to     NodeID
+	addr   string
+	budget int
 
 	mu     sync.Mutex
-	q      []Envelope
+	buf    []byte // pending frames, appended by senders
+	spare  []byte // recycled slab, swapped in by the writer
 	closed bool
 	c      net.Conn // set by the writer once dialed
 	wake   chan struct{}
@@ -62,7 +80,21 @@ type outConn struct {
 // NewTCP returns a TCP fabric listening on the given host (usually
 // "127.0.0.1"); each registered endpoint gets its own ephemeral port.
 func NewTCP(host string) *TCP {
-	return &TCP{addr: host + ":0", endpoints: make(map[NodeID]*tcpEndpoint)}
+	return &TCP{addr: host + ":0", endpoints: make(map[NodeID]*tcpEndpoint), budget: DefaultWriterBudget}
+}
+
+// SetWriterBudget overrides the per-connection writer-queue byte budget.
+// It applies to connections created after the call; use it before the
+// fabric carries traffic.
+func (t *TCP) SetWriterBudget(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.budget = n
+	for _, ep := range t.endpoints {
+		ep.mu.Lock()
+		ep.budget = n
+		ep.mu.Unlock()
+	}
 }
 
 // Register implements Network: it starts a listener and accept loop for the
@@ -81,10 +113,11 @@ func (t *TCP) Register(id NodeID) (<-chan Envelope, error) {
 		return nil, fmt.Errorf("transport: listen for node %d: %w", id, err)
 	}
 	ep := &tcpEndpoint{
-		id:    id,
-		lis:   lis,
-		box:   newMailbox(0),
-		conns: make(map[NodeID]*outConn),
+		id:     id,
+		lis:    lis,
+		box:    newMailbox(0),
+		budget: t.budget,
+		conns:  make(map[NodeID]*outConn),
 	}
 	ep.wg.Add(1)
 	go ep.acceptLoop()
@@ -178,11 +211,16 @@ func (ep *tcpEndpoint) close() {
 	ep.box.close()
 }
 
-// Send implements Network: the envelope is enqueued on the sender's
-// per-destination connection and encoded by its writer goroutine.  Send
-// fails synchronously when either endpoint is off the fabric; transmission
-// itself is asynchronous (a connection that later breaks surfaces as RPC
-// timeouts, and the next send redials).
+// errConnClosed reports an enqueue on a connection record that shut down
+// under a concurrent writer error; the caller re-resolves and redials.
+var errConnClosed = errors.New("transport: connection closed")
+
+// Send implements Network: the envelope is encoded by the sender and
+// enqueued on its per-destination connection within the queue's byte
+// budget.  Send fails synchronously when either endpoint is off the
+// fabric or the destination's writer queue is over budget (stalled
+// peer); transmission itself is asynchronous (a connection that later
+// breaks surfaces as RPC timeouts, and the next send redials).
 func (t *TCP) Send(env Envelope) error {
 	t.mu.RLock()
 	src, okSrc := t.endpoints[env.From]
@@ -198,7 +236,10 @@ func (t *TCP) Send(env Envelope) error {
 	if oc == nil {
 		return fmt.Errorf("transport: sender %d shutting down", env.From)
 	}
-	if !oc.enqueue(env) {
+	if err := oc.enqueue(env); err != nil {
+		if err != errConnClosed {
+			return err // over budget: fail fast, no retry
+		}
 		// The connection failed under a concurrent writer error; fail()
 		// already removed it from the endpoint's map, so re-resolving
 		// yields a fresh record whose writer redials.
@@ -206,7 +247,7 @@ func (t *TCP) Send(env Envelope) error {
 		if oc == nil {
 			return fmt.Errorf("transport: sender %d shutting down", env.From)
 		}
-		if !oc.enqueue(env) {
+		if err := oc.enqueue(env); err != nil {
 			return fmt.Errorf("transport: send %d→%d: connection unavailable", env.From, env.To)
 		}
 	}
@@ -225,35 +266,66 @@ func (ep *tcpEndpoint) connTo(to NodeID, addr string) *outConn {
 	if oc, ok := ep.conns[to]; ok {
 		return oc
 	}
-	oc := &outConn{ep: ep, to: to, addr: addr, wake: make(chan struct{}, 1)}
+	oc := &outConn{ep: ep, to: to, addr: addr, budget: ep.budget, wake: make(chan struct{}, 1)}
 	ep.conns[to] = oc
 	ep.wg.Add(1)
 	go oc.writeLoop()
 	return oc
 }
 
-// enqueue appends the envelope to the send queue; false if the connection
-// shut down (the caller re-resolves and redials).
-func (oc *outConn) enqueue(env Envelope) bool {
+// enqueue encodes the envelope into the pending slab, within the byte
+// budget.  The budget bounds the BACKLOG: an envelope is refused only
+// when frames are already queued ahead of it — a single frame is always
+// admissible on an empty queue (it is bounded by maxFrame anyway), so an
+// oversized payload, e.g. a whole-bucket replica sync, can never become
+// permanently unsendable.  errConnClosed means the record shut down (the
+// caller re-resolves and redials); a budget overflow drops the envelope,
+// tears the stalled connection down and returns a descriptive error.
+func (oc *outConn) enqueue(env Envelope) error {
 	oc.mu.Lock()
 	if oc.closed {
 		oc.mu.Unlock()
-		return false
+		return errConnClosed
 	}
-	oc.q = append(oc.q, env)
+	start := len(oc.buf)
+	buf, err := AppendFrame(oc.buf, env)
+	if err != nil {
+		// Unencodable payload: drop the envelope (as before), keep the
+		// connection.
+		oc.mu.Unlock()
+		log.Printf("transport: node %d→%d: dropping envelope: %v", env.From, env.To, err)
+		return nil
+	}
+	if start > oc.budget {
+		// The backlog already queued AHEAD of this envelope exceeds the
+		// budget — the writer is not draining (a peer that accepted TCP
+		// but stopped reading), so the envelope is dropped and the
+		// connection torn down.  Judging the pre-existing backlog rather
+		// than the total keeps one admitted oversized frame from
+		// condemning the connection while the writer is still busy
+		// pushing it out; buffered memory stays bounded by the budget
+		// plus one frame (maxFrame) plus the writer's in-flight slab.
+		oc.buf = buf[:start]
+		oc.mu.Unlock()
+		oc.fail()
+		return fmt.Errorf("transport: send %d→%d: writer queue over its %d-byte budget (peer not reading); envelope dropped, connection torn down",
+			env.From, env.To, oc.budget)
+	}
+	oc.buf = buf
 	oc.mu.Unlock()
 	select {
 	case oc.wake <- struct{}{}:
 	default:
 	}
-	return true
+	return nil
 }
 
 // shut marks the connection closed and unblocks its writer.
 func (oc *outConn) shut() {
 	oc.mu.Lock()
 	oc.closed = true
-	oc.q = nil
+	oc.buf = nil
+	oc.spare = nil
 	c := oc.c
 	oc.mu.Unlock()
 	select {
@@ -272,7 +344,8 @@ func (oc *outConn) shut() {
 func (oc *outConn) fail() {
 	oc.mu.Lock()
 	oc.closed = true
-	oc.q = nil
+	oc.buf = nil
+	oc.spare = nil
 	c := oc.c
 	oc.mu.Unlock()
 	if c != nil {
@@ -286,8 +359,9 @@ func (oc *outConn) fail() {
 }
 
 // writeLoop owns the connection: dial, then drain the queue forever,
-// encoding each envelope into the buffered writer and flushing only when
-// the queue runs dry — consecutive envelopes coalesce into one syscall.
+// copying each pre-encoded frame into the buffered writer and flushing
+// only when the queue runs dry — consecutive envelopes coalesce into one
+// syscall.
 func (oc *outConn) writeLoop() {
 	defer oc.ep.wg.Done()
 	c, err := net.Dial("tcp", oc.addr)
@@ -304,10 +378,21 @@ func (oc *outConn) writeLoop() {
 	oc.c = c
 	oc.mu.Unlock()
 	bw := bufio.NewWriterSize(c, 64<<10)
-	buf := make([]byte, 0, 4096) // per-connection scratch, reused per envelope
+	// maxRecycledSlab caps the capacity a slab may keep when recycled: one
+	// burst near the budget must not pin tens of MB per connection for its
+	// lifetime — an oversized slab is released to the GC and steady-state
+	// traffic re-grows a small one.
+	const maxRecycledSlab = 1 << 20
+	var prev []byte // last written slab, recycled on the next lock pass
 	for {
 		oc.mu.Lock()
-		for len(oc.q) == 0 {
+		if prev != nil {
+			if oc.spare == nil && !oc.closed && cap(prev) <= maxRecycledSlab {
+				oc.spare = prev[:0]
+			}
+			prev = nil
+		}
+		for len(oc.buf) == 0 {
 			closed := oc.closed
 			oc.mu.Unlock()
 			// Queue dry: push buffered frames out before sleeping.
@@ -322,21 +407,18 @@ func (oc *outConn) writeLoop() {
 			<-oc.wake
 			oc.mu.Lock()
 		}
-		batch := oc.q
-		oc.q = nil
+		// Swap the pending slab against the recycled spare: senders keep
+		// appending while this batch drains, and the two slabs ping-pong
+		// so steady-state traffic allocates nothing.
+		batch := oc.buf
+		oc.buf = oc.spare[:0]
+		oc.spare = nil
 		oc.mu.Unlock()
-		for _, env := range batch {
-			buf = buf[:0]
-			buf, err = AppendFrame(buf, env)
-			if err != nil {
-				log.Printf("transport: node %d→%d: dropping envelope: %v", env.From, env.To, err)
-				continue // unencodable payload; the rest of the batch still goes
-			}
-			if _, err := bw.Write(buf); err != nil {
-				oc.fail()
-				return
-			}
+		if _, err := bw.Write(batch); err != nil {
+			oc.fail()
+			return
 		}
+		prev = batch
 	}
 }
 

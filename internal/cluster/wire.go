@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"math"
+
 	"dbdht/internal/cluster/transport"
 	"dbdht/internal/core"
 	"dbdht/internal/hashspace"
@@ -30,6 +32,15 @@ const (
 	wireTagReplProbeResp uint16 = 8
 	wireTagPingReq       uint16 = 9
 	wireTagPingResp      uint16 = 10
+	wireTagMigBeginReq   uint16 = 11
+	wireTagMigBeginResp  uint16 = 12
+	wireTagMigChunkReq   uint16 = 13
+	wireTagMigChunkResp  uint16 = 14
+	wireTagMigCommitReq  uint16 = 15
+	wireTagMigCommitResp uint16 = 16
+	wireTagMigAbort      uint16 = 17
+	wireTagLoadReq       uint16 = 18
+	wireTagLoadResp      uint16 = 19
 )
 
 func init() {
@@ -43,6 +54,15 @@ func init() {
 	transport.RegisterWire(wireTagReplProbeResp, decodeReplProbeResp)
 	transport.RegisterWire(wireTagPingReq, decodePingReq)
 	transport.RegisterWire(wireTagPingResp, decodePingResp)
+	transport.RegisterWire(wireTagMigBeginReq, decodeMigBeginReq)
+	transport.RegisterWire(wireTagMigBeginResp, decodeMigBeginResp)
+	transport.RegisterWire(wireTagMigChunkReq, decodeMigChunkReq)
+	transport.RegisterWire(wireTagMigChunkResp, decodeMigChunkResp)
+	transport.RegisterWire(wireTagMigCommitReq, decodeMigCommitReq)
+	transport.RegisterWire(wireTagMigCommitResp, decodeMigCommitResp)
+	transport.RegisterWire(wireTagMigAbort, decodeMigAbort)
+	transport.RegisterWire(wireTagLoadReq, decodeLoadReportReq)
+	transport.RegisterWire(wireTagLoadResp, decodeLoadReportResp)
 }
 
 // --- shared sub-structures ---
@@ -339,5 +359,208 @@ func (m pingResp) AppendWire(b []byte) []byte {
 func decodePingResp(r *transport.WireReader) (any, error) {
 	var m pingResp
 	m.Op = r.Uvarint()
+	return m, r.Err()
+}
+
+// --- chunked live migration ---
+
+func appendGroup(b []byte, g core.GroupID) []byte {
+	b = transport.AppendUvarint(b, g.Bits)
+	return transport.AppendUvarint(b, uint64(g.Len))
+}
+
+func readGroup(r *transport.WireReader) core.GroupID {
+	return core.GroupID{Bits: r.Uvarint(), Len: uint8(r.Uvarint())}
+}
+
+func appendMigItems(b []byte, items []migItem) []byte {
+	b = transport.AppendUvarint(b, uint64(len(items)))
+	for _, it := range items {
+		b = transport.AppendString(b, it.Key)
+		b = transport.AppendBytes(b, it.Value)
+		b = transport.AppendBool(b, it.Del)
+	}
+	return b
+}
+
+func readMigItems(r *transport.WireReader) []migItem {
+	n := r.ArrayLen(3)
+	if n == 0 {
+		return nil
+	}
+	items := make([]migItem, n)
+	for i := range items {
+		items[i].Key = r.String()
+		items[i].Value = r.Bytes()
+		items[i].Del = r.Bool()
+	}
+	return items
+}
+
+func (m migBeginReq) WireTag() uint16 { return wireTagMigBeginReq }
+
+func (m migBeginReq) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	b = appendGroup(b, m.Group)
+	b = appendVnodeName(b, m.To)
+	b = appendPartition(b, m.Partition)
+	b = transport.AppendUvarint(b, uint64(m.Level))
+	return transport.AppendVarint(b, int64(m.ReplyTo))
+}
+
+func decodeMigBeginReq(r *transport.WireReader) (any, error) {
+	var m migBeginReq
+	m.Op = r.Uvarint()
+	m.Group = readGroup(r)
+	m.To = readVnodeName(r)
+	m.Partition = readPartition(r)
+	m.Level = uint8(r.Uvarint())
+	m.ReplyTo = transport.NodeID(r.Varint())
+	return m, r.Err()
+}
+
+func (m migBeginResp) WireTag() uint16 { return wireTagMigBeginResp }
+
+func (m migBeginResp) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	return transport.AppendString(b, m.Err)
+}
+
+func decodeMigBeginResp(r *transport.WireReader) (any, error) {
+	var m migBeginResp
+	m.Op = r.Uvarint()
+	m.Err = r.String()
+	return m, r.Err()
+}
+
+func (m migChunkReq) WireTag() uint16 { return wireTagMigChunkReq }
+
+func (m migChunkReq) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	b = appendVnodeName(b, m.To)
+	b = appendPartition(b, m.Partition)
+	b = appendMigItems(b, m.Items)
+	return transport.AppendVarint(b, int64(m.ReplyTo))
+}
+
+func decodeMigChunkReq(r *transport.WireReader) (any, error) {
+	var m migChunkReq
+	m.Op = r.Uvarint()
+	m.To = readVnodeName(r)
+	m.Partition = readPartition(r)
+	m.Items = readMigItems(r)
+	m.ReplyTo = transport.NodeID(r.Varint())
+	m.private = true // decoded slices are exclusively this message's
+	return m, r.Err()
+}
+
+func (m migChunkResp) WireTag() uint16 { return wireTagMigChunkResp }
+
+func (m migChunkResp) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	return transport.AppendString(b, m.Err)
+}
+
+func decodeMigChunkResp(r *transport.WireReader) (any, error) {
+	var m migChunkResp
+	m.Op = r.Uvarint()
+	m.Err = r.String()
+	return m, r.Err()
+}
+
+func (m migCommitReq) WireTag() uint16 { return wireTagMigCommitReq }
+
+func (m migCommitReq) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	b = appendVnodeName(b, m.To)
+	b = appendPartition(b, m.Partition)
+	b = appendMigItems(b, m.Items)
+	return transport.AppendVarint(b, int64(m.ReplyTo))
+}
+
+func decodeMigCommitReq(r *transport.WireReader) (any, error) {
+	var m migCommitReq
+	m.Op = r.Uvarint()
+	m.To = readVnodeName(r)
+	m.Partition = readPartition(r)
+	m.Items = readMigItems(r)
+	m.ReplyTo = transport.NodeID(r.Varint())
+	m.private = true
+	return m, r.Err()
+}
+
+func (m migCommitResp) WireTag() uint16 { return wireTagMigCommitResp }
+
+func (m migCommitResp) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	return transport.AppendString(b, m.Err)
+}
+
+func decodeMigCommitResp(r *transport.WireReader) (any, error) {
+	var m migCommitResp
+	m.Op = r.Uvarint()
+	m.Err = r.String()
+	return m, r.Err()
+}
+
+func (m migAbortMsg) WireTag() uint16 { return wireTagMigAbort }
+
+func (m migAbortMsg) AppendWire(b []byte) []byte {
+	b = appendVnodeName(b, m.To)
+	return appendPartition(b, m.Partition)
+}
+
+func decodeMigAbort(r *transport.WireReader) (any, error) {
+	var m migAbortMsg
+	m.To = readVnodeName(r)
+	m.Partition = readPartition(r)
+	return m, r.Err()
+}
+
+// --- load reports ---
+
+func appendFloat(b []byte, v float64) []byte {
+	return transport.AppendUvarint(b, math.Float64bits(v))
+}
+
+func readFloat(r *transport.WireReader) float64 {
+	return math.Float64frombits(r.Uvarint())
+}
+
+func (m loadReportReq) WireTag() uint16 { return wireTagLoadReq }
+
+func (m loadReportReq) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	return transport.AppendVarint(b, int64(m.ReplyTo))
+}
+
+func decodeLoadReportReq(r *transport.WireReader) (any, error) {
+	var m loadReportReq
+	m.Op = r.Uvarint()
+	m.ReplyTo = transport.NodeID(r.Varint())
+	return m, r.Err()
+}
+
+func (m loadReportResp) WireTag() uint16 { return wireTagLoadResp }
+
+func (m loadReportResp) AppendWire(b []byte) []byte {
+	b = transport.AppendUvarint(b, m.Op)
+	b = transport.AppendVarint(b, int64(m.Vnodes))
+	b = transport.AppendVarint(b, int64(m.Keys))
+	b = appendFloat(b, m.Quota)
+	b = appendFloat(b, m.Reads)
+	b = appendFloat(b, m.Writes)
+	return appendFloat(b, m.Bytes)
+}
+
+func decodeLoadReportResp(r *transport.WireReader) (any, error) {
+	var m loadReportResp
+	m.Op = r.Uvarint()
+	m.Vnodes = int(r.Varint())
+	m.Keys = int(r.Varint())
+	m.Quota = readFloat(r)
+	m.Reads = readFloat(r)
+	m.Writes = readFloat(r)
+	m.Bytes = readFloat(r)
 	return m, r.Err()
 }

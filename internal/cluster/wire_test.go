@@ -61,6 +61,25 @@ func TestWireRoundTrips(t *testing.T) {
 		replProbeResp{Op: 18, InSync: true},
 		pingReq{Op: 19, ReplyTo: -1},
 		pingResp{Op: 20},
+		migBeginReq{Op: 21, Group: core.GroupID{Bits: 0b10, Len: 2}, To: owner,
+			Partition: p, Level: 4, ReplyTo: 6},
+		migBeginResp{Op: 22, Err: "not allocated"},
+		migChunkReq{Op: 23, To: owner, Partition: p, Items: []migItem{
+			{Key: "live", Value: []byte("v1")},
+			{Key: "gone", Del: true},
+			{Key: "empty"}, // nil value, not deleted
+		}, ReplyTo: 6, private: true},
+		migChunkReq{Op: 24, To: owner, Partition: p, private: true}, // empty chunk
+		migChunkResp{Op: 25},
+		migCommitReq{Op: 26, To: owner, Partition: p, Items: []migItem{
+			{Key: "final", Value: []byte("vf")},
+		}, ReplyTo: 6, private: true},
+		migCommitResp{Op: 27, Err: "boom"},
+		migAbortMsg{To: owner, Partition: p},
+		loadReportReq{Op: 28, ReplyTo: -1},
+		loadReportResp{Op: 29, Vnodes: 4, Keys: 12345, Quota: 0.375,
+			Reads: 1234.5, Writes: 0.25, Bytes: 9.75e6},
+		loadReportResp{Op: 30}, // all-zero floats
 	}
 	for _, want := range cases {
 		got := roundTrip(t, want)

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,15 @@ type Server struct {
 
 	// Per-route request counters, exported at /v1/metrics.
 	reqs map[string]*atomic.Int64
+
+	// Cached per-snode load reports for the metrics scrape: LoadReport is
+	// a cluster-wide RPC fan-out that can block up to RPCTimeout on a
+	// wedged snode, which must never stall a Prometheus scrape (the local
+	// counters matter most exactly when part of the cluster is sick).
+	// Scrapes serve the cache and refresh it in the background.
+	loadMu      sync.Mutex
+	loads       []cluster.SnodeLoad
+	loadRefresh atomic.Bool
 }
 
 // New builds a Server around a running cluster.
@@ -50,7 +60,10 @@ func New(c *cluster.Cluster) *Server {
 	s.route("POST /v1/snodes", s.handleAddSnode)
 	s.route("DELETE /v1/snodes/{id}", s.handleRemoveSnode)
 	s.route("PUT /v1/snodes/{id}/enrollment", s.handleEnrollment)
+	s.route("PUT /v1/snodes/{id}/capacity", s.handleCapacity)
 	s.route("POST /v1/vnodes", s.handleCreateVnode)
+	s.route("POST /v1/balance", s.handleBalanceNow)
+	s.route("GET /v1/balance", s.handleBalanceStatus)
 	s.route("GET /v1/status", s.handleStatus)
 	s.route("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -252,13 +265,115 @@ type snodeResponse struct {
 	ID int `json:"id"`
 }
 
+type addSnodeRequest struct {
+	Capacity float64 `json:"capacity"` // 0: unit capacity
+}
+
 func (s *Server) handleAddSnode(w http.ResponseWriter, r *http.Request) {
-	id, err := s.c.AddSnode()
+	req := addSnodeRequest{}
+	if r.ContentLength != 0 {
+		if !readJSON(w, r, &req) {
+			return
+		}
+	}
+	if req.Capacity < 0 {
+		writeErr(w, http.StatusBadRequest, "capacity must be > 0, got %v", req.Capacity)
+		return
+	}
+	if req.Capacity == 0 {
+		req.Capacity = 1
+	}
+	id, err := s.c.AddSnodeWithCapacity(req.Capacity)
 	if err != nil {
 		writeErr(w, clusterErrCode(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, snodeResponse{ID: int(id)})
+}
+
+type capacityRequest struct {
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var req capacityRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Weight <= 0 {
+		writeErr(w, http.StatusBadRequest, "capacity weight must be > 0, got %v", req.Weight)
+		return
+	}
+	if err := s.c.SetCapacity(id, req.Weight); err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"capacity": req.Weight})
+}
+
+// SnodeLoadStatus is one snode's load report in a balance response.
+type SnodeLoadStatus struct {
+	Snode    int     `json:"snode"`
+	Capacity float64 `json:"capacity"`
+	Vnodes   int     `json:"vnodes"`
+	Keys     int     `json:"keys"`
+	Quota    float64 `json:"quota"`
+	ReadsPS  float64 `json:"reads_per_s"`
+	WritesPS float64 `json:"writes_per_s"`
+	BytesPS  float64 `json:"bytes_per_s"`
+}
+
+// BalanceResponse answers POST /v1/balance with the round's outcome and
+// GET /v1/balance with the balancer's lifetime counters.
+type BalanceResponse struct {
+	Sigma     float64           `json:"sigma"`
+	Threshold float64           `json:"threshold,omitempty"`
+	Moves     int               `json:"moves"`
+	Rounds    int64             `json:"rounds,omitempty"`
+	Loads     []SnodeLoadStatus `json:"loads,omitempty"`
+}
+
+func loadStatuses(loads []cluster.SnodeLoad) []SnodeLoadStatus {
+	out := make([]SnodeLoadStatus, len(loads))
+	for i, l := range loads {
+		out[i] = SnodeLoadStatus{
+			Snode: int(l.Snode), Capacity: l.Capacity, Vnodes: l.Vnodes,
+			Keys: l.Keys, Quota: l.Quota,
+			ReadsPS: l.Reads, WritesPS: l.Writes, BytesPS: l.Bytes,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleBalanceNow(w http.ResponseWriter, r *http.Request) {
+	round, err := s.c.BalanceNow()
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BalanceResponse{
+		Sigma: round.Sigma, Moves: round.Moves, Loads: loadStatuses(round.Loads),
+	})
+}
+
+func (s *Server) handleBalanceStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.c.BalancerStats()
+	loads, err := s.c.LoadReport()
+	if err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BalanceResponse{
+		Sigma:  st.LastSigma,
+		Moves:  int(st.Moves),
+		Rounds: st.Rounds,
+		Loads:  loadStatuses(loads),
+	})
 }
 
 func (s *Server) handleRemoveSnode(w http.ResponseWriter, r *http.Request) {
@@ -423,6 +538,27 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.buildStatus())
 }
 
+// cachedLoads serves the last collected load reports and kicks off one
+// background refresh (deduplicated), so a scrape never blocks on the
+// cluster-wide RPC fan-out.  The gauges lag by at most one scrape.
+func (s *Server) cachedLoads() []cluster.SnodeLoad {
+	if s.loadRefresh.CompareAndSwap(false, true) {
+		go func() {
+			defer s.loadRefresh.Store(false)
+			loads, err := s.c.LoadReport()
+			if err != nil {
+				return
+			}
+			s.loadMu.Lock()
+			s.loads = loads
+			s.loadMu.Unlock()
+		}()
+	}
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	return s.loads
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.buildStatus()
 	counter := func(name, help string, v int64) metrics.Family {
@@ -450,6 +586,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		vnodesPerSnode.Samples = append(vnodesPerSnode.Samples,
 			metrics.Sample{Labels: labels, Value: float64(ss.Vnodes)})
 	}
+	capPerSnode := metrics.Family{
+		Name: "dbdht_snode_capacity", Help: "capacity weight per snode", Type: metrics.TypeGauge,
+	}
+	quotaPerSnode := metrics.Family{
+		Name: "dbdht_balance_snode_quota", Help: "fraction of the hash space owned per snode", Type: metrics.TypeGauge,
+	}
+	readsPerSnode := metrics.Family{
+		Name: "dbdht_balance_snode_reads_per_s", Help: "decayed read rate per snode (EWMA)", Type: metrics.TypeGauge,
+	}
+	writesPerSnode := metrics.Family{
+		Name: "dbdht_balance_snode_writes_per_s", Help: "decayed write rate per snode (EWMA)", Type: metrics.TypeGauge,
+	}
+	for _, l := range s.cachedLoads() {
+		labels := []metrics.Label{{Name: "snode", Value: strconv.Itoa(int(l.Snode))}}
+		capPerSnode.Samples = append(capPerSnode.Samples, metrics.Sample{Labels: labels, Value: l.Capacity})
+		quotaPerSnode.Samples = append(quotaPerSnode.Samples, metrics.Sample{Labels: labels, Value: l.Quota})
+		readsPerSnode.Samples = append(readsPerSnode.Samples, metrics.Sample{Labels: labels, Value: l.Reads})
+		writesPerSnode.Samples = append(writesPerSnode.Samples, metrics.Sample{Labels: labels, Value: l.Writes})
+	}
+	bal := s.c.BalancerStats()
 	httpReqs := metrics.Family{
 		Name: "dbdht_http_requests_total", Help: "API requests served per route", Type: metrics.TypeCounter,
 	}
@@ -466,9 +622,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("dbdht_keys", "stored keys", float64(st.Keys)),
 		gauge("dbdht_replication_factor", "configured copies per partition (R)", float64(st.Replicas)),
 		gauge("dbdht_balance_sigma_qv", "relative stddev of vnode quotas (fraction)", st.SigmaQv),
+		gauge("dbdht_balance_sigma_snode", "relative stddev of capacity-normalized per-snode quotas at the last balancer round", bal.LastSigma),
+		counter("dbdht_balance_rounds_total", "autonomous balancer rounds run", bal.Rounds),
+		counter("dbdht_balance_moves_total", "enrollment adjustments made by the balancer", bal.Moves),
 		gauge("dbdht_uptime_seconds", "server uptime", st.UptimeSeconds),
 		keysPerSnode,
 		vnodesPerSnode,
+		capPerSnode,
+		quotaPerSnode,
+		readsPerSnode,
+		writesPerSnode,
 		counter("dbdht_msgs_total", "protocol messages received", st.Stats.MsgsIn),
 		counter("dbdht_forwards_total", "custody-chain forwards", st.Stats.Forwards),
 		counter("dbdht_partitions_sent_total", "partitions migrated", st.Stats.PartitionsSent),
@@ -480,6 +643,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("dbdht_data_ops_total", "data operations applied", st.Stats.DataOps),
 		counter("dbdht_requeues_total", "operations requeued on frozen partitions", st.Stats.Requeues),
 		counter("dbdht_batches_total", "batch requests handled", st.Stats.Batches),
+		counter("dbdht_migration_chunks_total", "live-migration chunks streamed", st.Stats.ChunksSent),
+		counter("dbdht_migration_aborts_total", "live migrations aborted", st.Stats.MigAborts),
+		counter("dbdht_freeze_timeouts_total", "writes failed on a frozen partition that never settled", st.Stats.FreezeTimeouts),
 		counter("dbdht_repl_writes_total", "writes applied to replica buckets", st.Stats.ReplWrites),
 		counter("dbdht_repl_repairs_total", "replica buckets repaired by anti-entropy", st.Stats.ReplRepairs),
 		counter("dbdht_repl_lagged_total", "failed replica exchanges (replication lag)", st.Stats.ReplLagged),

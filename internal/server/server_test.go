@@ -3,11 +3,14 @@ package server_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"dbdht/client"
 	"dbdht/internal/cluster"
@@ -254,5 +257,94 @@ func TestKeysWithSlashes(t *testing.T) {
 	v, found, err := cl.Get(ctx, key)
 	if err != nil || !found || string(v) != "p" {
 		t.Fatalf("get %q = %q, %v, %v", key, v, found, err)
+	}
+}
+
+// TestBalancePlane exercises the balancer admin endpoints: capacity
+// re-weighting, a manual round, and the status document.
+func TestBalancePlane(t *testing.T) {
+	c, ts := boot(t, 2, 8)
+	do := func(method, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+
+	// Re-weight snode 2 to 4×; the next round should see sigma above any
+	// reasonable threshold (equal enrollment over 1:4 capacities).
+	resp, body := do("PUT", "/v1/snodes/2/capacity", `{"weight":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("set capacity: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := do("PUT", "/v1/snodes/2/capacity", `{"weight":-1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative capacity: %d %s", resp.StatusCode, body)
+	}
+	if resp, body := do("POST", "/v1/snodes", `{"capacity":-2}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("add snode with negative capacity: %d %s", resp.StatusCode, body)
+	}
+
+	resp, body = do("POST", "/v1/balance", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("balance now: %d %s", resp.StatusCode, body)
+	}
+	var round server.BalanceResponse
+	if err := json.Unmarshal(body, &round); err != nil {
+		t.Fatalf("balance response %s: %v", body, err)
+	}
+	if round.Sigma <= 0 || len(round.Loads) != 2 {
+		t.Fatalf("balance round = %+v, want positive sigma and 2 load reports", round)
+	}
+	if round.Moves == 0 {
+		t.Fatalf("1:4 capacity skew triggered no enrollment moves: %+v", round)
+	}
+
+	resp, body = do("GET", "/v1/balance", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("balance status: %d %s", resp.StatusCode, body)
+	}
+	var st server.BalanceResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds == 0 {
+		t.Fatalf("balance status reports zero rounds after a manual round: %+v", st)
+	}
+	if bs := c.BalancerStats(); bs.Moves == 0 {
+		t.Fatalf("cluster stats show no balancer moves: %+v", bs)
+	}
+
+	// The new metrics families appear in the exposition.  The per-snode
+	// load gauges come from a cache refreshed in the background (a scrape
+	// must never block on the cluster-wide load fan-out), so poll a few
+	// scrapes for them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body = do("GET", "/v1/metrics", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("metrics: %d", resp.StatusCode)
+		}
+		missing := ""
+		for _, want := range []string{"dbdht_balance_rounds_total", "dbdht_balance_sigma_snode", "dbdht_snode_capacity", "dbdht_migration_chunks_total", "dbdht_freeze_timeouts_total"} {
+			if !strings.Contains(string(body), want) {
+				missing = want
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics exposition lacks %s", missing)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
