@@ -240,6 +240,58 @@ func BenchmarkClusterMPutTCP(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterMPutTCPDurable is BenchmarkClusterMPutTCP R=1 with the
+// write-ahead log on: every batch encodes one journal record per touched
+// bucket before ack.  fsync=off measures the pure journaling overhead
+// (the regression guard against the non-durable baseline); fsync=batch
+// adds the group-commit fsync each batch awaits.
+func BenchmarkClusterMPutTCPDurable(b *testing.B) {
+	for _, mode := range []dbdht.FsyncMode{dbdht.FsyncOff, dbdht.FsyncBatch} {
+		b.Run("fsync="+mode.String(), func(b *testing.B) {
+			const size = 256
+			c, err := dbdht.NewClusterTCP(dbdht.ClusterOptions{
+				Pmin: 32, Vmin: 8, Seed: 1,
+				Durability: dbdht.DurabilityConfig{
+					Dir: b.TempDir(), Fsync: mode, SnapshotInterval: -1,
+				},
+			}, "127.0.0.1")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(c.Close)
+			for i := 0; i < 8; i++ {
+				if _, err := c.AddSnode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ids := c.Snodes()
+			for i := 0; i < 32; i++ {
+				if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			value := make([]byte, 64)
+			items := make([]dbdht.KV, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range items {
+					items[j] = dbdht.KV{Key: fmt.Sprintf("bench-key-%d", (i*size+j)%4096), Value: value}
+				}
+				results, err := c.MPut(items)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range results {
+					if !r.OK() {
+						b.Fatalf("MPut %q: %s", r.Key, r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "keys/s")
+		})
+	}
+}
+
 // BenchmarkClusterPut measures single-key puts: one serial request/response
 // round-trip per key.  Compare ns/op·batch with BenchmarkClusterMPut at the
 // same batch sizes to see the batching win.

@@ -1,14 +1,3 @@
-// Package client is a small Go client for the dbdht HTTP API served by
-// internal/server (and cmd/dhtd).  It reuses connections across calls —
-// one Client is meant to live for the life of the program — and offers
-// batch helpers mapping 1:1 onto the cluster's MPut/MGet/MDelete, which
-// fan out across the DHT's groups in parallel server-side.
-//
-// Every method takes a context.Context: cancel it (or let its deadline
-// pass) to abort the request.  Contexts without a deadline get the
-// client's per-request timeout (WithRequestTimeout, default 30s), so no
-// call can hang on an unresponsive server.  Response bodies are read with
-// a hard size cap.
 package client
 
 import (

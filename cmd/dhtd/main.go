@@ -1,16 +1,24 @@
 // Command dhtd boots a dbdht cluster and serves its HTTP API: the
 // key/value data plane (single-key and batched), the admin plane (snode
-// and vnode membership, enrollment) and introspection (status snapshot,
-// Prometheus metrics).
+// and vnode membership, enrollment, capacity, balancing, snapshots) and
+// introspection (status snapshot, Prometheus metrics).
 //
 // Usage:
 //
 //	dhtd -listen :8080 -snodes 8 -vnodes 32
-//	dhtd -listen 127.0.0.1:8080 -transport tcp -host 127.0.0.1
-//	dhtd -listen :8080 -pprof 127.0.0.1:6060   # live profiling side port
+//	dhtd -snodes 8 -vnodes 32 -replicas 2              # survive snode crashes
+//	dhtd -data-dir /var/lib/dbdht -fsync batch          # survive restarts (WAL + snapshots)
+//	dhtd -transport tcp -host 127.0.0.1                 # real TCP fabric
+//	dhtd -capacity "1,1,4,4" -balance 5s                # heterogeneous + autonomous balancer
+//	dhtd -pprof 127.0.0.1:6060                          # live profiling side port
+//
+// Re-running dhtd over the same -data-dir recovers the previous run's
+// data: each snode replays its snapshot + WAL tail before serving, and
+// the boot-time vnode enrollment is skipped (the recovered DHT already
+// has its vnodes).  The full flag reference lives in docs/OPERATIONS.md.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain, then the cluster's snodes stop.
+// drain, then the cluster's snodes stop and their WALs are flushed.
 package main
 
 import (
@@ -51,6 +59,9 @@ func main() {
 		balance    = flag.Duration("balance", 0, "autonomous balancer interval (0 = off; e.g. 5s)")
 		balThresh  = flag.Float64("balance-threshold", 0.15, "capacity-normalized per-snode quota deviation that triggers rebalancing")
 		balMoves   = flag.Int("balance-moves", 2, "max enrollment adjustments per balancer round")
+		dataDir    = flag.String("data-dir", "", "root directory for crash-durable snode storage (WAL + snapshots; empty = in-memory only)")
+		fsync      = flag.String("fsync", "batch", "WAL durability of acknowledged writes: off | batch (group-commit fsync) | always")
+		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "background snapshot + WAL truncation interval (requires -data-dir)")
 	)
 	flag.Parse()
 	caps, err := parseCapacities(*capacity)
@@ -59,7 +70,13 @@ func main() {
 		os.Exit(2)
 	}
 	bal := dbdht.BalanceConfig{Interval: *balance, QuotaDeviation: *balThresh, MaxMovesPerRound: *balMoves}
-	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal); err != nil {
+	mode, err := dbdht.ParseFsyncMode(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
+		os.Exit(2)
+	}
+	dur := dbdht.DurabilityConfig{Dir: *dataDir, Fsync: mode, SnapshotInterval: *snapEvery}
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal, dur); err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
 		os.Exit(1)
 	}
@@ -95,14 +112,14 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig) error {
+func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig, dur dbdht.DurabilityConfig) error {
 	if snodes < 1 {
 		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
 	}
 	if vnodes < 0 {
 		return fmt.Errorf("-vnodes must be >= 0, got %d", vnodes)
 	}
-	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout, Replicas: replicas, Balance: bal}
+	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout, Replicas: replicas, Balance: bal, Durability: dur}
 	var (
 		c   *dbdht.Cluster
 		err error
@@ -129,18 +146,30 @@ func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fa
 			return err
 		}
 	}
-	ids := c.Snodes()
-	for i := 0; i < vnodes; i++ {
-		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
-			return err
+	// A data dir may hold a previous run: the snodes then recovered their
+	// vnodes from snapshot + WAL, and enrolling the boot quota on top
+	// would double the DHT.  Recovery wins; -vnodes applies to fresh dirs.
+	recovered := len(c.Snapshot().Vnodes)
+	if recovered > 0 {
+		log.Printf("dhtd: recovered %d vnodes from %s; skipping boot enrollment", recovered, dur.Dir)
+	} else {
+		ids := c.Snodes()
+		for i := 0; i < vnodes; i++ {
+			if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+				return err
+			}
 		}
 	}
 	balanced := "off"
 	if bal.Interval > 0 {
 		balanced = bal.Interval.String()
 	}
-	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, R=%d, fabric=%s, balance=%s)",
-		snodes, vnodes, pmin, vmin, replicas, fabric, balanced)
+	durable := "off"
+	if dur.Dir != "" {
+		durable = fmt.Sprintf("%s (fsync=%s)", dur.Dir, dur.Fsync)
+	}
+	log.Printf("dhtd: cluster up — %d snodes, %d vnodes (Pmin=%d, Vmin=%d, R=%d, fabric=%s, balance=%s, data=%s)",
+		snodes, len(c.Snapshot().Vnodes), pmin, vmin, replicas, fabric, balanced, durable)
 
 	if pprofAddr != "" {
 		pprofSrv := &http.Server{Addr: pprofAddr, Handler: pprofHandler()}

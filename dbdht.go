@@ -40,6 +40,7 @@ import (
 	"dbdht/internal/core"
 	"dbdht/internal/global"
 	"dbdht/internal/hashspace"
+	"dbdht/internal/wal"
 )
 
 // LocalDHT is a local-approach DHT (the paper's contribution); see
@@ -78,6 +79,27 @@ type BalancerStats = cluster.BalancerStats
 
 // SnodeLoad is one snode's load report (capacity, quota, EWMA rates).
 type SnodeLoad = cluster.SnodeLoad
+
+// DurabilityConfig configures the per-snode write-ahead log and
+// snapshots (Dir, Fsync, SnapshotInterval); the zero value disables
+// durability entirely.
+type DurabilityConfig = cluster.DurabilityConfig
+
+// FsyncMode is the durability class of acknowledged writes.
+type FsyncMode = wal.FsyncMode
+
+// Fsync modes for DurabilityConfig.Fsync: FsyncOff never syncs (an
+// acknowledged write may die with the process), FsyncBatch group-commits
+// an fsync before every ack, FsyncAlways additionally syncs every append
+// eagerly.
+const (
+	FsyncOff    = wal.FsyncOff
+	FsyncBatch  = wal.FsyncBatch
+	FsyncAlways = wal.FsyncAlways
+)
+
+// ParseFsyncMode parses "off", "batch" or "always" (the -fsync flag).
+func ParseFsyncMode(s string) (FsyncMode, error) { return wal.ParseFsyncMode(s) }
 
 // GroupID is the decentralized binary group identifier of §3.7.1.
 type GroupID = core.GroupID
@@ -123,6 +145,10 @@ type ClusterOptions struct {
 	// LoadInterval paces the per-bucket EWMA load accounting the balancer
 	// observes (default 500ms).
 	LoadInterval time.Duration
+	// Durability configures the per-snode write-ahead log and snapshots
+	// (see internal/cluster/durable.go and docs/OPERATIONS.md).  Zero
+	// value: no disk I/O; a restarted snode comes back empty.
+	Durability DurabilityConfig
 }
 
 // NewLocal returns an empty local-approach DHT.
@@ -148,6 +174,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
 		Balance: o.Balance, LoadInterval: o.LoadInterval,
+		Durability: o.Durability,
 	}, transport.NewMem())
 }
 
@@ -158,6 +185,7 @@ func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
 		Balance: o.Balance, LoadInterval: o.LoadInterval,
+		Durability: o.Durability,
 	}, transport.NewTCP(host))
 }
 

@@ -1,17 +1,3 @@
-// Package ch implements the Consistent Hashing reference model of Karger et
-// al. (STOC'97, the paper's reference [4]) that §4.3 of Rufino et al.
-// compares against: a ring of randomly placed points (virtual servers), each
-// physical node owning the arcs that start at its points, so partitions have
-// *random* sizes — in contrast to the equal-size, bounded-count partitions
-// of the cluster-oriented model.
-//
-// The weighted variant of Dabek et al. (SOSP'01, reference [3]) is obtained
-// by giving a node a number of points proportional to its weight.
-//
-// Quotas are maintained incrementally: inserting a point splits exactly one
-// existing arc, removing a point merges its arc into the predecessor's, so
-// each join/leave costs O(k log P) instead of a full O(P) recomputation.
-// Tests cross-check the incremental accounting against brute force.
 package ch
 
 import (

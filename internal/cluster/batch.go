@@ -84,6 +84,12 @@ func (s *Snode) handleBatch(m batchReq) {
 		replDests  map[hashspace.Partition][]transport.NodeID
 	)
 	var localWrites []int // indices applied locally and pending replica acks
+	var (
+		walMax     uint64 // highest WAL sequence journaled for this batch
+		walClosed  bool   // a journal append was refused (snode stopping)
+		durWrites  []int  // indices whose ack awaits WAL durability
+		walScratch []byte // reused record-encoding slab (durability on)
+	)
 	if s.cfg.Replicas > 1 {
 		// replDests doubles as a per-batch cache of replica placements for
 		// the served-route entries.
@@ -167,7 +173,9 @@ func (s *Snode) handleBatch(m batchReq) {
 		// Apply each bucket's share under its own lock.  A bucket whose
 		// state moved since classification requeues its items: a freeze
 		// joins the frozen-deadline path, a death (shipped or split away)
-		// re-classifies against the new ownership.
+		// re-classifies against the new ownership.  Writes are journaled
+		// under the same bucket lock that applies them (one record per
+		// bucket per batch) and acknowledged only once durable.
 		var again []int
 		for bk, w := range work {
 			if m.Kind == opGet {
@@ -198,6 +206,14 @@ func (s *Snode) handleBatch(m batchReq) {
 					continue
 				}
 				var wroteBytes int64
+				if s.dur != nil {
+					// The journal record is encoded inline as the items
+					// apply (layout of encodeWalWrite/decodeWalWrite, with
+					// the item count known upfront), into a scratch slab
+					// reused across this batch's buckets — no per-bucket
+					// slice or closure allocations on the hot path.
+					walScratch = encodeWalWriteHeader(walScratch[:0], m.Kind, w.p, len(w.idxs))
+				}
 				for _, i := range w.idxs {
 					it := m.Items[i]
 					switch m.Kind {
@@ -214,11 +230,27 @@ func (s *Snode) handleBatch(m batchReq) {
 						delete(bk.m, it.Key)
 						results[i] = batchItemResp{Found: found}
 					}
+					if s.dur != nil {
+						walScratch = transport.AppendString(walScratch, it.Key)
+						walScratch = transport.AppendBytes(walScratch, it.Value)
+					}
 					if bk.mig != nil {
 						// The bucket is streaming out in a live migration:
 						// record the key so a delta round re-ships it.
 						bk.mig.dirty[it.Key] = struct{}{}
 					}
+				}
+				if s.dur != nil {
+					// Journal under the bucket lock: the snapshot pass reads
+					// buckets under the same lock, so a record below its cut
+					// is always reflected in the bucket it serializes.
+					seq := s.durAppend(walScratch)
+					if seq == 0 {
+						walClosed = true
+					} else if seq > walMax {
+						walMax = seq
+					}
+					durWrites = append(durWrites, w.idxs...)
 				}
 				bk.mu.Unlock()
 				bk.noteWrites(int64(len(w.idxs)), wroteBytes)
@@ -310,6 +342,15 @@ func (s *Snode) handleBatch(m batchReq) {
 		// the affected writes must not be acknowledged as durable.
 		for _, i := range localWrites {
 			results[i] = batchItemResp{Err: "replication aborted: " + replErr.Error()}
+		}
+	}
+	// The durability wait rides after the parallel fan-out (the group
+	// fsync overlapped with the network round-trips): a write is
+	// acknowledged only once its journal record is on disk per the
+	// configured fsync mode.
+	if walClosed || (walMax > 0 && !s.durFastAck() && !s.durWaitSeq(walMax)) {
+		for _, i := range durWrites {
+			results[i] = batchItemResp{Err: "wal aborted: snode stopping"}
 		}
 	}
 

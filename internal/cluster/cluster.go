@@ -12,6 +12,7 @@ import (
 	"dbdht/internal/cluster/transport"
 	"dbdht/internal/core"
 	"dbdht/internal/hashspace"
+	"dbdht/internal/wal"
 )
 
 // clientID is the fabric endpoint the Cluster handle itself occupies.
@@ -33,6 +34,7 @@ type Cluster struct {
 	snodes       map[transport.NodeID]*Snode
 	order        []transport.NodeID
 	caps         map[transport.NodeID]float64 // per-snode capacity weights
+	deadCaps     map[transport.NodeID]float64 // weights of crashed snodes, for RestartSnode
 	nextID       transport.NodeID
 	viewEpoch    uint64
 	bootstrapped bool
@@ -56,8 +58,9 @@ type Cluster struct {
 	routes    map[hashspace.Partition]route
 	routeLvls levelSet
 
-	retiredMu sync.Mutex
-	retired   StatsSnapshot // counters of snodes that left the cluster
+	retiredMu  sync.Mutex
+	retired    StatsSnapshot     // counters of snodes that left the cluster
+	retiredWal wal.StatsSnapshot // durability counters of snodes that left
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -98,15 +101,16 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		net:     net,
-		pending: make(map[uint64]chan any),
-		snodes:  make(map[transport.NodeID]*Snode),
-		caps:    make(map[transport.NodeID]float64),
-		nextID:  1,
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
-		routes:  make(map[hashspace.Partition]route),
-		done:    make(chan struct{}),
+		cfg:      cfg,
+		net:      net,
+		pending:  make(map[uint64]chan any),
+		snodes:   make(map[transport.NodeID]*Snode),
+		caps:     make(map[transport.NodeID]float64),
+		deadCaps: make(map[transport.NodeID]float64),
+		nextID:   1,
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		routes:   make(map[hashspace.Partition]route),
+		done:     make(chan struct{}),
 	}
 	go c.loop(inbox)
 	if cfg.Balance.Interval > 0 {
@@ -212,7 +216,37 @@ func (c *Cluster) AddSnodeWithCapacity(weight float64) (transport.NodeID, error)
 		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: boot}})
 	}
 	c.broadcastView()
+	// With durability on, a fresh data directory may not be fresh at all:
+	// a dhtd rebooted over its -data-dir re-adds snodes that recover their
+	// vnodes from disk, and the handle adopts the recovered DHT instead of
+	// bootstrapping a new one over it.
+	if !haveBoot && cfg.Durability.Dir != "" && s.recoveredVnodes() {
+		c.adoptRecovered(s)
+	}
 	return id, nil
+}
+
+// adoptRecovered makes a recovered snode's DHT the handle's own: the
+// bootstrap flag flips, the fallback route aims at a recovered vnode,
+// and every snode (the recovered one included) learns it.
+func (c *Cluster) adoptRecovered(s *Snode) {
+	hosted := s.hostedVnodes()
+	if len(hosted) == 0 {
+		return
+	}
+	owner := ownerRef{Vnode: hosted[0], Host: s.ID()}
+	c.mu.Lock()
+	if c.bootstrapped {
+		c.mu.Unlock()
+		return
+	}
+	c.bootstrapped = true
+	c.firstOwner = owner
+	ids := append([]transport.NodeID(nil), c.order...)
+	c.mu.Unlock()
+	for _, id := range ids {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: owner}})
+	}
 }
 
 // broadcastView refreshes every snode's sorted membership view — the
@@ -414,6 +448,9 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	}
 	c.retiredMu.Lock()
 	c.retired.fold(s.stats.snapshot())
+	if s.dur != nil {
+		c.retiredWal.Fold(s.dur.log.Stats().Snapshot())
+	}
 	c.retiredMu.Unlock()
 	s.stop()
 	return nil
@@ -435,6 +472,7 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 		return fmt.Errorf("cluster: snode %d not in cluster", id)
 	}
 	delete(c.snodes, id)
+	c.deadCaps[id] = c.caps[id] // RestartSnode restores the weight
 	delete(c.caps, id)
 	for i, o := range c.order {
 		if o == id {
@@ -453,7 +491,11 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 	c.purgeRoutesTo(id, true)
 	c.retiredMu.Lock()
 	c.retired.fold(s.stats.snapshot())
+	if s.dur != nil {
+		c.retiredWal.Fold(s.dur.log.Stats().Snapshot())
+	}
 	c.retiredMu.Unlock()
+	s.crashed.Store(true) // abandon (not flush) the WAL: crashes do not get to fsync
 	s.stop()
 	c.broadcastView() // before any fallible step: placement must stop using the dead snode
 	// A crash bequeaths nothing: survivors just drop pointers at the dead
@@ -467,6 +509,77 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// RestartSnode brings a previously crashed (or otherwise departed) snode
+// back under the SAME id, recovering its state from the data directory:
+// snapshot + WAL tail replay into its buckets before it rejoins the
+// fabric.  Requires durability to be configured.  The restarted snode
+// re-announces its owned partitions so the custody pointers the crash
+// pruned grow back, and — when the whole DHT died with it (the R=1
+// single-snode case) — the handle re-adopts the recovered DHT.
+func (c *Cluster) RestartSnode(id transport.NodeID) error {
+	if c.cfg.Durability.Dir == "" {
+		return fmt.Errorf("cluster: RestartSnode requires a durability data dir")
+	}
+	c.mu.Lock()
+	if _, live := c.snodes[id]; live {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: snode %d is still in the cluster", id)
+	}
+	cfg := c.cfg
+	cfg.Seed = c.cfg.Seed ^ int64(id)<<17
+	boot := c.firstOwner
+	haveBoot := c.bootstrapped
+	c.mu.Unlock()
+	s, err := newSnode(id, cfg, c.net)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.snodes[id] = s
+	c.order = append(c.order, id)
+	// A crashed snode comes back with the capacity weight it had (the
+	// balancer would otherwise migrate most of its recovered share away);
+	// an id never seen before defaults to unit capacity.
+	w := 1.0
+	if prev, ok := c.deadCaps[id]; ok && prev > 0 {
+		w = prev
+		delete(c.deadCaps, id)
+	}
+	c.caps[id] = w
+	if id >= c.nextID {
+		c.nextID = id + 1
+	}
+	survivors := append([]transport.NodeID(nil), c.order...)
+	c.mu.Unlock()
+	c.broadcastView()
+	if haveBoot {
+		_ = c.net.Send(transport.Envelope{From: clientID, To: id, Msg: bootstrapInfo{Owner: boot}})
+	} else if s.recoveredVnodes() {
+		c.adoptRecovered(s)
+	}
+	// Re-announce the recovered regions: survivors dropped every custody
+	// pointer at this snode when it crashed, so without this the data it
+	// recovered would be unroutable from elsewhere.
+	if routes := s.ownedRoutes(); len(routes) > 0 {
+		announce := snodeRecoveredMsg{Recovered: id, Routes: routes}
+		for _, sid := range survivors {
+			if sid != id {
+				_ = c.net.Send(transport.Envelope{From: clientID, To: sid, Msg: announce})
+			}
+		}
+	}
+	// Routes the crash marked dead-primary point at live data again.
+	c.routeMu.Lock()
+	for p, rt := range c.routes {
+		if rt.dead && rt.ref.Host == id {
+			rt.dead = false
+			c.routes[p] = rt
+		}
+	}
+	c.routeMu.Unlock()
 	return nil
 }
 

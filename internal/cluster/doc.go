@@ -1,0 +1,51 @@
+// Package cluster is the runtime substrate of the model: it turns the
+// algorithmic local approach (package core) into a live system of *software
+// nodes* — the paper's snodes (§2.1.1) — that exchange protocol messages
+// over a transport fabric, store real key/value data in their partitions,
+// and rebalance by actually shipping partition contents between cluster
+// nodes.
+//
+// The architecture follows the paper §3 directly:
+//
+//   - every snode is an actor (goroutine + unbounded inbox) hosting vnodes;
+//   - each group of vnodes has a *leader* snode holding the authoritative
+//     LPDR; balancement events within a group are serialized by its leader,
+//     while different groups progress in parallel — the paper's central
+//     parallelism claim;
+//   - vnode creation follows §3.6: draw r ∈ R_h, route a lookup to the
+//     victim vnode, ask the victim group's leader to run the §2.5 algorithm
+//     over its LPDR, splitting the group first when it is full (§3.7);
+//   - lookups route by *custody forwarding*: when a partition leaves a
+//     host, the host keeps a tombstone pointing at the new owner, so any
+//     stale request chases the chain of custody to the current owner.
+//
+// The runtime has grown well past the paper's failure-free model (§5):
+//
+//   - the data plane is batched end to end (batch.go): the handle groups
+//     keys by believed owner via a learned route cache and fans sub-batches
+//     out in parallel, one per owner, single-key operations riding as
+//     one-item batches;
+//   - R-way partition replication (replica.go) keeps R−1 replica buckets
+//     per partition on deterministically placed snodes, with synchronous
+//     write fan-out, client-side failover reads, and background
+//     anti-entropy repair — an abrupt snode crash with R ≥ 2 loses no
+//     acknowledged write;
+//   - partitions move by chunked live migration (migrate.go): the bucket
+//     keeps serving reads AND writes while its contents stream out in
+//     bounded chunks, freezing only for the final delta round-trip;
+//   - an autonomous load-aware balancer (balancer.go, load.go) watches
+//     per-bucket EWMA traffic rates and capacity-normalized quotas and
+//     moves enrollment toward capacity-proportional targets through the
+//     ordinary §3.6 join/leave machinery;
+//   - hot-path messages ride a hand-rolled binary frame codec (wire.go)
+//     over the TCP fabric, with gob retained only for rare control
+//     messages;
+//   - crash-durable storage (durable.go, internal/wal): every local
+//     mutation is journaled to a per-snode write-ahead log before ack,
+//     periodic snapshots truncate the log, and a restarted snode
+//     (Cluster.RestartSnode) replays snapshot + tail before serving — an
+//     R=1 single-snode restart loses zero acknowledged writes.
+//
+// See docs/ARCHITECTURE.md for the layer map and lifecycle walkthroughs,
+// and docs/WIRE.md for the wire protocol and journal record formats.
+package cluster

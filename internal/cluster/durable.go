@@ -1,0 +1,649 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/hashspace"
+	"dbdht/internal/wal"
+)
+
+// Crash-durable snode storage.  With a data directory configured, every
+// mutation of an snode's local state — live-bucket writes, replica-store
+// writes, migration installs and drops, splits, vnode and LPDR lifecycle
+// — is journaled to a per-snode write-ahead log (internal/wal) before it
+// is acknowledged, and a background pass periodically snapshots the
+// materialized buckets and truncates the log behind them.  A restarted
+// snode (Cluster.RestartSnode, or a dhtd reboot over the same -data-dir)
+// replays snapshot + log tail into its buckets before it starts serving,
+// so an R=1 single-snode restart loses zero acknowledged writes — the
+// durability the paper's failure-free model never needed, and the
+// foundation under the replication layer's crash story (a whole-cluster
+// restart no longer loses everything).
+//
+// Layout under DurabilityConfig.Dir:
+//
+//	snode-<id>/
+//	  wal/<firstseq>.seg   CRC-framed record segments (internal/wal)
+//	  snap/MANIFEST        replay cut of the latest complete snapshot
+//	  snap/<cut>/meta.snap           snode metadata (vnodes, tombs, LPDRs, …)
+//	  snap/<cut>/own-<lvl>-<pfx>.snap  one owned bucket's contents
+//	  snap/<cut>/repl-<lvl>-<pfx>.snap one replica bucket's contents
+//
+// Consistency model: records append under the same fine-grained lock
+// that applies the mutation (the bucket's mutex for data writes, the
+// snode mutex for the rest), and the snapshot pass captures its cut
+// BEFORE serializing any state, so every record outside the snapshot has
+// a sequence at or above the cut.  Records are idempotent, which lets a
+// bucket serialized late in the pass — already containing post-cut
+// writes — absorb their replay harmlessly.
+//
+// Documented limitation: a sender crashing in the narrow window after a
+// migration commit was acknowledged by the receiver but before the
+// sender's bucket-drop record became durable will resurrect its copy of
+// the partition at recovery, leaving two claimants until the custody
+// chain is repaired by hand; replicated clusters (R ≥ 2) detect the
+// divergence via anti-entropy.  True two-phase handover journaling is
+// future work (see ROADMAP).
+
+// DurabilityConfig parameterizes the per-snode durability layer.  The
+// zero value disables it (no I/O on any path).
+type DurabilityConfig struct {
+	// Dir is the root data directory; each snode uses Dir/snode-<id>.
+	// Empty disables durability.
+	Dir string
+	// Fsync selects the durability class of acknowledged writes
+	// (default wal.FsyncOff; wal.FsyncBatch group-commits an fsync per
+	// flush round before acks).
+	Fsync wal.FsyncMode
+	// SnapshotInterval paces the background snapshot+truncate pass
+	// (default 30s; negative disables background snapshots — the log
+	// then grows until SnapshotNow).
+	SnapshotInterval time.Duration
+	// SegmentBytes caps one WAL segment file (default 16 MiB).
+	SegmentBytes int64
+}
+
+// durable is an snode's durability state (nil when off).
+type durable struct {
+	log      *wal.Log
+	snapRoot string
+	interval time.Duration
+
+	// snapMu serializes snapshot passes (the background loop and
+	// SnapshotNow can otherwise interleave two passes whose retire steps
+	// delete each other's directories); lastCut is the cut of the latest
+	// PUBLISHED snapshot — a pass whose cut has not advanced is a no-op,
+	// which also guarantees a fresh pass never writes into (or aborts
+	// away) the directory the manifest currently references.
+	snapMu  sync.Mutex
+	lastCut uint64
+}
+
+// durAppend journals one encoded record; 0 means durability is off or
+// the log already closed (the caller's ack path must fail, not lie).
+func (s *Snode) durAppend(payload []byte) uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.log.Append(payload)
+}
+
+// durAppendWith is durAppend for the hot paths: the record is encoded
+// directly into the WAL buffer, skipping the intermediate allocation.
+func (s *Snode) durAppendWith(enc func([]byte) []byte) uint64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.log.AppendWith(enc)
+}
+
+// durWaitSeq blocks until the record is durable per the configured
+// fsync mode; false means the log closed first (or never accepted the
+// record) and the mutation must not be acknowledged as durable.
+func (s *Snode) durWaitSeq(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	return s.dur.log.WaitDurable(seq)
+}
+
+// durFastAck reports whether an ack may be sent inline without a
+// durability wait (durability off entirely, or FsyncOff mode where
+// WaitDurable never blocks).
+func (s *Snode) durFastAck() bool {
+	return s.dur == nil || s.dur.log.Mode() == wal.FsyncOff
+}
+
+// --- open & recover ---
+
+// snodeDataDir returns one snode's directory under the configured root.
+func snodeDataDir(root string, id transport.NodeID) string {
+	return filepath.Join(root, fmt.Sprintf("snode-%d", id))
+}
+
+// openDurability opens the snode's WAL and replays snapshot + tail into
+// its (not yet serving) state.  Called by newSnode before the actor
+// starts, so no locks are needed.
+func (s *Snode) openDurability() error {
+	dc := s.cfg.Durability
+	root := snodeDataDir(dc.Dir, s.id)
+	snapRoot := filepath.Join(root, "snap")
+	if err := os.MkdirAll(snapRoot, 0o755); err != nil {
+		return fmt.Errorf("cluster: durability: %w", err)
+	}
+	cut := uint64(0)
+	manifest := filepath.Join(snapRoot, "MANIFEST")
+	if payload, err := wal.ReadSnapshot(manifest); err == nil {
+		c, derr := decodeManifest(payload)
+		if derr != nil {
+			return fmt.Errorf("cluster: durability: %w", derr)
+		}
+		if err := s.loadSnapshot(filepath.Join(snapRoot, strconv.FormatUint(c, 10))); err != nil {
+			return err
+		}
+		cut = c
+	} else if !errors.Is(err, os.ErrNotExist) {
+		// The manifest exists but does not verify: the log may have been
+		// truncated against it, so replay-from-zero could silently lose
+		// data.  Refuse to start instead.
+		return fmt.Errorf("cluster: durability: %w", err)
+	}
+	log, err := wal.Open(filepath.Join(root, "wal"), wal.Options{
+		Fsync: dc.Fsync, SegmentBytes: dc.SegmentBytes,
+	})
+	if err != nil {
+		return err
+	}
+	if err := log.Replay(cut, s.applyWalRecord); err != nil {
+		_ = log.Close()
+		return err
+	}
+	s.dur = &durable{log: log, snapRoot: snapRoot, interval: dc.SnapshotInterval, lastCut: cut}
+	// Reinstall leadership for the groups this snode led: the recovered
+	// LPDR states carry the leader, and installLeaderLocked rebuilds the
+	// balance table from the members (no lock needed pre-start).
+	for _, st := range s.replicas {
+		if st.Leader == s.id {
+			if _, dup := s.led[st.Group]; !dup {
+				s.installLeaderLocked(*st)
+			}
+		}
+	}
+	return nil
+}
+
+// recovered reports whether recovery produced any joined vnode — the
+// signal for the cluster handle to adopt this snode's DHT instead of
+// bootstrapping a fresh one.
+func (s *Snode) recoveredVnodes() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, vs := range s.vnodes {
+		if vs.joined {
+			return true
+		}
+	}
+	return false
+}
+
+// ownedRoutes lists this snode's owned partitions as route entries — the
+// recovery announcement RestartSnode broadcasts so survivors' custody
+// chains (pruned when the snode crashed) reach the recovered data again.
+func (s *Snode) ownedRoutes() []routeEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]routeEntry, 0, len(s.owned))
+	for p, ref := range s.owned {
+		out = append(out, routeEntry{Partition: p, Ref: ownerRef{Vnode: ref.vs.name, Host: s.id}})
+	}
+	return out
+}
+
+// loadSnapshot rebuilds the snode's state from one complete snapshot
+// directory.  Runs pre-start: no locks.
+func (s *Snode) loadSnapshot(dir string) error {
+	payload, err := wal.ReadSnapshot(filepath.Join(dir, "meta.snap"))
+	if err != nil {
+		return err
+	}
+	meta, err := decodeSnapMeta(payload)
+	if err != nil {
+		return err
+	}
+	s.nextLocal = meta.NextLocal
+	s.hasBoot = meta.HasBoot
+	s.boot = meta.Boot
+	for _, v := range meta.Vnodes {
+		vs := &vnodeState{
+			name: v.Name, group: v.Group, level: v.Level, joined: v.Joined,
+			parts: make(map[hashspace.Partition]*bucket, len(v.Parts)),
+		}
+		for _, p := range v.Parts {
+			bk := newBucket(nil)
+			vs.parts[p] = bk
+			s.setOwnedLocked(p, vs, bk)
+		}
+		s.vnodes[v.Name] = vs
+	}
+	for _, t := range meta.Tombs {
+		s.setTombLocked(t.Partition, t.Ref)
+	}
+	for i := range meta.Lpdrs {
+		st := meta.Lpdrs[i]
+		s.replicas[st.Group] = &st
+	}
+	for _, p := range meta.Rprov {
+		s.rprov[p] = true
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("cluster: durability: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		// Only complete bucket files: a crash mid-WriteSnapshot can leave
+		// *.snap.tmp leftovers in the directory, which must not be read.
+		if !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		isOwn := strings.HasPrefix(name, "own-")
+		isRepl := strings.HasPrefix(name, "repl-")
+		if !isOwn && !isRepl {
+			continue
+		}
+		payload, err := wal.ReadSnapshot(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		b, err := decodeSnapBucket(payload)
+		if err != nil {
+			return err
+		}
+		if isOwn {
+			if ref, ok := s.owned[b.Partition]; ok {
+				ref.bk.m = b.Data
+			}
+			continue
+		}
+		s.setReplicaBucketLocked(b.Partition, b.Data)
+	}
+	return nil
+}
+
+// --- replay ---
+
+// applyWalRecord decodes and applies one journal record during recovery.
+// Runs pre-start: no locks, no fabric.  Records are idempotent, so a
+// record the snapshot already reflects applies harmlessly.
+func (s *Snode) applyWalRecord(seq uint64, payload []byte) error {
+	r := transport.NewWireReader(payload)
+	tag := r.Uvarint()
+	switch uint16(tag) {
+	case walTagWrite:
+		rec := decodeWalWrite(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		// Apply only while the partition is owned at exactly this level:
+		// ownership transitions are journaled too, so a write that replays
+		// against a later state (bucket dropped, split deeper) is already
+		// reflected there.
+		if ref, ok := s.owned[rec.Partition]; ok {
+			applyItems(ref.bk.m, rec.Kind, rec.Items)
+		}
+		return nil
+	case walTagReplWrite:
+		rec := decodeWalReplWrite(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		s.applyReplWriteLocked(rec.Kind, rec.Sets, true)
+		return nil
+	case walTagVnode:
+		rec := decodeWalVnode(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		if rec.Name.Snode == s.id && rec.Name.Local >= s.nextLocal {
+			s.nextLocal = rec.Name.Local + 1
+		}
+		if _, dup := s.vnodes[rec.Name]; dup {
+			return nil
+		}
+		vs := &vnodeState{
+			name: rec.Name, group: rec.Group, level: rec.Level, joined: rec.Joined,
+			parts: make(map[hashspace.Partition]*bucket, len(rec.Parts)),
+		}
+		for _, p := range rec.Parts {
+			bk := newBucket(nil)
+			vs.parts[p] = bk
+			s.setOwnedLocked(p, vs, bk)
+		}
+		s.vnodes[rec.Name] = vs
+		return nil
+	case walTagVnodeGone:
+		name := readVnodeName(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		if vs, ok := s.vnodes[name]; ok {
+			for p, bk := range vs.parts {
+				s.delOwnedLocked(p, bk)
+			}
+			delete(s.vnodes, name)
+		}
+		return nil
+	case walTagSplitAll:
+		rec := decodeWalSplitAll(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		s.splitGroupLocked(rec.Group, rec.NewLevel)
+		return nil
+	case walTagMigInstall:
+		rec := decodeWalMigInstall(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		if vs, ok := s.vnodes[rec.To]; ok {
+			s.installBucketLocked(vs, rec.Group, rec.Level, rec.Partition, rec.Data)
+		}
+		return nil
+	case walTagBucketDrop:
+		rec := decodeWalBucketDrop(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		if vs, ok := s.vnodes[rec.Vnode]; ok {
+			if bk, ok := vs.parts[rec.Partition]; ok {
+				bk.state = bucketDead
+				bk.m = nil
+				delete(vs.parts, rec.Partition)
+				s.delOwnedLocked(rec.Partition, bk)
+			}
+		}
+		s.setTombLocked(rec.Partition, rec.NewOwner)
+		return nil
+	case walTagReplSync:
+		rec := decodeWalReplSync(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		s.dropReplicaWithinLocked(rec.Partition)
+		s.setReplicaBucketLocked(rec.Partition, rec.Data)
+		delete(s.rprov, rec.Partition)
+		return nil
+	case walTagReplDrop:
+		ps := readPartitions(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		for _, p := range ps {
+			s.delReplicaBucketLocked(p)
+		}
+		return nil
+	case walTagLpdr:
+		rec := decodeWalLpdr(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		st := rec.State
+		s.replicas[st.Group] = &st
+		for _, d := range rec.Dissolved {
+			delete(s.replicas, d)
+		}
+		for _, mem := range st.Members {
+			if vs, ok := s.vnodes[mem.Vnode]; ok && mem.Host == s.id {
+				vs.group = st.Group
+				vs.level = st.Level
+				vs.joined = true
+			}
+		}
+		return nil
+	case walTagBoot:
+		s.boot = readOwnerRef(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		s.hasBoot = true
+		return nil
+	}
+	return fmt.Errorf("cluster: wal record %d: unknown tag %d — downgraded binary over a newer log?", seq, tag)
+}
+
+// applyItems folds batch items into a bucket map (replay side of the
+// batch apply loop).
+func applyItems(m map[string][]byte, kind dataOp, items []batchItem) {
+	for _, it := range items {
+		switch kind {
+		case opPut:
+			m[it.Key] = it.Value
+		case opDel:
+			delete(m, it.Key)
+		}
+	}
+}
+
+// --- snapshots ---
+
+// snapshotLoop paces the background snapshot+truncate pass.
+func (s *Snode) snapshotLoop() {
+	t := time.NewTicker(s.dur.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			_ = s.snapshotPass()
+		}
+	}
+}
+
+// snapshotPass writes one complete snapshot (metadata + every bucket)
+// and truncates the log behind it.  The cut is captured first, so every
+// mutation not yet serialized has a record at or above it; a bucket that
+// DIES mid-pass (migrated or split away) invalidates the pass — its data
+// would otherwise be lost to replay — and the pass retries with a fresh
+// cut (splits and handovers are rare; the retry converges).
+func (s *Snode) snapshotPass() error {
+	if s.dur == nil {
+		return nil
+	}
+	s.dur.snapMu.Lock()
+	defer s.dur.snapMu.Unlock()
+	const maxAttempts = 3
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ok, err := s.trySnapshot()
+		if ok || err != nil {
+			return err
+		}
+	}
+	// Every attempt found a captured bucket dead mid-pass (heavy migration
+	// churn).  Surface it: the manifest cut did not advance, so callers
+	// relying on a fresh snapshot (POST /v1/snapshot before a backup) must
+	// not be told it exists.
+	return fmt.Errorf("cluster: snode %d: snapshot aborted %d times by concurrent handovers; retry when migration settles", s.id, maxAttempts)
+}
+
+// trySnapshot runs one snapshot attempt; ok=false (with nil error) means
+// a bucket died mid-pass and the caller should retry.
+func (s *Snode) trySnapshot() (ok bool, err error) {
+	cut := s.dur.log.NextSeq()
+	if cut <= s.dur.lastCut {
+		// No record landed since the published snapshot: it is already
+		// current, and re-running would write into (and, on abort, delete)
+		// the very directory the manifest references.
+		return true, nil
+	}
+	dir := filepath.Join(s.dur.snapRoot, strconv.FormatUint(cut, 10))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return false, fmt.Errorf("cluster: snapshot: %w", err)
+	}
+	abort := func() {
+		_ = os.RemoveAll(dir)
+	}
+
+	// Capture the metadata and the bucket set under one s.mu pass.
+	type ownedSnap struct {
+		p  hashspace.Partition
+		bk *bucket
+	}
+	var (
+		meta   snapMeta
+		owned  []ownedSnap
+		rparts []hashspace.Partition
+	)
+	s.mu.Lock()
+	meta.NextLocal = s.nextLocal
+	meta.HasBoot = s.hasBoot
+	meta.Boot = s.boot
+	for name, vs := range s.vnodes {
+		rec := walVnodeRec{Name: name, Group: vs.group, Level: vs.level, Joined: vs.joined}
+		for p, bk := range vs.parts {
+			rec.Parts = append(rec.Parts, p)
+			owned = append(owned, ownedSnap{p: p, bk: bk})
+		}
+		meta.Vnodes = append(meta.Vnodes, rec)
+	}
+	for p, ref := range s.tombs {
+		meta.Tombs = append(meta.Tombs, routeEntry{Partition: p, Ref: ref})
+	}
+	for _, st := range s.replicas {
+		meta.Lpdrs = append(meta.Lpdrs, *st)
+	}
+	for p := range s.rprov {
+		meta.Rprov = append(meta.Rprov, p)
+	}
+	for p := range s.rparts {
+		rparts = append(rparts, p)
+	}
+	s.mu.Unlock()
+
+	stats := s.dur.log.Stats()
+
+	// Serialize each owned bucket under its own lock — post-cut writes it
+	// already absorbed replay idempotently on top.
+	for _, o := range owned {
+		o.bk.mu.RLock()
+		if o.bk.state == bucketDead {
+			o.bk.mu.RUnlock()
+			abort()
+			return false, nil // moved or split away; retry with a fresh cut
+		}
+		payload := encodeSnapBucket(nil, o.p, o.bk.m)
+		o.bk.mu.RUnlock()
+		name := fmt.Sprintf("own-%d-%d.snap", o.p.Level, o.p.Prefix)
+		if err := stats.WriteSnapshot(filepath.Join(dir, name), payload); err != nil {
+			abort()
+			return false, err
+		}
+	}
+	// Replica buckets are guarded by s.mu; serialize one at a time so the
+	// stall is per-bucket, not per-store.  A bucket dropped since the
+	// capture is simply skipped (its drop record is post-cut and replays).
+	for _, p := range rparts {
+		s.mu.Lock()
+		b, ok := s.rparts[p]
+		var payload []byte
+		if ok {
+			payload = encodeSnapBucket(nil, p, b)
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		name := fmt.Sprintf("repl-%d-%d.snap", p.Level, p.Prefix)
+		if err := stats.WriteSnapshot(filepath.Join(dir, name), payload); err != nil {
+			abort()
+			return false, err
+		}
+	}
+	if err := stats.WriteSnapshot(filepath.Join(dir, "meta.snap"), encodeSnapMeta(nil, meta)); err != nil {
+		abort()
+		return false, err
+	}
+	// Publish: fsync the log through the cut (records below it must not
+	// be lost once the segments holding them are truncated), then flip
+	// the manifest and drop what the snapshot covers.
+	if err := s.dur.log.Sync(); err != nil {
+		abort()
+		return false, err
+	}
+	if err := stats.WriteSnapshot(filepath.Join(s.dur.snapRoot, "MANIFEST"), encodeManifest(cut)); err != nil {
+		abort()
+		return false, err
+	}
+	s.dur.lastCut = cut
+	if cut > 0 {
+		if err := s.dur.log.TruncateThrough(cut - 1); err != nil {
+			return true, err
+		}
+	}
+	// Retire superseded snapshot directories.
+	ents, err := os.ReadDir(s.dur.snapRoot)
+	if err != nil {
+		return true, nil
+	}
+	for _, e := range ents {
+		if !e.IsDir() || e.Name() == strconv.FormatUint(cut, 10) {
+			continue
+		}
+		if _, perr := strconv.ParseUint(e.Name(), 10, 64); perr == nil {
+			_ = os.RemoveAll(filepath.Join(s.dur.snapRoot, e.Name()))
+		}
+	}
+	return true, nil
+}
+
+// SnapshotNow forces one snapshot+truncate pass on every live snode —
+// operator hook (tests, the HTTP admin plane, graceful shutdowns).
+func (c *Cluster) SnapshotNow() error {
+	c.mu.Lock()
+	snodes := make([]*Snode, 0, len(c.snodes))
+	for _, s := range c.snodes {
+		snodes = append(snodes, s)
+	}
+	c.mu.Unlock()
+	for _, s := range snodes {
+		if err := s.snapshotPass(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WALStats aggregates the live snodes' durability counters (plus those
+// of snodes that already left), for the dbdht_wal_* metrics.  All zeros
+// when durability is off.
+func (c *Cluster) WALStats() wal.StatsSnapshot {
+	c.mu.Lock()
+	snodes := make([]*Snode, 0, len(c.snodes))
+	for _, s := range c.snodes {
+		snodes = append(snodes, s)
+	}
+	c.mu.Unlock()
+	c.retiredMu.Lock()
+	tot := c.retiredWal
+	c.retiredMu.Unlock()
+	for _, s := range snodes {
+		if s.dur != nil {
+			tot.Fold(s.dur.log.Stats().Snapshot())
+		}
+	}
+	return tot
+}
+
+// DurabilityEnabled reports whether the cluster journals to disk, and
+// under which fsync mode.
+func (c *Cluster) DurabilityEnabled() (bool, wal.FsyncMode) {
+	return c.cfg.Durability.Dir != "", c.cfg.Durability.Fsync
+}

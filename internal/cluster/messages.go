@@ -203,6 +203,15 @@ type snodeLeavingMsg struct {
 	Routes  []routeEntry
 }
 
+// snodeRecoveredMsg announces an snode restarted from its write-ahead
+// log (Cluster.RestartSnode): the crash pruned every custody pointer at
+// it, so it re-announces the partitions it recovered and survivors adopt
+// pointers back to the recovered owner.
+type snodeRecoveredMsg struct {
+	Recovered transport.NodeID
+	Routes    []routeEntry
+}
+
 // The data plane is batched end to end: single-key operations on the
 // cluster handle are one-item batches (see batch.go), so batchReq /
 // batchResp are the only key/value messages on the wire.
@@ -227,7 +236,7 @@ func init() {
 		transferReq{}, transferResp{},
 		shipVnodeReq{}, shipVnodeResp{},
 		groupInit{}, groupInitResp{},
-		lpdrSyncMsg{}, bootstrapInfo{}, snodeLeavingMsg{},
+		lpdrSyncMsg{}, bootstrapInfo{}, snodeLeavingMsg{}, snodeRecoveredMsg{},
 		pingReq{}, pingResp{},
 	} {
 		gob.Register(m)

@@ -323,7 +323,10 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 	}
 	moved += len(final)
 
-	// Committed: retire the local copy behind a custody tombstone.
+	// Committed: retire the local copy behind a custody tombstone.  The
+	// retirement is journaled so a restart does not resurrect a partition
+	// that provably lives elsewhere now (see durable.go for the one
+	// remaining crash window).
 	s.mu.Lock()
 	bk.mu.Lock()
 	bk.state = bucketDead
@@ -333,7 +336,15 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 	delete(vs.parts, p)
 	s.delOwnedLocked(p, bk)
 	s.setTombLocked(p, ownerRef{Vnode: to, Host: toHost})
+	seq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalBucketDrop(b, walBucketDropRec{
+			Vnode: vs.name, Partition: p, NewOwner: ownerRef{Vnode: to, Host: toHost},
+		})
+	})
 	s.mu.Unlock()
+	if s.dur != nil && !s.durFastAck() {
+		s.durWaitSeq(seq) // best-effort: a failed wait means we are stopping
+	}
 	s.dropOrphanReplicas(p, toHost)
 	s.stats.PartitionsSent.Add(1)
 	s.stats.KeysMoved.Add(int64(moved))
@@ -412,23 +423,45 @@ func (s *Snode) handleMigCommit(m migCommitReq) {
 		s.send(m.ReplyTo, migCommitResp{Op: m.Op, Err: fmt.Sprintf("vnode %v not allocated at %d", m.To, s.id)})
 		return
 	}
-	delete(s.migIn, m.Partition)
 	applyMigItems(st.data, m.Items, m.private)
-	if vs.parts == nil {
-		vs.parts = make(map[hashspace.Partition]*bucket)
+	// Journal the install with the FULL folded contents before it goes
+	// live: the staging chunks were volatile, so the commit record alone
+	// must reconstruct the bucket at replay (see walrec.go).  Encoded
+	// lazily — the whole-bucket serialization must cost nothing when
+	// durability is off.
+	seq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalMigInstall(b, walMigInstallRec{
+			To: m.To, Group: st.group, Level: st.level,
+			Partition: m.Partition, Data: st.data,
+		})
+	})
+	if s.dur != nil && !s.durFastAck() {
+		// The durability wait must come BEFORE the install goes live: an
+		// error reply makes the sender abort back to a live bucket, so
+		// installing first and then failing the wait would leave BOTH
+		// sides serving.  The staging entry stays in place across the
+		// wait (s.mu released) so a racing abort or re-begin is detected
+		// by the pointer check below.
+		s.mu.Unlock()
+		if !s.durWaitSeq(seq) {
+			s.send(m.ReplyTo, migCommitResp{Op: m.Op, Err: fmt.Sprintf("snode %d stopping: install not durable", s.id)})
+			return
+		}
+		s.mu.Lock()
+		if cur, ok := s.migIn[m.Partition]; !ok || cur != st {
+			s.mu.Unlock()
+			s.send(m.ReplyTo, migCommitResp{Op: m.Op, Err: fmt.Sprintf("migration for %v superseded at %d", m.Partition, s.id)})
+			return
+		}
+		if vs, ok = s.vnodes[m.To]; !ok {
+			delete(s.migIn, m.Partition)
+			s.mu.Unlock()
+			s.send(m.ReplyTo, migCommitResp{Op: m.Op, Err: fmt.Sprintf("vnode %v not allocated at %d", m.To, s.id)})
+			return
+		}
 	}
-	if old, ok := vs.parts[m.Partition]; ok {
-		old.setStateLocked(bucketDead) // a re-install supersedes the previous bucket
-	}
-	bk := newBucket(st.data)
-	vs.parts[m.Partition] = bk
-	s.setOwnedLocked(m.Partition, vs, bk)
-	vs.level = st.level
-	vs.group = st.group
-	// Owning again supersedes any old custody pointer for this region,
-	// and any replica bucket we held for the previous primary.
-	s.delTombLocked(m.Partition)
-	s.dropReplicaWithinLocked(m.Partition)
+	delete(s.migIn, m.Partition)
+	s.installBucketLocked(vs, st.group, st.level, m.Partition, st.data)
 	s.mu.Unlock()
 	// Re-home the replica set with the primary before acknowledging, so
 	// the handover never shrinks the number of copies.
@@ -436,6 +469,28 @@ func (s *Snode) handleMigCommit(m migCommitReq) {
 		s.rehomeReplicas(m.Partition)
 	}
 	s.send(m.ReplyTo, migCommitResp{Op: m.Op})
+}
+
+// installBucketLocked makes data the live owned bucket of a partition at
+// the receiving vnode — ownership index, level/group adoption, custody
+// cleanup, replica-store cleanup.  Shared by the live commit handler and
+// recovery replay.  Caller holds s.mu (or owns the snode exclusively).
+func (s *Snode) installBucketLocked(vs *vnodeState, g core.GroupID, level uint8, p hashspace.Partition, data map[string][]byte) {
+	if vs.parts == nil {
+		vs.parts = make(map[hashspace.Partition]*bucket)
+	}
+	if old, ok := vs.parts[p]; ok {
+		old.setStateLocked(bucketDead) // a re-install supersedes the previous bucket
+	}
+	bk := newBucket(data)
+	vs.parts[p] = bk
+	s.setOwnedLocked(p, vs, bk)
+	vs.level = level
+	vs.group = g
+	// Owning again supersedes any old custody pointer for this region,
+	// and any replica bucket we held for the previous primary.
+	s.delTombLocked(p)
+	s.dropReplicaWithinLocked(p)
 }
 
 // handleMigAbort discards a staging bucket.  Runs inline.

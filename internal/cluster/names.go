@@ -1,26 +1,3 @@
-// Package cluster is the runtime substrate of the model: it turns the
-// algorithmic local approach (package core) into a live system of *software
-// nodes* — the paper's snodes (§2.1.1) — that exchange protocol messages
-// over a transport fabric, store real key/value data in their partitions,
-// and rebalance by actually shipping partition contents between cluster
-// nodes.
-//
-// The architecture follows the paper §3 directly:
-//
-//   - every snode is an actor (goroutine + unbounded inbox) hosting vnodes;
-//   - each group of vnodes has a *leader* snode holding the authoritative
-//     LPDR; balancement events within a group are serialized by its leader,
-//     while different groups progress in parallel — the paper's central
-//     parallelism claim;
-//   - vnode creation follows §3.6: draw r ∈ R_h, route a lookup to the
-//     victim vnode, ask the victim group's leader to run the §2.5 algorithm
-//     over its LPDR, splitting the group first when it is full (§3.7);
-//   - lookups route by *custody forwarding*: when a partition leaves a
-//     host, the host keeps a tombstone pointing at the new owner, so any
-//     stale request chases the chain of custody to the current owner.
-//
-// Faithful to §5, there is no fault tolerance: the fabric is reliable and
-// nodes do not crash (graceful leave is supported).
 package cluster
 
 import (

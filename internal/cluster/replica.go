@@ -250,9 +250,35 @@ func (s *Snode) handleViewUpdate(m viewUpdate) {
 }
 
 func (s *Snode) handleReplWrite(m replWriteReq) {
-	var applied int64
 	s.mu.Lock()
-	for _, set := range m.Sets {
+	applied := s.applyReplWriteLocked(m.Kind, m.Sets, m.private)
+	seq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalReplWrite(b, m.Kind, m.Sets)
+	})
+	s.mu.Unlock()
+	s.stats.ReplWrites.Add(applied)
+	if s.durFastAck() {
+		s.send(m.ReplyTo, replWriteResp{Op: m.Op})
+		return
+	}
+	// The handler runs inline in the actor loop; the group-fsync wait
+	// must not stall message dispatch, so the durable ack rides its own
+	// goroutine.
+	go func() {
+		resp := replWriteResp{Op: m.Op}
+		if !s.durWaitSeq(seq) {
+			resp.Err = fmt.Sprintf("snode %d stopping: replica write not durable", s.id)
+		}
+		s.send(m.ReplyTo, resp)
+	}()
+}
+
+// applyReplWriteLocked folds one replica write fan-in into the replica
+// store.  Caller holds s.mu (or owns the snode exclusively, during
+// recovery replay).
+func (s *Snode) applyReplWriteLocked(kind dataOp, sets []replWriteSet, private bool) int64 {
+	var applied int64
+	for _, set := range sets {
 		b := s.rparts[set.Partition]
 		if b == nil {
 			// First write at this partition (typically right after a
@@ -277,10 +303,10 @@ func (s *Snode) handleReplWrite(m replWriteReq) {
 			s.setReplicaBucketLocked(set.Partition, b)
 		}
 		for _, it := range set.Items {
-			switch m.Kind {
+			switch kind {
 			case opPut:
 				v := it.Value
-				if !m.private {
+				if !private {
 					v = append([]byte(nil), v...)
 				}
 				b[it.Key] = v
@@ -290,9 +316,7 @@ func (s *Snode) handleReplWrite(m replWriteReq) {
 		}
 		applied += int64(len(set.Items))
 	}
-	s.mu.Unlock()
-	s.stats.ReplWrites.Add(applied)
-	s.send(m.ReplyTo, replWriteResp{Op: m.Op})
+	return applied
 }
 
 func (s *Snode) handleReplProbe(m replProbeReq) {
@@ -322,8 +346,23 @@ func (s *Snode) handleReplSync(m replSyncReq) {
 	s.dropReplicaWithinLocked(m.Partition)
 	s.setReplicaBucketLocked(m.Partition, data)
 	delete(s.rprov, m.Partition) // a full sync makes the bucket authoritative
+	// Lazy encode: the whole-bucket serialization must cost nothing when
+	// durability is off.
+	seq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalReplSync(b, m.Partition, data)
+	})
 	s.mu.Unlock()
-	s.send(m.ReplyTo, replSyncResp{Op: m.Op})
+	if s.durFastAck() {
+		s.send(m.ReplyTo, replSyncResp{Op: m.Op})
+		return
+	}
+	go func() { // inline handler: the fsync wait must not stall the actor
+		resp := replSyncResp{Op: m.Op}
+		if !s.durWaitSeq(seq) {
+			resp.Err = fmt.Sprintf("snode %d stopping: replica sync not durable", s.id)
+		}
+		s.send(m.ReplyTo, resp)
+	}()
 }
 
 func (s *Snode) handleReplDrop(m replDropMsg) {
@@ -331,6 +370,7 @@ func (s *Snode) handleReplDrop(m replDropMsg) {
 	for _, p := range m.Partitions {
 		s.delReplicaBucketLocked(p)
 	}
+	s.durAppendWith(func(b []byte) []byte { return encodeWalReplDrop(b, m.Partitions) })
 	s.mu.Unlock()
 }
 

@@ -58,6 +58,9 @@ type Config struct {
 	// cluster handle (see balancer.go).  Zero value: background loop off,
 	// BalanceNow still available with default thresholds.
 	Balance BalanceConfig
+	// Durability configures the per-snode write-ahead log and snapshots
+	// (see durable.go).  Zero value: no disk I/O on any path.
+	Durability DurabilityConfig
 }
 
 // TransferPolicy is the victim-partition selection rule.
@@ -111,6 +114,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Balance.MaxMovesPerRound == 0 {
 		c.Balance.MaxMovesPerRound = 2
+	}
+	if c.Durability.Dir != "" && c.Durability.SnapshotInterval == 0 {
+		c.Durability.SnapshotInterval = 30 * time.Second
 	}
 	return c, nil
 }
@@ -287,6 +293,12 @@ type Snode struct {
 	pending map[uint64]chan any
 	opSeq   atomic.Uint64
 
+	// dur is the durability layer (nil when Config.Durability is off);
+	// crashed marks an abrupt stop (KillSnode), which abandons the WAL's
+	// userspace buffer instead of flushing it — simulating process death.
+	dur     *durable
+	crashed atomic.Bool
+
 	stopOnce sync.Once
 	stopCh   chan struct{}
 	done     chan struct{}
@@ -294,17 +306,15 @@ type Snode struct {
 	stats Stats
 }
 
-// newSnode registers and starts an snode actor on the fabric.
+// newSnode registers and starts an snode actor on the fabric.  With
+// durability configured, the snode first recovers its state from
+// snapshot + WAL tail — BEFORE joining the fabric, so no message ever
+// observes a half-recovered store.
 func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, error) {
-	inbox, err := net.Register(id)
-	if err != nil {
-		return nil, err
-	}
 	s := &Snode{
 		id:       id,
 		cfg:      cfg,
 		net:      net,
-		inbox:    inbox,
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id)*0x9E3779B97F4A7C15))),
 		vnodes:   make(map[VnodeName]*vnodeState),
 		owned:    make(map[hashspace.Partition]ownedRef),
@@ -321,10 +331,26 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	if cfg.Durability.Dir != "" {
+		if err := s.openDurability(); err != nil {
+			return nil, err
+		}
+	}
+	inbox, err := net.Register(id)
+	if err != nil {
+		if s.dur != nil {
+			_ = s.dur.log.Close()
+		}
+		return nil, err
+	}
+	s.inbox = inbox
 	go s.loop()
 	go s.loadLoop()
 	if cfg.Replicas > 1 {
 		go s.antiEntropyLoop()
+	}
+	if s.dur != nil && s.dur.interval > 0 {
+		go s.snapshotLoop()
 	}
 	return s, nil
 }
@@ -333,6 +359,10 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 func (s *Snode) ID() transport.NodeID { return s.id }
 
 // stop terminates the actor; in-flight operations fail with timeouts.
+// With durability on, a graceful stop flushes and fsyncs the WAL; a
+// crash-stop (KillSnode set s.crashed) abandons the userspace buffer —
+// only records already handed to the OS (and, under fsync=batch, every
+// acknowledged one) survive, exactly like a process dying mid-append.
 func (s *Snode) stop() {
 	s.stopOnce.Do(func() {
 		close(s.stopCh)
@@ -343,6 +373,13 @@ func (s *Snode) stop() {
 			lg.ops.close()
 		}
 		s.mu.Unlock()
+		if s.dur != nil {
+			if s.crashed.Load() {
+				s.dur.log.Abandon()
+			} else {
+				_ = s.dur.log.Close()
+			}
+		}
 	})
 }
 
@@ -478,9 +515,12 @@ func (s *Snode) loop() {
 			s.mu.Lock()
 			s.boot = m.Owner
 			s.hasBoot = true
+			s.durAppendWith(func(b []byte) []byte { return encodeWalBoot(b, m.Owner) })
 			s.mu.Unlock()
 		case snodeLeavingMsg:
 			s.handleSnodeLeaving(m)
+		case snodeRecoveredMsg:
+			s.handleSnodeRecovered(m)
 		case viewUpdate:
 			s.handleViewUpdate(m)
 		case replWriteReq:
@@ -709,10 +749,33 @@ const (
 // handleSplitAll performs the scope-wide binary split on this host's
 // vnodes of the group: every partition splits in two and stored keys are
 // re-bucketed by their next hash bit (§2.5 materialized on real data).
+// The split is journaled as one small record — replay re-runs the same
+// deterministic re-bucketing over the recovered keys.
 func (s *Snode) handleSplitAll(m splitAllReq) {
 	s.mu.Lock()
+	s.splitGroupLocked(m.Group, m.NewLevel)
+	seq := s.durAppendWith(func(b []byte) []byte { return encodeWalSplitAll(b, m.Group, m.NewLevel) })
+	s.mu.Unlock()
+	s.stats.SplitAlls.Add(1)
+	if s.dur != nil && !s.durFastAck() {
+		// Best-effort wait.  A failed wait means the WAL closed or
+		// fail-stopped — but the split IS applied here, so reporting an
+		// error would leave the leader believing this host is at the old
+		// level while its vnodes already re-bucketed.  Acked-data safety
+		// does not depend on this record: every post-split write's own
+		// durability wait fails on the same dead WAL and is never
+		// acknowledged.
+		s.durWaitSeq(seq)
+	}
+	s.send(m.ReplyTo, splitAllResp{Op: m.Op})
+}
+
+// splitGroupLocked splits every joined vnode of the group below newLevel
+// in two, re-bucketing stored keys by their next hash bit.  Caller holds
+// s.mu (or owns the snode exclusively, during recovery replay).
+func (s *Snode) splitGroupLocked(g core.GroupID, newLevel uint8) {
 	for _, vs := range s.vnodes {
-		if !vs.joined || vs.group != m.Group || vs.level >= m.NewLevel {
+		if !vs.joined || vs.group != g || vs.level >= newLevel {
 			continue
 		}
 		next := make(map[hashspace.Partition]*bucket, 2*len(vs.parts))
@@ -740,11 +803,8 @@ func (s *Snode) handleSplitAll(m splitAllReq) {
 			s.setOwnedLocked(hi, vs, next[hi])
 		}
 		vs.parts = next
-		vs.level = m.NewLevel
+		vs.level = newLevel
 	}
-	s.mu.Unlock()
-	s.stats.SplitAlls.Add(1)
-	s.send(m.ReplyTo, splitAllResp{Op: m.Op})
 }
 
 // handleTransfer hands one partition of the victim vnode to the new owner
@@ -853,6 +913,7 @@ func (s *Snode) handleShipVnode(m shipVnodeReq) {
 	}
 	s.mu.Lock()
 	delete(s.vnodes, m.Vnode)
+	s.durAppendWith(func(b []byte) []byte { return encodeWalVnodeGone(b, m.Vnode) })
 	s.mu.Unlock()
 	s.send(m.ReplyTo, shipVnodeResp{Op: m.Op})
 }
@@ -900,7 +961,9 @@ func (s *Snode) handleSnodeLeaving(m snodeLeavingMsg) {
 	s.mu.Unlock()
 }
 
-// handleSync installs an LPDR replica refresh.
+// handleSync installs an LPDR replica refresh.  Journaled (fire-and-
+// forget, like the sync itself): a lost record only costs group metadata
+// that the next sync re-delivers.
 func (s *Snode) handleSync(m lpdrSyncMsg) {
 	s.mu.Lock()
 	st := m.State
@@ -914,6 +977,23 @@ func (s *Snode) handleSync(m lpdrSyncMsg) {
 			vs.level = st.Level
 			vs.joined = true
 		}
+	}
+	s.durAppendWith(func(b []byte) []byte { return encodeWalLpdr(b, st, m.Dissolved) })
+	s.mu.Unlock()
+}
+
+// handleSnodeRecovered repairs routing after an snode restarted from its
+// WAL: the crash dropped every custody pointer at it, so the recovered
+// owner re-announces its partitions and survivors adopt pointers back to
+// it — unless they own (part of) the region themselves at an equal or
+// deeper level.
+func (s *Snode) handleSnodeRecovered(m snodeRecoveredMsg) {
+	s.mu.Lock()
+	for _, rte := range m.Routes {
+		if _, p2, ok := s.ownedForLocked(rte.Partition.Start()); ok && p2.Level >= rte.Partition.Level {
+			continue
+		}
+		s.setTombLocked(rte.Partition, rte.Ref)
 	}
 	s.mu.Unlock()
 }
@@ -934,12 +1014,15 @@ func (s *Snode) handleCreateVnode(m createVnodeReq) {
 		return
 	}
 
-	// Allocate the (empty) vnode so partition installs can land.
+	// Allocate the (empty) vnode so partition installs can land.  The
+	// allocation is journaled unjoined; the LPDR sync that completes the
+	// join is journaled by handleSync.
 	s.mu.Lock()
 	s.vnodes[name] = &vnodeState{
 		name:  name,
 		parts: make(map[hashspace.Partition]*bucket),
 	}
+	s.durAppendWith(func(b []byte) []byte { return encodeWalVnode(b, walVnodeRec{Name: name}) })
 	s.mu.Unlock()
 
 	const maxRetries = 16
@@ -980,6 +1063,7 @@ func (s *Snode) abandonVnode(name VnodeName) {
 	s.mu.Lock()
 	if vs, ok := s.vnodes[name]; ok && !vs.joined && len(vs.parts) == 0 {
 		delete(s.vnodes, name)
+		s.durAppendWith(func(b []byte) []byte { return encodeWalVnodeGone(b, name) })
 	}
 	s.mu.Unlock()
 }
@@ -1015,6 +1099,18 @@ func (s *Snode) bootstrapFirstVnode(name VnodeName) error {
 	s.boot = ownerRef{Vnode: name, Host: s.id}
 	s.hasBoot = true
 	s.installLeaderLocked(st)
+	// Journal the birth of the DHT: the pre-split vnode, its LPDR, and
+	// the boot route, so a restarted first snode comes back owning R_h.
+	rec := walVnodeRec{Name: name, Group: g0, Level: level, Joined: true}
+	for p := range parts {
+		rec.Parts = append(rec.Parts, p)
+	}
+	s.durAppendWith(func(b []byte) []byte { return encodeWalVnode(b, rec) })
+	s.durAppendWith(func(b []byte) []byte { return encodeWalLpdr(b, st, nil) })
+	seq := s.durAppendWith(func(b []byte) []byte { return encodeWalBoot(b, s.boot) })
 	s.mu.Unlock()
+	if s.dur != nil && !s.durFastAck() && !s.durWaitSeq(seq) {
+		return fmt.Errorf("cluster: snode %d stopping: bootstrap not durable", s.id)
+	}
 	return nil
 }

@@ -1,13 +1,3 @@
-// Package transport provides the message fabric the cluster runtime's
-// snodes communicate over.  The paper's model assumes the basic properties
-// of a cluster interconnect — reliable delivery, short one-hop paths, high
-// bandwidth, no partitions (§5) — so the abstraction is deliberately small:
-// asynchronous, reliable, FIFO-per-sender-receiver-pair message passing.
-//
-// Two implementations are provided: an in-memory fabric built on unbounded
-// mailboxes (the default for simulations and tests) and a TCP fabric using
-// encoding/gob over loopback or real interfaces, demonstrating that the
-// protocol layer runs over a real network stack.
 package transport
 
 import (

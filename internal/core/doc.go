@@ -1,0 +1,10 @@
+// Package core implements the *local approach* of Rufino et al. (IPDPS
+// 2004) — the paper's primary contribution.  The global set of vnodes is
+// fully divided into mutually exclusive groups (invariant L1); each group
+// balances itself with the same σ-decreasing algorithm the global approach
+// uses, but restricted to its own Local Partition Distribution Record, so
+// balancement events in different groups proceed independently and in
+// parallel (§3.1).  Group membership fluctuates within strict bounds
+// Vmin ≤ V_g ≤ Vmax = 2·Vmin (invariant L2), and full groups split in two,
+// generating identifiers with the decentralized binary scheme of §3.7.1.
+package core

@@ -1,0 +1,11 @@
+// Package global implements the *global approach* of Rufino et al. — the
+// base model reviewed in §2 of the IPDPS 2004 paper (originally introduced
+// in their PDCN'04 companion paper, reference [7]).
+//
+// The whole DHT is a single balancement scope: every snode conceptually
+// hosts a copy of the Global Partition Distribution Record (GPDR) and every
+// vnode creation involves the totality of the vnodes, which is precisely the
+// serialization bottleneck the local approach (package core) removes.
+// Invariants G1–G5 hold at all times and are verifiable via
+// CheckInvariants.
+package global

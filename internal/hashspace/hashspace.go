@@ -1,19 +1,3 @@
-// Package hashspace models the range R_h of the hash function underlying a
-// dynamically balanced DHT, together with the binary-trie partitions the
-// Rufino et al. model (IPDPS 2004) carves it into.
-//
-// In the paper, R_h = {i ∈ N0 : 0 ≤ i < 2^Bh} for a fixed number of bits Bh,
-// and every partition results from repeated binary splits of R_h (§3.4).
-// A partition at splitlevel l covers exactly 1/2^l of R_h.  We therefore
-// represent a partition as the pair (Prefix, Level): the Level most
-// significant bits of every index it contains equal Prefix.  This makes the
-// paper's invariants — non-overlap, full coverage, power-of-two counts —
-// cheap to verify and cheap to property-test.
-//
-// Bh is fixed at 64 so that hash indices are plain uint64 values.  Sizes of
-// partitions at level 0 would overflow uint64, so quotas (fractions of R_h)
-// are always computed as 2^(−Level) in float64 rather than via materialized
-// sizes.
 package hashspace
 
 import (

@@ -1,8 +1,3 @@
-// Package metrics implements the statistical machinery of the paper's
-// evaluation: population standard deviation, the relative standard deviation
-// σ̄(X, X̄) = σ(X, X̄)/X̄ used as the quality-of-balancement metric (§2.3,
-// §3.5), and the aggregation of per-step series across the 100 simulation
-// runs every published figure averages over (§4).
 package metrics
 
 import (

@@ -1,0 +1,7 @@
+// Package server exposes a running dbdht cluster over HTTP/JSON: the
+// key/value data plane (single-key and batched), the admin plane (snode
+// and vnode membership, enrollment), and introspection (status snapshot
+// and Prometheus metrics).  It is built on net/http's pattern mux only —
+// no external dependencies — and is safe for concurrent use, mirroring
+// the cluster handle's own concurrency guarantees.
+package server

@@ -1,9 +1,3 @@
-// Package server exposes a running dbdht cluster over HTTP/JSON: the
-// key/value data plane (single-key and batched), the admin plane (snode
-// and vnode membership, enrollment), and introspection (status snapshot
-// and Prometheus metrics).  It is built on net/http's pattern mux only —
-// no external dependencies — and is safe for concurrent use, mirroring
-// the cluster handle's own concurrency guarantees.
 package server
 
 import (
@@ -21,6 +15,7 @@ import (
 	"dbdht/internal/cluster"
 	"dbdht/internal/cluster/transport"
 	"dbdht/internal/metrics"
+	"dbdht/internal/wal"
 )
 
 // MaxValueBytes bounds a single value (and a whole batch body).
@@ -64,6 +59,7 @@ func New(c *cluster.Cluster) *Server {
 	s.route("POST /v1/vnodes", s.handleCreateVnode)
 	s.route("POST /v1/balance", s.handleBalanceNow)
 	s.route("GET /v1/balance", s.handleBalanceStatus)
+	s.route("POST /v1/snapshot", s.handleSnapshotNow)
 	s.route("GET /v1/status", s.handleStatus)
 	s.route("GET /v1/metrics", s.handleMetrics)
 	return s
@@ -466,6 +462,18 @@ func (s *Server) handleCreateVnode(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleSnapshotNow forces one snapshot + WAL-truncation pass on every
+// snode — the operator hook before an upgrade or backup.  With
+// durability off it is a successful no-op (nothing to snapshot).
+func (s *Server) handleSnapshotNow(w http.ResponseWriter, r *http.Request) {
+	if err := s.c.SnapshotNow(); err != nil {
+		writeErr(w, clusterErrCode(err), "%v", err)
+		return
+	}
+	st := s.c.WALStats()
+	writeJSON(w, http.StatusOK, map[string]int64{"snapshot_files": st.SnapWrites})
+}
+
 // --- introspection ---
 
 // SnodeStatus summarizes one live snode.
@@ -485,6 +493,17 @@ type VnodeStatus struct {
 	Keys       int    `json:"keys"`
 }
 
+// DurabilityStatus reports the crash-durability layer's state.
+type DurabilityStatus struct {
+	Enabled bool   `json:"enabled"`
+	Fsync   string `json:"fsync,omitempty"` // off | batch | always
+	// WAL counters aggregated over the snodes (live + departed).
+	Appends       int64 `json:"wal_appends,omitempty"`
+	Bytes         int64 `json:"wal_bytes,omitempty"`
+	Fsyncs        int64 `json:"wal_fsyncs,omitempty"`
+	SnapshotFiles int64 `json:"snapshot_files,omitempty"`
+}
+
 // StatusResponse is the GET /v1/status document: a cluster snapshot plus
 // the aggregated runtime counters.
 type StatusResponse struct {
@@ -494,11 +513,20 @@ type StatusResponse struct {
 	Keys          int                   `json:"keys"`
 	Replicas      int                   `json:"replicas"` // configured copies per partition (R)
 	SigmaQv       float64               `json:"sigma_qv"` // σ̄(Q_v), fraction
+	Durability    DurabilityStatus      `json:"durability"`
 	Stats         cluster.StatsSnapshot `json:"stats"`
 	UptimeSeconds float64               `json:"uptime_seconds"`
 }
 
 func (s *Server) buildStatus() StatusResponse {
+	st, _ := s.buildStatusAndWAL()
+	return st
+}
+
+// buildStatusAndWAL also returns the aggregated WAL counters it sampled
+// (all zeros with durability off), so the metrics scrape reuses one
+// snode sweep for both the status block and the dbdht_wal_* families.
+func (s *Server) buildStatusAndWAL() (StatusResponse, wal.StatsSnapshot) {
 	snap := s.c.Snapshot()
 	perSnode := make(map[transport.NodeID]*SnodeStatus)
 	for _, id := range s.c.Snodes() {
@@ -511,6 +539,15 @@ func (s *Server) buildStatus() StatusResponse {
 		Replicas:      s.c.ReplicationFactor(),
 		Stats:         s.c.StatsTotal(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+	var wst wal.StatsSnapshot
+	if on, mode := s.c.DurabilityEnabled(); on {
+		wst = s.c.WALStats()
+		resp.Durability = DurabilityStatus{
+			Enabled: true, Fsync: mode.String(),
+			Appends: wst.Appends, Bytes: wst.Bytes, Fsyncs: wst.Fsyncs,
+			SnapshotFiles: wst.SnapWrites,
+		}
 	}
 	for _, v := range snap.Vnodes {
 		groups[v.Group.String()] = true
@@ -531,7 +568,7 @@ func (s *Server) buildStatus() StatusResponse {
 	}
 	resp.Groups = len(groups)
 	resp.SigmaQv = metrics.RelStdDev(snap.VnodeQuotas())
-	return resp
+	return resp, wst
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -560,7 +597,7 @@ func (s *Server) cachedLoads() []cluster.SnodeLoad {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	st := s.buildStatus()
+	st, wst := s.buildStatusAndWAL()
 	counter := func(name, help string, v int64) metrics.Family {
 		return metrics.Family{
 			Name: name, Help: help, Type: metrics.TypeCounter,
@@ -652,6 +689,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("dbdht_failover_reads_total", "reads served from replica buckets", st.Stats.FailoverReads),
 		httpReqs,
 	}
+	walEnabled := 0.0
+	if st.Durability.Enabled {
+		walEnabled = 1
+	}
+	families = append(families,
+		gauge("dbdht_wal_enabled", "1 when crash-durable storage (WAL + snapshots) is on", walEnabled),
+		counter("dbdht_wal_appends_total", "records appended to snode WALs", wst.Appends),
+		counter("dbdht_wal_bytes_total", "payload bytes appended to snode WALs", wst.Bytes),
+		counter("dbdht_wal_fsyncs_total", "fsync calls issued by snode WALs", wst.Fsyncs),
+		counter("dbdht_wal_flushes_total", "WAL flush rounds (group commits)", wst.Flushes),
+		counter("dbdht_wal_segment_rotations_total", "WAL segment files rotated", wst.Rotations),
+		counter("dbdht_wal_segments_truncated_total", "WAL segments deleted behind snapshots", wst.Truncated),
+		counter("dbdht_wal_torn_bytes_total", "bytes cut from torn WAL tails at recovery", wst.TornBytes),
+		counter("dbdht_wal_records_replayed_total", "records replayed during recovery", wst.Replayed),
+		counter("dbdht_wal_snapshot_files_total", "snapshot files written", wst.SnapWrites),
+	)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = metrics.WritePrometheus(w, families)

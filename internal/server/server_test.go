@@ -348,3 +348,69 @@ func TestBalancePlane(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// TestDurabilityPlane exercises the durability surfaces: status block,
+// the snapshot trigger, and the dbdht_wal_* metrics families.
+func TestDurabilityPlane(t *testing.T) {
+	c, err := cluster.New(cluster.Config{
+		Pmin: 32, Vmin: 8, Seed: 1,
+		Durability: cluster.DurabilityConfig{Dir: t.TempDir(), SnapshotInterval: -1},
+	}, transport.NewMem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	id, err := c.AddSnode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.CreateVnode(id); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(c).Handler())
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL)
+	if err := cl.Put(ctx, "durable-key", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var st server.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("status %s: %v", body, err)
+	}
+	if !st.Durability.Enabled || st.Durability.Fsync != "off" || st.Durability.Appends == 0 {
+		t.Fatalf("durability status = %+v, want enabled with appends", st.Durability)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/snapshot", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d %s", resp.StatusCode, body)
+	}
+	var snap map[string]int64
+	if err := json.Unmarshal(body, &snap); err != nil || snap["snapshot_files"] == 0 {
+		t.Fatalf("snapshot response %s (err %v), want counted files", body, err)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"dbdht_wal_enabled 1", "dbdht_wal_appends_total", "dbdht_wal_snapshot_files_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics exposition lacks %q", want)
+		}
+	}
+}

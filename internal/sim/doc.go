@@ -1,0 +1,11 @@
+// Package sim is the experiment harness for the evaluation section (§4) of
+// Rufino et al. (IPDPS 2004).  Each driver regenerates one figure: it runs
+// the relevant model for a configured number of consecutive vnode creations,
+// measures the paper's metric after every creation, repeats over many
+// independently-seeded runs ("all the results presented are averages of 100
+// runs of the same test") and returns the point-wise mean curve.
+//
+// Runs are independent, so the harness fans them out across a bounded pool
+// of goroutines — one of the few places in the repository where parallelism
+// is a harness concern rather than the model under study.
+package sim

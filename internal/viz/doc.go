@@ -1,0 +1,4 @@
+// Package viz renders measurement series as ASCII charts, so cmd/dhtsim
+// can show the *shape* of each reproduced figure — sawtooths, plateaus,
+// crossovers — directly in a terminal, next to the numeric tables.
+package viz

@@ -1,0 +1,38 @@
+// Package wal implements the crash-durability primitives under the
+// cluster's snode storage: a segmented, CRC-framed write-ahead log with
+// group-commit fsync, and atomic snapshot files.
+//
+// The log is a sequence of records, each assigned a monotonically
+// increasing sequence number starting at 1.  Records live in segment
+// files named by the sequence of their first record
+// (wal/00000000000000000001.seg), so replay order and truncation points
+// fall out of a directory listing.  Every record is framed as
+//
+//	uint32  big-endian payload length
+//	uint32  big-endian CRC-32C (Castagnoli) of the payload
+//	...     payload
+//
+// mirroring the transport frame codec's length-prefixed discipline
+// (internal/cluster/transport).  The payload itself is opaque here — the
+// cluster layer encodes typed records with the same varint helpers it
+// uses on the wire (see internal/cluster/walrec.go and docs/WIRE.md).
+//
+// Durability is a two-step contract shaped for a data path that appends
+// under fine-grained locks: Append buffers the record and returns its
+// sequence immediately (safe to call under a bucket lock — it only takes
+// the log's own mutex), and WaitDurable(seq) blocks, outside any lock,
+// until the record's durability class is satisfied:
+//
+//   - FsyncOff: nothing is awaited; a background flusher moves bytes to
+//     the OS promptly, but an acknowledged write may die with the process.
+//   - FsyncBatch: WaitDurable blocks until an fsync covering seq
+//     completed.  Concurrent committers share one fsync (group commit),
+//     so the fsync rate scales with flush rounds, not with writers.
+//   - FsyncAlways: like FsyncBatch, but the flusher syncs on every round
+//     even when no committer is waiting.
+//
+// Recovery tolerates torn writes: Open scans the tail segment and
+// truncates it at the first record whose length or CRC does not check
+// out, so a crash mid-append never poisons the log — everything up to
+// the last complete record replays, and new appends continue from there.
+package wal

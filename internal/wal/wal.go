@@ -1,0 +1,673 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncMode selects the durability class of acknowledged appends.
+type FsyncMode int
+
+const (
+	// FsyncOff never calls fsync: appends are buffered and flushed to the
+	// OS in the background.  Survives a graceful close, not a crash.
+	FsyncOff FsyncMode = iota
+	// FsyncBatch group-commits: WaitDurable returns only after an fsync
+	// covering the record, and concurrent waiters share one fsync.
+	FsyncBatch
+	// FsyncAlways syncs every flush round regardless of waiters.
+	FsyncAlways
+)
+
+// ParseFsyncMode parses the -fsync flag values "off", "batch", "always".
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "off":
+		return FsyncOff, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync mode %q (want off, batch or always)", s)
+}
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncOff:
+		return "off"
+	case FsyncBatch:
+		return "batch"
+	case FsyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// Options parameterizes a log.
+type Options struct {
+	// Fsync selects the durability class.  The zero value is FsyncOff:
+	// acknowledged records are NOT synced — callers that need ack-implies-
+	// on-disk must pick FsyncBatch or FsyncAlways explicitly.
+	Fsync FsyncMode
+	// SegmentBytes rotates to a fresh segment once the current one
+	// exceeds this size (default 16 MiB).
+	SegmentBytes int64
+	// BufferBytes sizes the append buffer handed to the flusher in one
+	// piece (default 256 KiB).
+	BufferBytes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	if o.BufferBytes == 0 {
+		o.BufferBytes = 256 << 10
+	}
+	return o
+}
+
+// Stats counts a log's lifetime work; fields are atomic so samplers never
+// contend with appenders.
+type Stats struct {
+	Appends    atomic.Int64 // records appended
+	Bytes      atomic.Int64 // payload bytes appended (framing excluded)
+	Fsyncs     atomic.Int64 // fsync calls issued
+	Flushes    atomic.Int64 // flush rounds (buffered bytes handed to the OS)
+	Rotations  atomic.Int64 // segment files opened after the first
+	Truncated  atomic.Int64 // segment files deleted by TruncateThrough
+	TornBytes  atomic.Int64 // bytes cut from the tail segment at recovery
+	Replayed   atomic.Int64 // records handed to Replay callbacks
+	SnapWrites atomic.Int64 // snapshot files written (WriteSnapshot)
+}
+
+// StatsSnapshot is a plain-value copy of Stats.
+type StatsSnapshot struct {
+	Appends, Bytes, Fsyncs, Flushes int64
+	Rotations, Truncated, TornBytes int64
+	Replayed, SnapWrites            int64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Appends: s.Appends.Load(), Bytes: s.Bytes.Load(),
+		Fsyncs: s.Fsyncs.Load(), Flushes: s.Flushes.Load(),
+		Rotations: s.Rotations.Load(), Truncated: s.Truncated.Load(),
+		TornBytes: s.TornBytes.Load(), Replayed: s.Replayed.Load(),
+		SnapWrites: s.SnapWrites.Load(),
+	}
+}
+
+// Fold accumulates another snapshot into this one.
+func (a *StatsSnapshot) Fold(b StatsSnapshot) {
+	a.Appends += b.Appends
+	a.Bytes += b.Bytes
+	a.Fsyncs += b.Fsyncs
+	a.Flushes += b.Flushes
+	a.Rotations += b.Rotations
+	a.Truncated += b.Truncated
+	a.TornBytes += b.TornBytes
+	a.Replayed += b.Replayed
+	a.SnapWrites += b.SnapWrites
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const recHeaderLen = 8 // uint32 length + uint32 CRC
+
+// maxRecord bounds one record's payload so a corrupt length prefix can
+// never drive an unbounded allocation at replay (matches the transport
+// frame limit).
+const maxRecord = 256 << 20
+
+// flushPollInterval is the FsyncOff flusher's cadence: long enough that
+// a loaded snode coalesces thousands of records into one write syscall
+// (per-record write() churn measurably taxes the serving path), short
+// enough that an acknowledged-but-unsynced record reaches the OS within
+// a few milliseconds.
+const flushPollInterval = 5 * time.Millisecond
+
+// Log is an append-only, segmented write-ahead log.  Append and
+// WaitDurable are safe for concurrent use; Replay and TruncateThrough
+// must not race appends of the segments they touch (the cluster layer
+// replays before serving and truncates only fully-snapshotted segments).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // current tail segment
+	fSize    int64    // bytes written to f (buffered included)
+	firstSeq uint64   // first sequence of the current segment
+	nextSeq  uint64   // sequence the next Append returns
+	buf      []byte   // records buffered since the last flush
+	spare    []byte   // recycled flush slab (swapped with buf each round)
+	closed   bool
+	failed   bool // fail-stop after an unrecoverable I/O error
+
+	// Group commit: appenders publish the seq they need durable and wait
+	// on cond; the flusher goroutine flushes (and fsyncs, per mode) and
+	// advances durableSeq.  The flusher itself is woken through the wake
+	// channel, NOT the cond — an append must never pay a broadcast that
+	// also wakes every durability waiter.
+	cond       *sync.Cond    // broadcasts durableSeq advances and close
+	wake       chan struct{} // capacity 1: flusher work signal
+	durableSeq uint64        // highest seq known flushed (+synced, per mode)
+	flushedSeq uint64        // highest seq handed to the OS
+	done       chan struct{}
+
+	// flushMu serializes flushThrough: the buffer grab and the file write
+	// happen under it, so records reach the file in append order even when
+	// Sync races the flusher goroutine.
+	flushMu sync.Mutex
+
+	stats Stats
+}
+
+// segName formats the canonical segment file name for a first sequence.
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%020d.seg", firstSeq)
+}
+
+// parseSegName extracts a segment's first sequence from its file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment first-sequences present in dir,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// Open opens (creating if needed) the log in dir, recovering the tail:
+// the last segment is scanned record by record and truncated at the
+// first torn or corrupt frame, so appends resume exactly after the last
+// complete record.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{
+		dir:     dir,
+		opts:    opts,
+		nextSeq: 1,
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if len(segs) > 0 {
+		// Count the records of every non-tail segment (they were sealed by
+		// a rotation, but a crash can still tear the then-tail — scanning
+		// is cheap at open), then recover the tail.
+		for i, first := range segs {
+			path := filepath.Join(dir, segName(first))
+			n, validLen, serr := scanSegment(path)
+			if serr != nil {
+				return nil, serr
+			}
+			if i == len(segs)-1 {
+				// Tail: cut any torn bytes so appends land after the last
+				// complete record.
+				if fi, err := os.Stat(path); err == nil && fi.Size() > validLen {
+					l.stats.TornBytes.Add(fi.Size() - validLen)
+					if err := os.Truncate(path, validLen); err != nil {
+						return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+					}
+				}
+				l.firstSeq = first
+				l.nextSeq = first + uint64(n)
+				l.fSize = validLen
+			} else {
+				l.nextSeq = first + uint64(n)
+			}
+		}
+		f, err := os.OpenFile(filepath.Join(dir, segName(l.firstSeq)), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.f = f
+	} else {
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	}
+	go l.flusher()
+	return l, nil
+}
+
+// scanSegment walks one segment file, returning the number of complete
+// records and the byte offset right after the last one.  A torn or
+// corrupt frame ends the scan cleanly (it is not an error — recovery
+// truncates there).
+func scanSegment(path string) (records int, validLen int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [recHeaderLen]byte
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return records, validLen, nil // clean EOF or torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		crc := binary.BigEndian.Uint32(hdr[4:8])
+		if n > maxRecord {
+			return records, validLen, nil // corrupt length
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, validLen, nil // torn payload
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return records, validLen, nil // corrupt payload
+		}
+		records++
+		validLen += int64(recHeaderLen) + int64(n)
+	}
+}
+
+// openSegmentLocked starts a fresh segment whose first record will be
+// firstSeq, fsyncing the directory so the new file's entry survives a
+// system crash — records fsynced into a segment whose directory entry
+// never reached disk would vanish with it.  Caller holds l.mu (or owns
+// the log exclusively, at Open).
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(firstSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if l.f != nil {
+		l.stats.Rotations.Add(1)
+	}
+	l.f = f
+	l.fSize = 0
+	l.firstSeq = firstSeq
+	return nil
+}
+
+// NextSeq returns the sequence the next Append will be assigned — the
+// snapshot cut point: every record at or above it is outside the
+// snapshot and must replay on top.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Mode returns the configured fsync mode.
+func (l *Log) Mode() FsyncMode { return l.opts.Fsync }
+
+// Stats exposes the log's counters.
+func (l *Log) Stats() *Stats { return &l.stats }
+
+// Append frames payload as one record, buffers it, and returns its
+// sequence.  It never blocks on I/O (only on the log's own mutex), so it
+// is safe to call under fine-grained data locks; durability is claimed
+// separately via WaitDurable.  Appending to a closed log returns 0.
+func (l *Log) Append(payload []byte) uint64 {
+	return l.AppendWith(func(buf []byte) []byte { return append(buf, payload...) })
+}
+
+// AppendWith is Append with the payload encoded by enc DIRECTLY into the
+// log's buffer — the hot-path variant that skips the intermediate
+// allocation and copy a pre-encoded []byte would cost.  enc must only
+// append to (and return) the slice it is given.
+func (l *Log) AppendWith(enc func(buf []byte) []byte) uint64 {
+	l.mu.Lock()
+	if l.closed || l.failed {
+		l.mu.Unlock()
+		return 0
+	}
+	seq := l.nextSeq
+	l.nextSeq++
+	start := len(l.buf)
+	l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0) // header back-patched below
+	l.buf = enc(l.buf)
+	payload := l.buf[start+recHeaderLen:]
+	binary.BigEndian.PutUint32(l.buf[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(l.buf[start+4:], crc32.Checksum(payload, crcTable))
+	l.stats.Appends.Add(1)
+	l.stats.Bytes.Add(int64(len(payload)))
+	l.mu.Unlock()
+	// FsyncOff appends don't wake the flusher: nobody awaits the ack, so
+	// the flusher polls on a millisecond cadence instead — the append
+	// path stays free of channel operations and goroutine wakeups.
+	if l.opts.Fsync != FsyncOff {
+		l.kick()
+	}
+	if l.opts.Fsync == FsyncAlways {
+		_ = l.flushThrough(seq, true)
+	}
+	return seq
+}
+
+// kick wakes the flusher without blocking (the channel holds one
+// pending signal; a lost extra signal is fine — the flusher drains the
+// whole buffer every round).
+func (l *Log) kick() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// WaitDurable blocks until the record at seq satisfies the log's
+// durability class: immediately under FsyncOff, after a covering fsync
+// under FsyncBatch/FsyncAlways.  Returns false if the log closed first.
+func (l *Log) WaitDurable(seq uint64) bool {
+	if l.opts.Fsync == FsyncOff || seq == 0 {
+		return seq != 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durableSeq < seq && !l.closed && !l.failed {
+		l.cond.Wait()
+	}
+	return l.durableSeq >= seq
+}
+
+// Sync forces everything appended so far to disk (fsync regardless of
+// mode) — used at snapshot barriers and graceful close.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.nextSeq - 1
+	l.mu.Unlock()
+	return l.flushThrough(target, true)
+}
+
+// flusher is the group-commit loop: it waits for buffered records, hands
+// them to the OS in one write, fsyncs per mode, and advances durableSeq
+// for every waiter at once.  In FsyncOff mode — where nobody waits on
+// acks — it POLLS on a millisecond cadence instead of being woken per
+// append: a whole millisecond of appends coalesces into one write
+// syscall, and the append path never touches a channel or wakes a
+// goroutine.
+func (l *Log) flusher() {
+	defer close(l.done)
+	poll := l.opts.Fsync == FsyncOff
+	for {
+		l.mu.Lock()
+		for len(l.buf) == 0 && !l.closed {
+			l.mu.Unlock()
+			if poll {
+				time.Sleep(flushPollInterval)
+			} else {
+				<-l.wake
+			}
+			l.mu.Lock()
+		}
+		if l.closed && len(l.buf) == 0 {
+			l.mu.Unlock()
+			return
+		}
+		if poll && len(l.buf) < l.opts.BufferBytes && !l.closed {
+			// Let the in-progress burst finish accumulating.
+			l.mu.Unlock()
+			time.Sleep(flushPollInterval)
+			l.mu.Lock()
+		}
+		if l.failed {
+			l.mu.Unlock()
+			return // fail-stopped: nothing can be made durable anymore
+		}
+		target := l.nextSeq - 1
+		l.mu.Unlock()
+		if err := l.flushThrough(target, !poll); err != nil {
+			// Transient I/O error: the records went back to the buffer;
+			// back off before retrying instead of spinning on the error.
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// flushThrough writes every record appended up to seq target to the OS
+// (rotating segments as size demands) and optionally fsyncs, then
+// advances the durable watermark.  flushMu keeps concurrent callers
+// (the flusher goroutine and Sync) writing buffers in append order.
+//
+// A failed write or sync must not lose records that were never acked as
+// durable but WILL be covered by a later durableSeq advance: the file is
+// truncated back to its pre-write size (clearing any partial write) and
+// the unwritten records go back to the FRONT of the buffer, so the next
+// round retries them in order.  If even the truncate fails, the log
+// fail-stops: no further append is accepted and every durability wait
+// fails, so nothing can be acknowledged against a file of unknown state.
+func (l *Log) flushThrough(target uint64, sync bool) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	if l.failed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log failed on an earlier I/O error")
+	}
+	if l.flushedSeq >= target && (!sync || l.durableSeq >= target) {
+		l.mu.Unlock()
+		return nil
+	}
+	buf := l.buf
+	l.buf = l.spare[:0] // recycle the previous round's slab
+	l.spare = nil
+	f := l.f
+	prevSize := l.fSize
+	flushed := l.nextSeq - 1
+	l.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 {
+		_, err = f.Write(buf)
+		l.stats.Flushes.Add(1)
+	}
+	if err == nil && sync {
+		err = f.Sync()
+		l.stats.Fsyncs.Add(1)
+	}
+
+	l.mu.Lock()
+	if err == nil {
+		l.fSize = prevSize + int64(len(buf))
+		if cap(buf) <= 4*l.opts.BufferBytes {
+			l.spare = buf[:0] // hand the slab back for the next round
+		}
+		if flushed > l.flushedSeq {
+			l.flushedSeq = flushed
+		}
+		if sync && flushed > l.durableSeq {
+			l.durableSeq = flushed
+		}
+		if l.fSize >= l.opts.SegmentBytes && !l.closed {
+			// Seal the segment.  The new one's name must be the sequence of
+			// the first record it will actually hold — the first UNFLUSHED
+			// record — not nextSeq: records appended while this round's
+			// write was in flight are still buffered and land in the new
+			// segment.  (Recovery derives every record's sequence from the
+			// segment name, so a wrong name would mislabel the replay.)
+			old := l.f
+			if rerr := l.openSegmentLocked(l.flushedSeq + 1); rerr == nil {
+				_ = old.Close()
+			}
+		}
+	} else if len(buf) > 0 {
+		// Undo any partial write, then restore the records ahead of
+		// whatever was appended meanwhile.  (O_APPEND writes continue at
+		// the truncated end.)
+		if terr := f.Truncate(prevSize); terr != nil {
+			l.failed = true
+		} else {
+			l.buf = append(buf, l.buf...)
+		}
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	return nil
+}
+
+// Replay streams every complete record with sequence ≥ start, in order,
+// to fn.  A torn tail ends the stream cleanly.  fn returning an error
+// aborts the replay with that error.
+func (l *Log) Replay(start uint64, fn func(seq uint64, payload []byte) error) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for i, first := range segs {
+		// Skip segments that end before start: a segment's records span
+		// [first, nextSegFirst); only the last segment has an open end.
+		if i+1 < len(segs) && segs[i+1] <= start {
+			continue
+		}
+		if err := l.replaySegment(filepath.Join(l.dir, segName(first)), first, start, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (l *Log) replaySegment(path string, firstSeq, start uint64, fn func(seq uint64, payload []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	var hdr [recHeaderLen]byte
+	seq := firstSeq
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil // clean EOF or torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		crc := binary.BigEndian.Uint32(hdr[4:8])
+		if n > maxRecord {
+			return nil
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return nil
+		}
+		if seq >= start {
+			l.stats.Replayed.Add(1)
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+		}
+		seq++
+	}
+}
+
+// TruncateThrough deletes every sealed segment whose records all have
+// sequence ≤ seq — the log-compaction step after a snapshot covering
+// those records landed.  The tail segment is never deleted.
+func (l *Log) TruncateThrough(seq uint64) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	for i, first := range segs {
+		if i+1 >= len(segs) {
+			break // tail stays
+		}
+		if segs[i+1]-1 > seq {
+			break // segment holds records beyond seq
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(first))); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.stats.Truncated.Add(1)
+	}
+	return nil
+}
+
+// Close flushes and fsyncs everything buffered, then closes the log.
+// Pending WaitDurable calls are released.
+func (l *Log) Close() error {
+	err := l.Sync()
+	l.shutdown()
+	return err
+}
+
+// Abandon closes the log WITHOUT flushing its userspace buffer —
+// simulating a crash: only bytes already handed to the OS survive.
+// Records buffered but never flushed are lost, exactly like a process
+// dying mid-append; under FsyncBatch no acknowledged (WaitDurable'd)
+// record can be among them.
+func (l *Log) Abandon() {
+	l.mu.Lock()
+	l.buf = nil // drop unflushed records on the floor
+	l.mu.Unlock()
+	l.shutdown()
+}
+
+func (l *Log) shutdown() {
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+	l.kick()
+	<-l.done
+	l.mu.Lock()
+	if l.f != nil {
+		_ = l.f.Close()
+		l.f = nil
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

@@ -1,0 +1,7 @@
+// Package workload generates key and operation streams for exercising the
+// DHT's data plane.  The paper's model assumes uniform data distributions
+// and no hotspots (§5); the generators here provide that uniform regime plus
+// the skewed (zipfian) and sequential regimes the paper lists as future
+// work, so the repository can measure how the balancement behaves when its
+// assumptions are stretched.
+package workload
