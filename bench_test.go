@@ -236,6 +236,10 @@ func BenchmarkClusterMPutTCP(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N*size)/b.Elapsed().Seconds(), "keys/s")
+			lat := c.Latencies().BatchRPC
+			b.ReportMetric(1e6*lat.Quantile(0.50), "p50-µs")
+			b.ReportMetric(1e6*lat.Quantile(0.95), "p95-µs")
+			b.ReportMetric(1e6*lat.Quantile(0.99), "p99-µs")
 		})
 	}
 }

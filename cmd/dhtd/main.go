@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/pprof"
@@ -62,8 +63,17 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "root directory for crash-durable snode storage (WAL + snapshots; empty = in-memory only)")
 		fsync      = flag.String("fsync", "batch", "WAL durability of acknowledged writes: off | batch (group-commit fsync) | always")
 		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "background snapshot + WAL truncation interval (requires -data-dir)")
+		logLevel   = flag.String("log-level", "off", "structured log level: debug | info | warn | error | off")
+		traceRate  = flag.Float64("trace-sample", 0, "fraction of client operations to trace in [0, 1] (0 = off; adjustable live via PUT /v1/trace/sampling)")
+		traceBuf   = flag.Int("trace-buffer", 0, "spans retained per snode ring (0 = default 4096)")
+		slowOp     = flag.Duration("slow-op", 0, "log any client batch slower than this with its span breakdown (0 = off)")
 	)
 	flag.Parse()
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
+		os.Exit(2)
+	}
 	caps, err := parseCapacities(*capacity)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
@@ -76,10 +86,40 @@ func main() {
 		os.Exit(2)
 	}
 	dur := dbdht.DurabilityConfig{Dir: *dataDir, Fsync: mode, SnapshotInterval: *snapEvery}
-	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal, dur); err != nil {
+	obs := obsOptions{Sample: *traceRate, Buffer: *traceBuf, SlowOp: *slowOp, Logger: logger}
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal, dur, obs); err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// obsOptions bundles the observability flags.
+type obsOptions struct {
+	Sample float64
+	Buffer int
+	SlowOp time.Duration
+	Logger *slog.Logger
+}
+
+// buildLogger maps -log-level to a stderr text logger; "off" (the
+// default) keeps the cluster silent.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "off", "":
+		return nil, nil // cluster defaults to a discard logger
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error or off)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
 }
 
 // parseCapacities parses the -capacity list of positive weights.
@@ -112,14 +152,22 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig, dur dbdht.DurabilityConfig) error {
+func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig, dur dbdht.DurabilityConfig, obs obsOptions) error {
 	if snodes < 1 {
 		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
 	}
 	if vnodes < 0 {
 		return fmt.Errorf("-vnodes must be >= 0, got %d", vnodes)
 	}
-	opts := dbdht.ClusterOptions{Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout, Replicas: replicas, Balance: bal, Durability: dur}
+	if obs.Sample < 0 || obs.Sample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0, 1], got %v", obs.Sample)
+	}
+	opts := dbdht.ClusterOptions{
+		Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout,
+		Replicas: replicas, Balance: bal, Durability: dur,
+		TraceSample: obs.Sample, TraceBuffer: obs.Buffer,
+		SlowOpThreshold: obs.SlowOp, Logger: obs.Logger,
+	}
 	var (
 		c   *dbdht.Cluster
 		err error

@@ -17,6 +17,7 @@
 //	dhtsim -exp skew            # live balancer under a 10× hot-spot write skew
 //	dhtsim -exp crash           # crash-and-recover: R=2 replication under a kill
 //	dhtsim -exp restart         # durability: kill -9 one snode (R=1) and replay its WAL
+//	dhtsim -exp trace           # observability: traced MPut with latency tails and a span dump
 //	dhtsim -exp all             # everything above
 //
 // Flags -runs, -vnodes, -seed, -sample scale the effort; the defaults match
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"dbdht"
+	"dbdht/internal/cluster"
 	"dbdht/internal/metrics"
 	"dbdht/internal/sim"
 	"dbdht/internal/viz"
@@ -43,7 +45,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 stability ratio hetero skew crash restart all")
+		exp    = flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 stability ratio hetero skew crash restart trace all")
 		runs   = flag.Int("runs", 100, "independent runs to average (paper: 100)")
 		vnodes = flag.Int("vnodes", 1024, "consecutive vnode creations per run (paper: 1024)")
 		seed   = flag.Int64("seed", 1, "base seed; run i uses seed+i")
@@ -90,9 +92,10 @@ func main() {
 	run("skew", func(o sim.Options) error { return skew(o) })
 	run("crash", func(o sim.Options) error { return crash(o) })
 	run("restart", func(o sim.Options) error { return restart(o) })
+	run("trace", func(o sim.Options) error { return traceDemo(o.Seed) })
 	if *exp != "all" {
 		switch *exp {
-		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "stability", "ratio", "hetero", "skew", "crash", "restart":
+		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "stability", "ratio", "hetero", "skew", "crash", "restart", "trace":
 		default:
 			fmt.Fprintf(os.Stderr, "dhtsim: unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -659,4 +662,90 @@ func hetero(o sim.Options) error {
 	fmt.Printf("local approach (1 vnode per weight unit): %.2f\n", 100*local)
 	fmt.Printf("weighted Consistent Hashing (32 pts/weight): %.2f\n", 100*consistent)
 	return nil
+}
+
+// traceDemo is the observability scenario: a 3-snode R=2 TCP cluster with
+// 100% trace sampling serves a batched write workload; the output reports
+// keys/s alongside the p50/p95/p99 batch-RPC latency from the new
+// histograms, then dumps one MPut trace span by span so the whole path —
+// client fan-out, primary serve, replica ack wait — is visible.
+func traceDemo(seed int64) error {
+	fmt.Printf("\n== Traced MPut: 3 snodes, R=2, TCP fabric, 100%% sampling ==\n")
+	c, err := dbdht.NewClusterTCP(dbdht.ClusterOptions{
+		Pmin: 32, Vmin: 8, Seed: seed, Replicas: 2,
+		RPCTimeout: 10 * time.Second, AntiEntropyInterval: time.Hour,
+		TraceSample: 1,
+	}, "127.0.0.1")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			return err
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < 9; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			return err
+		}
+	}
+
+	const batches, size = 50, 256
+	items := make([]dbdht.KV, size)
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for j := range items {
+			k := fmt.Sprintf("trace-key-%05d", (b*size+j)%4096)
+			items[j] = dbdht.KV{Key: k, Value: []byte("v-" + k)}
+		}
+		results, err := c.MPut(items)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			if !r.OK() {
+				return fmt.Errorf("trace: MPut %q: %s", r.Key, r.Err)
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	lat := c.Latencies()
+	us := func(q float64) float64 { return 1e6 * lat.BatchRPC.Quantile(q) }
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "batches\tkeys\tkeys/s\tbatch-RPC p50 [µs]\tp95 [µs]\tp99 [µs]")
+	fmt.Fprintf(w, "%d\t%d\t%.0f\t%.0f\t%.0f\t%.0f\n",
+		batches, batches*size, float64(batches*size)/elapsed.Seconds(),
+		us(0.50), us(0.95), us(0.99))
+	w.Flush()
+
+	var root cluster.TraceSummary
+	for _, ts := range c.Traces() {
+		if ts.Name == "op.mput" {
+			root = ts
+			break
+		}
+	}
+	if root.TraceID == 0 {
+		return fmt.Errorf("trace: no op.mput trace recorded at 100%% sampling")
+	}
+	spans := c.Trace(root.TraceID)
+	fmt.Printf("\ntrace %x — %s, %d spans, %v total:\n", root.TraceID, root.Name, len(spans), root.Duration)
+	printSpanTree(spans, 0, 0)
+	return nil
+}
+
+// printSpanTree renders a trace's spans as an indented tree under the
+// given parent span id.
+func printSpanTree(spans []cluster.Span, parent uint64, depth int) {
+	for _, sp := range spans {
+		if sp.Parent != parent {
+			continue
+		}
+		fmt.Printf("  %s%-18s snode %-3d %10v  %s\n",
+			strings.Repeat("  ", depth), sp.Name, int(sp.Snode), sp.Duration, sp.Outcome)
+		printSpanTree(spans, sp.SpanID, depth+1)
+	}
 }

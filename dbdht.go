@@ -31,6 +31,7 @@
 package dbdht
 
 import (
+	"log/slog"
 	"math/rand"
 	"time"
 
@@ -149,6 +150,17 @@ type ClusterOptions struct {
 	// (see internal/cluster/durable.go and docs/OPERATIONS.md).  Zero
 	// value: no disk I/O; a restarted snode comes back empty.
 	Durability DurabilityConfig
+	// TraceSample is the probability in [0, 1] that a client operation is
+	// traced (default 0 = tracing off; adjustable live with
+	// Cluster.SetTraceSampling).
+	TraceSample float64
+	// TraceBuffer sizes each snode's span ring buffer (default 4096).
+	TraceBuffer int
+	// SlowOpThreshold logs any client batch slower than this with its full
+	// span breakdown (default 0 = off).
+	SlowOpThreshold time.Duration
+	// Logger receives structured cluster and WAL events.  Nil discards.
+	Logger *slog.Logger
 }
 
 // NewLocal returns an empty local-approach DHT.
@@ -174,7 +186,9 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
 		Balance: o.Balance, LoadInterval: o.LoadInterval,
-		Durability: o.Durability,
+		Durability:  o.Durability,
+		TraceSample: o.TraceSample, TraceBufferSize: o.TraceBuffer,
+		SlowOpThreshold: o.SlowOpThreshold, Logger: o.Logger,
 	}, transport.NewMem())
 }
 
@@ -185,7 +199,9 @@ func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
 		Balance: o.Balance, LoadInterval: o.LoadInterval,
-		Durability: o.Durability,
+		Durability:  o.Durability,
+		TraceSample: o.TraceSample, TraceBufferSize: o.TraceBuffer,
+		SlowOpThreshold: o.SlowOpThreshold, Logger: o.Logger,
 	}, transport.NewTCP(host))
 }
 

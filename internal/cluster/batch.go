@@ -69,11 +69,12 @@ func init() {
 // handleBatch serves a batch: local keys are applied immediately, the rest
 // are regrouped by next hop and forwarded as sub-batches awaited in
 // parallel.  Runs outside the actor loop (it performs nested RPCs).
-func (s *Snode) handleBatch(m batchReq) {
+func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 	if m.ReadReplica {
-		s.serveReplicaRead(m)
+		s.serveReplicaRead(m, tr)
 		return
 	}
+	sp := beginSpan(tr, "batch.serve")
 	s.stats.Batches.Add(1)
 	results := make([]batchItemResp, len(m.Items))
 	var served []routeEntry
@@ -298,7 +299,16 @@ func (s *Snode) handleBatch(m batchReq) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := s.replicate(m.Kind, replWrites, replDests); err != nil {
+			rsp := beginSpan(sp.ctx, "batch.repl-ack")
+			t0 := time.Now()
+			err := s.replicate(m.Kind, replWrites, replDests, rsp.ctx)
+			s.lat.replAck.ObserveSince(t0)
+			outcome := ""
+			if err != nil {
+				outcome = err.Error()
+			}
+			s.tracer.finish(rsp, s.id, outcome)
+			if err != nil {
 				mergeMu.Lock()
 				replErr = err
 				mergeMu.Unlock()
@@ -314,9 +324,17 @@ func (s *Snode) handleBatch(m batchReq) {
 				sub[j] = m.Items[i]
 			}
 			s.stats.Forwards.Add(1)
-			v, err := s.rpc(host, func(op uint64) any {
+			fsp := beginSpan(sp.ctx, "batch.forward")
+			v, err := s.rpcTr(host, fsp.ctx, func(op uint64) any {
 				return batchReq{Op: op, Kind: m.Kind, Items: sub, ReplyTo: s.id, Hops: m.Hops + 1}
 			})
+			if fsp.active() {
+				outcome := ""
+				if err != nil {
+					outcome = err.Error()
+				}
+				s.tracer.finish(fsp, s.id, outcome)
+			}
 			mergeMu.Lock()
 			defer mergeMu.Unlock()
 			if err != nil {
@@ -348,12 +366,25 @@ func (s *Snode) handleBatch(m batchReq) {
 	// fsync overlapped with the network round-trips): a write is
 	// acknowledged only once its journal record is on disk per the
 	// configured fsync mode.
-	if walClosed || (walMax > 0 && !s.durFastAck() && !s.durWaitSeq(walMax)) {
+	walOK := !walClosed
+	if walOK && walMax > 0 && !s.durFastAck() {
+		wsp := beginSpan(sp.ctx, "batch.wal-wait")
+		t0 := time.Now()
+		walOK = s.durWaitSeq(walMax)
+		s.lat.walWait.ObserveSince(t0)
+		outcome := ""
+		if !walOK {
+			outcome = "wal-closed"
+		}
+		s.tracer.finish(wsp, s.id, outcome)
+	}
+	if !walOK {
 		for _, i := range durWrites {
 			results[i] = batchItemResp{Err: "wal aborted: snode stopping"}
 		}
 	}
 
+	s.tracer.finish(sp, s.id, "")
 	s.send(m.ReplyTo, batchResp{Op: m.Op, Results: results, Served: dedupRoutes(served)})
 }
 
@@ -592,6 +623,20 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 	if len(items) == 0 {
 		return results, nil
 	}
+	// Head-sampling decision for the whole operation: one atomic load when
+	// tracing is off.  The root span's parent is 0 (the sampler context
+	// carries no span id), marking it as an operation root for Traces().
+	root := beginSpan(c.sampler.next(), batchOpName(kind))
+	start := root.start
+	if !root.active() && c.slowOp > 0 {
+		start = time.Now()
+	}
+	defer func() {
+		c.tracer.finish(root, clientID, "")
+		if c.slowOp > 0 && time.Since(start) >= c.slowOp {
+			c.logSlowOp(batchOpName(kind), len(items), time.Since(start), root)
+		}
+	}()
 	hashes := make([]hashspace.Index, len(items))
 	for i := range items {
 		hashes[i] = hashspace.HashString(items[i].Key)
@@ -670,7 +715,7 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				served := c.failoverReads(kind, replicaGroups, items, results, &mergeMu)
+				served := c.failoverReads(kind, replicaGroups, items, results, &mergeMu, root.ctx)
 				mergeMu.Lock()
 				for _, idxs := range replicaGroups {
 					for _, i := range idxs {
@@ -690,9 +735,19 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 				for j, i := range idxs {
 					sub[j] = items[i]
 				}
-				v, err := c.rpc(host, func(op uint64) any {
+				rsp := beginSpan(root.ctx, "batch.rpc")
+				t0 := time.Now()
+				v, err := c.rpcTr(host, rsp.ctx, func(op uint64) any {
 					return batchReq{Op: op, Kind: kind, Items: sub, ReplyTo: clientID}
 				})
+				c.batchRPC.ObserveSince(t0)
+				if rsp.active() {
+					outcome := ""
+					if err != nil {
+						outcome = err.Error()
+					}
+					c.tracer.finish(rsp, clientID, outcome)
+				}
 				if err != nil {
 					// The believed owner stopped answering.  Plan read
 					// failover from the replica sets cached with the
@@ -703,7 +758,7 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 						plan = c.planFailover(host, idxs, items)
 					}
 					c.invalidateStaleRoutes(host)
-					served := c.failoverReads(kind, plan, items, results, &mergeMu)
+					served := c.failoverReads(kind, plan, items, results, &mergeMu, root.ctx)
 					mergeMu.Lock()
 					failedHosts[host] = true
 					for _, i := range idxs {
@@ -744,16 +799,26 @@ func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]Batch
 
 // failoverReads issues the planned ReadReplica sub-batches and merges the
 // answers, returning the set of item indices actually served.
-func (c *Cluster) failoverReads(kind dataOp, plan map[transport.NodeID][]int, items []batchItem, results []BatchResult, mergeMu *sync.Mutex) map[int]bool {
+func (c *Cluster) failoverReads(kind dataOp, plan map[transport.NodeID][]int, items []batchItem, results []BatchResult, mergeMu *sync.Mutex, tr transport.TraceContext) map[int]bool {
 	served := make(map[int]bool)
 	for rhost, ridxs := range plan {
 		sub := make([]batchItem, len(ridxs))
 		for j, i := range ridxs {
 			sub[j] = items[i]
 		}
-		v, err := c.rpc(rhost, func(op uint64) any {
+		rsp := beginSpan(tr, "batch.failover-read")
+		t0 := time.Now()
+		v, err := c.rpcTr(rhost, rsp.ctx, func(op uint64) any {
 			return batchReq{Op: op, Kind: kind, Items: sub, ReplyTo: clientID, ReadReplica: true}
 		})
+		c.batchRPC.ObserveSince(t0)
+		if rsp.active() {
+			outcome := ""
+			if err != nil {
+				outcome = err.Error()
+			}
+			c.tracer.finish(rsp, clientID, outcome)
+		}
 		if err != nil {
 			c.subFails.Add(1)
 			continue
@@ -771,4 +836,34 @@ func (c *Cluster) failoverReads(kind dataOp, plan map[transport.NodeID][]int, it
 		mergeMu.Unlock()
 	}
 	return served
+}
+
+// batchOpName names a batch verb for spans and slow-op logs.
+func batchOpName(kind dataOp) string {
+	switch kind {
+	case opPut:
+		return "op.mput"
+	case opDel:
+		return "op.mdel"
+	default:
+		return "op.mget"
+	}
+}
+
+// logSlowOp emits a structured warning for a client batch that exceeded
+// SlowOpThreshold.  A traced operation includes its full span breakdown —
+// the root span just finished, so the rings hold the complete tree.
+func (c *Cluster) logSlowOp(op string, items int, d time.Duration, root activeSpan) {
+	if !root.active() {
+		c.log.Warn("slow operation", "op", op, "items", items, "dur", d)
+		return
+	}
+	spans := c.Trace(root.ctx.TraceID)
+	attrs := make([]any, 0, 2*len(spans)+8)
+	attrs = append(attrs, "op", op, "items", items, "dur", d, "trace", root.ctx.TraceID)
+	for _, sp := range spans {
+		attrs = append(attrs,
+			fmt.Sprintf("span.%s@%d", sp.Name, sp.Snode), sp.Duration)
+	}
+	c.log.Warn("slow operation", attrs...)
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"dbdht/internal/cluster/transport"
 	"dbdht/internal/core"
 	"dbdht/internal/hashspace"
+	"dbdht/internal/metrics"
 	"dbdht/internal/wal"
 )
 
@@ -61,6 +63,16 @@ type Cluster struct {
 	retiredMu  sync.Mutex
 	retired    StatsSnapshot     // counters of snodes that left the cluster
 	retiredWal wal.StatsSnapshot // durability counters of snodes that left
+	retiredLat LatencySnapshot   // latency histograms of snodes that left
+
+	// Observability at the handle: the head sampler for client operations,
+	// the client-side span ring, the batch sub-RPC latency histogram, the
+	// slow-op threshold and the structured logger (trace.go).
+	sampler  sampler
+	tracer   *tracer
+	batchRPC *metrics.Histogram
+	slowOp   time.Duration
+	log      *slog.Logger
 
 	stopOnce sync.Once
 	done     chan struct{}
@@ -110,8 +122,13 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 		nextID:   1,
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
 		routes:   make(map[hashspace.Partition]route),
+		tracer:   newTracer(cfg.TraceBufferSize),
+		batchRPC: metrics.NewLatencyHistogram(),
+		slowOp:   cfg.SlowOpThreshold,
+		log:      cfg.Logger.With("component", "cluster"),
 		done:     make(chan struct{}),
 	}
+	c.sampler.setRate(cfg.TraceSample)
 	go c.loop(inbox)
 	if cfg.Balance.Interval > 0 {
 		go c.balancerLoop()
@@ -154,6 +171,11 @@ func (c *Cluster) loop(inbox <-chan transport.Envelope) {
 
 // rpc issues one correlated request from the client endpoint.
 func (c *Cluster) rpc(to transport.NodeID, build func(op uint64) any) (any, error) {
+	return c.rpcTr(to, transport.TraceContext{}, build)
+}
+
+// rpcTr is rpc with a trace context riding the request envelope.
+func (c *Cluster) rpcTr(to transport.NodeID, tr transport.TraceContext, build func(op uint64) any) (any, error) {
 	op := c.opSeq.Add(1)
 	ch := make(chan any, 1)
 	c.pendMu.Lock()
@@ -164,7 +186,7 @@ func (c *Cluster) rpc(to transport.NodeID, build func(op uint64) any) (any, erro
 		delete(c.pending, op)
 		c.pendMu.Unlock()
 	}()
-	if err := c.net.Send(transport.Envelope{From: clientID, To: to, Msg: build(op)}); err != nil {
+	if err := c.net.Send(transport.Envelope{From: clientID, To: to, Trace: tr, Msg: build(op)}); err != nil {
 		return nil, err
 	}
 	select {
@@ -451,6 +473,7 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 	if s.dur != nil {
 		c.retiredWal.Fold(s.dur.log.Stats().Snapshot())
 	}
+	c.retiredLat.fold(s.lat)
 	c.retiredMu.Unlock()
 	s.stop()
 	return nil
@@ -494,6 +517,7 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 	if s.dur != nil {
 		c.retiredWal.Fold(s.dur.log.Stats().Snapshot())
 	}
+	c.retiredLat.fold(s.lat)
 	c.retiredMu.Unlock()
 	s.crashed.Store(true) // abandon (not flush) the WAL: crashes do not get to fsync
 	s.stop()

@@ -157,7 +157,7 @@ func (s *Snode) openDurability() error {
 		return fmt.Errorf("cluster: durability: %w", err)
 	}
 	log, err := wal.Open(filepath.Join(root, "wal"), wal.Options{
-		Fsync: dc.Fsync, SegmentBytes: dc.SegmentBytes,
+		Fsync: dc.Fsync, SegmentBytes: dc.SegmentBytes, Logger: s.log,
 	})
 	if err != nil {
 		return err

@@ -161,15 +161,27 @@ func collectDeltaLocked(bk *bucket, dirty map[string]struct{}) []migItem {
 }
 
 // sendChunk ships one chunk and waits for the ack.
-func (s *Snode) sendChunk(toHost transport.NodeID, to VnodeName, p hashspace.Partition, items []migItem) error {
-	v, err := s.rpc(toHost, func(op uint64) any {
+func (s *Snode) sendChunk(toHost transport.NodeID, to VnodeName, p hashspace.Partition, items []migItem, tr transport.TraceContext) error {
+	csp := beginSpan(tr, "mig.chunk")
+	t0 := time.Now()
+	v, err := s.rpcTr(toHost, csp.ctx, func(op uint64) any {
 		return migChunkReq{Op: op, To: to, Partition: p, Items: items, ReplyTo: s.id}
 	})
+	s.lat.migChunk.ObserveSince(t0)
+	if err == nil {
+		if resp := v.(migChunkResp); resp.Err != "" {
+			err = fmt.Errorf("cluster: migration chunk at %d: %s", toHost, resp.Err)
+		}
+	}
+	if csp.active() {
+		outcome := ""
+		if err != nil {
+			outcome = err.Error()
+		}
+		s.tracer.finish(csp, s.id, outcome)
+	}
 	if err != nil {
 		return err
-	}
-	if resp := v.(migChunkResp); resp.Err != "" {
-		return fmt.Errorf("cluster: migration chunk at %d: %s", toHost, resp.Err)
 	}
 	s.stats.ChunksSent.Add(1)
 	return nil
@@ -182,16 +194,24 @@ func (s *Snode) sendChunk(toHost transport.NodeID, to VnodeName, p hashspace.Par
 func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.NodeID, p hashspace.Partition, level uint8, vs *vnodeState, bk *bucket) (int, error) {
 	chunk := s.cfg.MigrationChunkKeys
 
+	// Migrations originate at this snode, not at a client, so they draw
+	// their own head-sampling decision; the whole handover becomes one
+	// trace ("mig.partition" root, chunk and install children).
+	root := beginSpan(s.sampler.next(), "mig.partition")
+
 	// Open the staging bucket before touching local state, so a dead or
 	// refusing receiver costs nothing.
-	v, err := s.rpc(toHost, func(op uint64) any {
+	v, err := s.rpcTr(toHost, root.ctx, func(op uint64) any {
 		return migBeginReq{Op: op, Group: g, To: to, Partition: p, Level: level, ReplyTo: s.id}
 	})
 	if err != nil {
+		s.tracer.finish(root, s.id, err.Error())
 		return 0, err
 	}
 	if resp := v.(migBeginResp); resp.Err != "" {
-		return 0, fmt.Errorf("cluster: migration begin at %d: %s", toHost, resp.Err)
+		err := fmt.Errorf("cluster: migration begin at %d: %s", toHost, resp.Err)
+		s.tracer.finish(root, s.id, err.Error())
+		return 0, err
 	}
 
 	// Turn on dirty tracking and snapshot the key list in one critical
@@ -203,7 +223,9 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 		bk.mu.Unlock()
 		s.mu.Unlock()
 		s.send(toHost, migAbortMsg{To: to, Partition: p})
-		return 0, fmt.Errorf("cluster: partition %v not live for migration", p)
+		err := fmt.Errorf("cluster: partition %v not live for migration", p)
+		s.tracer.finish(root, s.id, err.Error())
+		return 0, err
 	}
 	bk.mig = &migSender{dirty: make(map[string]struct{})}
 	keys := make([]string, 0, len(bk.m))
@@ -225,6 +247,8 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 		s.mu.Unlock()
 		s.send(toHost, migAbortMsg{To: to, Partition: p})
 		s.stats.MigAborts.Add(1)
+		s.tracer.finish(root, s.id, err.Error())
+		s.log.Warn("migration aborted", "partition", p, "to", int(toHost), "err", err)
 		return moved, err
 	}
 
@@ -244,7 +268,7 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 		if len(items) == 0 {
 			continue
 		}
-		if err := s.sendChunk(toHost, to, p, items); err != nil {
+		if err := s.sendChunk(toHost, to, p, items, root.ctx); err != nil {
 			return abort(err)
 		}
 		moved += len(items)
@@ -265,7 +289,7 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 		bk.mig.dirty = make(map[string]struct{})
 		items := collectDeltaLocked(bk, dirty)
 		bk.mu.Unlock()
-		if err := s.sendChunk(toHost, to, p, items); err != nil {
+		if err := s.sendChunk(toHost, to, p, items, root.ctx); err != nil {
 			return abort(err)
 		}
 		moved += len(items)
@@ -281,9 +305,17 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 	bk.mu.Unlock()
 	s.mu.Unlock()
 
-	v, err = s.rpc(toHost, func(op uint64) any {
+	csp := beginSpan(root.ctx, "mig.commit")
+	v, err = s.rpcTr(toHost, csp.ctx, func(op uint64) any {
 		return migCommitReq{Op: op, To: to, Partition: p, Items: final, ReplyTo: s.id}
 	})
+	if csp.active() {
+		outcome := ""
+		if err != nil {
+			outcome = err.Error()
+		}
+		s.tracer.finish(csp, s.id, outcome)
+	}
 	if err != nil {
 		// The commit RPC failing does NOT mean the commit failed: the
 		// receiver installs before acking (and re-homes replicas, which
@@ -348,6 +380,8 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 	s.dropOrphanReplicas(p, toHost)
 	s.stats.PartitionsSent.Add(1)
 	s.stats.KeysMoved.Add(int64(moved))
+	s.tracer.finish(root, s.id, "")
+	s.log.Debug("partition migrated", "partition", p, "to", int(toHost), "keys", moved)
 	return moved, nil
 }
 
@@ -408,7 +442,9 @@ func (s *Snode) handleMigChunk(m migChunkReq) {
 // whole-bucket install, same bookkeeping: ownership index, level/group
 // adoption, custody cleanup, replica re-homing before the ack.  Runs in
 // its own goroutine (re-homing performs nested RPCs).
-func (s *Snode) handleMigCommit(m migCommitReq) {
+func (s *Snode) handleMigCommit(m migCommitReq, tr transport.TraceContext) {
+	sp := beginSpan(tr, "mig.install")
+	defer func() { s.tracer.finish(sp, s.id, "") }()
 	s.mu.Lock()
 	st, ok := s.migIn[m.Partition]
 	if !ok || st.to != m.To {

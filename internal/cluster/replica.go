@@ -249,7 +249,8 @@ func (s *Snode) handleViewUpdate(m viewUpdate) {
 	s.mu.Unlock()
 }
 
-func (s *Snode) handleReplWrite(m replWriteReq) {
+func (s *Snode) handleReplWrite(m replWriteReq, tr transport.TraceContext) {
+	sp := beginSpan(tr, "repl.write")
 	s.mu.Lock()
 	applied := s.applyReplWriteLocked(m.Kind, m.Sets, m.private)
 	seq := s.durAppendWith(func(b []byte) []byte {
@@ -258,6 +259,7 @@ func (s *Snode) handleReplWrite(m replWriteReq) {
 	s.mu.Unlock()
 	s.stats.ReplWrites.Add(applied)
 	if s.durFastAck() {
+		s.tracer.finish(sp, s.id, "")
 		s.send(m.ReplyTo, replWriteResp{Op: m.Op})
 		return
 	}
@@ -266,9 +268,12 @@ func (s *Snode) handleReplWrite(m replWriteReq) {
 	// goroutine.
 	go func() {
 		resp := replWriteResp{Op: m.Op}
+		t0 := time.Now()
 		if !s.durWaitSeq(seq) {
 			resp.Err = fmt.Sprintf("snode %d stopping: replica write not durable", s.id)
 		}
+		s.lat.walWait.ObserveSince(t0)
+		s.tracer.finish(sp, s.id, resp.Err)
 		s.send(m.ReplyTo, resp)
 	}()
 }
@@ -378,7 +383,8 @@ func (s *Snode) handleReplDrop(m replDropMsg) {
 // the read-failover path when a primary stopped answering.  Keys this
 // snode holds no replica bucket for get a per-key error (the requester
 // falls back to its normal retry path).
-func (s *Snode) serveReplicaRead(m batchReq) {
+func (s *Snode) serveReplicaRead(m batchReq, tr transport.TraceContext) {
+	sp := beginSpan(tr, "repl.read")
 	results := make([]batchItemResp, len(m.Items))
 	var served int64
 	s.mu.Lock()
@@ -404,6 +410,7 @@ func (s *Snode) serveReplicaRead(m batchReq) {
 	}
 	s.mu.Unlock()
 	s.stats.FailoverReads.Add(served)
+	s.tracer.finish(sp, s.id, "")
 	s.send(m.ReplyTo, batchResp{Op: m.Op, Results: results})
 }
 
@@ -428,7 +435,7 @@ func (s *Snode) replicaBucketLocked(h hashspace.Index) (hashspace.Partition, map
 // repairs the replica later); an error is returned only when this snode is
 // stopping, in which case the write must NOT be acknowledged — the
 // primary's copy dies with it.
-func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID) error {
+func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID, tr transport.TraceContext) error {
 	byHost := make(map[transport.NodeID][]replWriteSet)
 	for p, items := range writes {
 		for _, host := range dests[p] {
@@ -444,9 +451,17 @@ func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchIte
 			// The send (not the wait) is serialized per destination so a
 			// concurrent full sync cannot be overtaken by a write it does
 			// not contain (see syncReplica).
-			_, err := s.rpcOrderedSend(host, func(op uint64) any {
+			fsp := beginSpan(tr, "repl.fanout")
+			_, err := s.rpcOrderedSend(host, fsp.ctx, func(op uint64) any {
 				return replWriteReq{Op: op, Kind: kind, Sets: sets, ReplyTo: s.id}
 			})
+			if fsp.active() {
+				outcome := ""
+				if err != nil {
+					outcome = err.Error()
+				}
+				s.tracer.finish(fsp, s.id, outcome)
+			}
 			errs <- err
 		}(host, sets)
 	}
@@ -467,7 +482,7 @@ func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchIte
 // rpcOrderedSend is s.rpc with the send serialized through the
 // destination's replica-plane send mutex; the response wait happens
 // outside the mutex.
-func (s *Snode) rpcOrderedSend(to transport.NodeID, build func(op uint64) any) (any, error) {
+func (s *Snode) rpcOrderedSend(to transport.NodeID, tr transport.TraceContext, build func(op uint64) any) (any, error) {
 	op := s.opSeq.Add(1)
 	ch := make(chan any, 1)
 	s.pendMu.Lock()
@@ -480,7 +495,7 @@ func (s *Snode) rpcOrderedSend(to transport.NodeID, build func(op uint64) any) (
 	}()
 	ord := s.sendOrdFor(to)
 	ord.Lock()
-	err := s.net.Send(transport.Envelope{From: s.id, To: to, Msg: build(op)})
+	err := s.net.Send(transport.Envelope{From: s.id, To: to, Trace: tr, Msg: build(op)})
 	ord.Unlock()
 	if err != nil {
 		return nil, err
@@ -630,7 +645,9 @@ func (s *Snode) antiEntropyLoop() {
 		case <-s.stopCh:
 			return
 		case <-t.C:
+			t0 := time.Now()
 			s.antiEntropyPass()
+			s.lat.aePass.ObserveSince(t0)
 			s.sweepStaleReplicas()
 		}
 	}

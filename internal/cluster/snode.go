@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"math/bits"
 	"math/rand"
 	"sort"
@@ -61,6 +62,19 @@ type Config struct {
 	// Durability configures the per-snode write-ahead log and snapshots
 	// (see durable.go).  Zero value: no disk I/O on any path.
 	Durability DurabilityConfig
+	// TraceSample is the head-sampling probability for request tracing
+	// (0, the default, disables tracing; 1 traces every operation).  See
+	// trace.go.  Adjustable at runtime via Cluster.SetTraceSampling.
+	TraceSample float64
+	// TraceBufferSize is the per-snode span ring capacity (default 4096).
+	TraceBufferSize int
+	// SlowOpThreshold, when non-zero, logs a structured breakdown of any
+	// client batch operation slower than this (traced operations include
+	// their full span tree).
+	SlowOpThreshold time.Duration
+	// Logger receives structured logs from the cluster, snodes and WALs.
+	// Nil (the default) discards everything.
+	Logger *slog.Logger
 }
 
 // TransferPolicy is the victim-partition selection rule.
@@ -117,6 +131,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Durability.Dir != "" && c.Durability.SnapshotInterval == 0 {
 		c.Durability.SnapshotInterval = 30 * time.Second
+	}
+	if c.TraceBufferSize == 0 {
+		c.TraceBufferSize = defaultTraceBufferSize
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
 	}
 	return c, nil
 }
@@ -304,6 +324,14 @@ type Snode struct {
 	done     chan struct{}
 
 	stats Stats
+
+	// Observability: the span ring and latency histograms (trace.go), a
+	// sampler for snode-originated traces (migrations), and this snode's
+	// structured logger.
+	tracer  *tracer
+	lat     *latencies
+	sampler sampler
+	log     *slog.Logger
 }
 
 // newSnode registers and starts an snode actor on the fabric.  With
@@ -330,7 +358,11 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		pending:  make(map[uint64]chan any),
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
+		tracer:   newTracer(cfg.TraceBufferSize),
+		lat:      newLatencies(),
+		log:      cfg.Logger.With("snode", int(id)),
 	}
+	s.sampler.setRate(cfg.TraceSample)
 	if cfg.Durability.Dir != "" {
 		if err := s.openDurability(); err != nil {
 			return nil, err
@@ -409,8 +441,18 @@ func (s *Snode) send(to transport.NodeID, msg any) {
 	_ = s.net.Send(transport.Envelope{From: s.id, To: to, Msg: msg})
 }
 
+// sendTr is send with a trace context riding the envelope.
+func (s *Snode) sendTr(to transport.NodeID, tr transport.TraceContext, msg any) {
+	_ = s.net.Send(transport.Envelope{From: s.id, To: to, Trace: tr, Msg: msg})
+}
+
 // rpc sends a correlated request and waits for its response.
 func (s *Snode) rpc(to transport.NodeID, build func(op uint64) any) (any, error) {
+	return s.rpcTr(to, transport.TraceContext{}, build)
+}
+
+// rpcTr is rpc with a trace context riding the request envelope.
+func (s *Snode) rpcTr(to transport.NodeID, tr transport.TraceContext, build func(op uint64) any) (any, error) {
 	op := s.opSeq.Add(1)
 	ch := make(chan any, 1)
 	s.pendMu.Lock()
@@ -421,7 +463,7 @@ func (s *Snode) rpc(to transport.NodeID, build func(op uint64) any) (any, error)
 		delete(s.pending, op)
 		s.pendMu.Unlock()
 	}()
-	if err := s.net.Send(transport.Envelope{From: s.id, To: to, Msg: build(op)}); err != nil {
+	if err := s.net.Send(transport.Envelope{From: s.id, To: to, Trace: tr, Msg: build(op)}); err != nil {
 		return nil, err
 	}
 	select {
@@ -474,9 +516,9 @@ func (s *Snode) loop() {
 		case createVnodeResp:
 			s.deliver(m.Op, m)
 		case lookupReq:
-			s.handleLookup(m)
+			s.handleLookup(m, env.Trace)
 		case batchReq:
-			go s.handleBatch(m)
+			go s.handleBatch(m, env.Trace)
 		case batchResp:
 			s.deliver(m.Op, m)
 		case createVnodeReq:
@@ -500,7 +542,7 @@ func (s *Snode) loop() {
 		case migChunkResp:
 			s.deliver(m.Op, m)
 		case migCommitReq:
-			go s.handleMigCommit(m)
+			go s.handleMigCommit(m, env.Trace)
 		case migCommitResp:
 			s.deliver(m.Op, m)
 		case migAbortMsg:
@@ -524,7 +566,7 @@ func (s *Snode) loop() {
 		case viewUpdate:
 			s.handleViewUpdate(m)
 		case replWriteReq:
-			s.handleReplWrite(m)
+			s.handleReplWrite(m, env.Trace)
 		case replWriteResp:
 			s.deliver(m.Op, m)
 		case replProbeReq:
@@ -689,7 +731,11 @@ func (s *Snode) setCacheLocked(p hashspace.Partition, ref ownerRef) {
 }
 
 // handleLookup implements §3.6's owner location with custody forwarding.
-func (s *Snode) handleLookup(m lookupReq) {
+// A traced lookup records one span per snode visited — "lookup.serve" at
+// the owner, "lookup.hop" at every forwarder — so a custody chain is
+// visible end to end.
+func (s *Snode) handleLookup(m lookupReq, tr transport.TraceContext) {
+	sp := beginSpan(tr, "lookup.serve")
 	s.mu.Lock()
 	if vs, p, ok := s.ownsLocked(m.R); ok {
 		leader := transport.NodeID(0)
@@ -698,6 +744,7 @@ func (s *Snode) handleLookup(m lookupReq) {
 			leader = rep.Leader
 		}
 		s.mu.Unlock()
+		s.tracer.finish(sp, s.id, "")
 		s.send(m.ReplyTo, lookupResp{
 			Op: m.Op, Owner: vs.name, Host: s.id, Partition: p,
 			Group: group, Leader: leader,
@@ -706,17 +753,25 @@ func (s *Snode) handleLookup(m lookupReq) {
 	}
 	if m.Hops >= s.cfg.MaxHops {
 		s.mu.Unlock()
+		s.tracer.finish(sp, s.id, "max-hops")
 		s.send(m.ReplyTo, lookupResp{Op: m.Op, Err: fmt.Sprintf("lookup exceeded %d hops", m.Hops)})
 		return
 	}
 	ref, ok := s.forwardTargetLocked(m.R, m.Hops == 0)
 	s.mu.Unlock()
 	if !ok {
+		s.tracer.finish(sp, s.id, "no-route")
 		s.send(m.ReplyTo, lookupResp{Op: m.Op, Err: "no route: empty DHT view"})
 		return
 	}
 	m.Hops++
 	s.stats.Forwards.Add(1)
+	if sp.active() {
+		sp.name = "lookup.hop"
+		s.tracer.finish(sp, s.id, "")
+		s.sendTr(ref.Host, sp.ctx, m)
+		return
+	}
 	s.send(ref.Host, m)
 }
 

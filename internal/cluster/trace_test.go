@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/wal"
+)
+
+// runTracePropagation boots a 3-snode R=2 cluster with sampling at 100%
+// and a group-commit WAL, runs one MPut, and checks that the resulting
+// trace stitches the whole write path together: client root, per-snode
+// batch serving, replica fan-out and ack wait, and the WAL durability
+// wait — with spans recorded on at least two distinct snodes.
+func runTracePropagation(t *testing.T, net transport.Network) {
+	t.Helper()
+	c, err := New(Config{
+		Pmin: 32, Vmin: 8, Seed: 7, RPCTimeout: 20 * time.Second,
+		Replicas: 2, AntiEntropyInterval: time.Hour,
+		TraceSample: 1,
+		Durability:  DurabilityConfig{Dir: t.TempDir(), Fsync: wal.FsyncBatch},
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	growCluster(t, c, 12)
+
+	_, items := batchKeys(64)
+	results, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Fatalf("MPut %q: %s", r.Key, r.Err)
+		}
+	}
+
+	var id uint64
+	for _, ts := range c.Traces() {
+		if ts.Name == "op.mput" {
+			id = ts.TraceID
+			break
+		}
+	}
+	if id == 0 {
+		t.Fatal("no op.mput trace recorded at 100% sampling")
+	}
+	spans := c.Trace(id)
+	names := map[string]int{}
+	snodes := map[transport.NodeID]bool{}
+	ids := map[uint64]bool{}
+	for _, sp := range spans {
+		if sp.TraceID != id {
+			t.Fatalf("Trace(%d) returned span of trace %d", id, sp.TraceID)
+		}
+		names[sp.Name]++
+		ids[sp.SpanID] = true
+		if sp.Snode >= 0 {
+			snodes[sp.Snode] = true
+		}
+	}
+	if names["op.mput"] != 1 {
+		t.Fatalf("trace has %d op.mput roots, want 1 (spans: %v)", names["op.mput"], names)
+	}
+	for _, want := range []string{
+		"batch.rpc",      // client-side round trip
+		"batch.serve",    // primary serving the shard
+		"batch.repl-ack", // primary waiting on replica acks
+		"repl.fanout",    // primary pushing to replicas
+		"repl.write",     // replica applying the write
+		"batch.wal-wait", // primary waiting for WAL group commit
+	} {
+		if names[want] == 0 {
+			t.Errorf("trace is missing %q spans (got %v)", want, names)
+		}
+	}
+	if len(snodes) < 2 {
+		t.Fatalf("trace spans recorded on %d snode(s), want >= 2 (spans: %v)", len(snodes), names)
+	}
+	// Every non-root span's parent must be another span of this trace:
+	// a broken link means a stage failed to propagate the context.
+	for _, sp := range spans {
+		if sp.Parent != 0 && !ids[sp.Parent] {
+			t.Errorf("span %s@%d has unknown parent %d", sp.Name, sp.Snode, sp.Parent)
+		}
+		if sp.Outcome != "ok" {
+			t.Errorf("span %s@%d outcome = %q, want ok", sp.Name, sp.Snode, sp.Outcome)
+		}
+	}
+}
+
+func TestTracePropagationMem(t *testing.T) {
+	runTracePropagation(t, transport.NewMem())
+}
+
+func TestTracePropagationTCP(t *testing.T) {
+	runTracePropagation(t, transport.NewTCP("127.0.0.1"))
+}
+
+// TestTraceSamplingToggle: tracing starts off (default), records nothing,
+// and can be turned on and back off live.
+func TestTraceSamplingToggle(t *testing.T) {
+	c := newTestCluster(t, 32, 8, 3, 9)
+	growCluster(t, c, 6)
+	_, items := batchKeys(32)
+
+	if _, err := c.MPut(items); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Traces(); len(got) != 0 {
+		t.Fatalf("tracing off recorded %d traces", len(got))
+	}
+
+	c.SetTraceSampling(1)
+	if got := c.TraceSampling(); got != 1 {
+		t.Fatalf("TraceSampling() = %v after SetTraceSampling(1)", got)
+	}
+	if _, err := c.MPut(items); err != nil {
+		t.Fatal(err)
+	}
+	on := len(c.Traces())
+	if on == 0 {
+		t.Fatal("tracing on recorded no traces")
+	}
+
+	c.SetTraceSampling(0)
+	if _, err := c.MPut(items); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Traces()); got != on {
+		t.Fatalf("tracing off again: trace count went %d -> %d", on, got)
+	}
+}
+
+// TestTraceSamplingOffNoAlloc is the overhead guard: with sampling off,
+// the per-operation tracing cost must be one atomic load and zero
+// allocations.
+func TestTraceSamplingOffNoAlloc(t *testing.T) {
+	var sm sampler
+	sm.setRate(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := sm.next()
+		sp := beginSpan(tr, "op.mput")
+		if sp.active() {
+			t.Fatal("unsampled context produced an active span")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sampling-off path allocates %v per op, want 0", allocs)
+	}
+}
+
+// TestLatencyHistogramsPopulated: batch traffic must land observations in
+// the cluster-wide latency snapshot even with tracing off.
+func TestLatencyHistogramsPopulated(t *testing.T) {
+	c := newReplicatedCluster(t, transport.NewMem(), 3, 2, 11)
+	growCluster(t, c, 6)
+	_, items := batchKeys(64)
+	if _, err := c.MPut(items); err != nil {
+		t.Fatal(err)
+	}
+	lat := c.Latencies()
+	if lat.BatchRPC.Count == 0 {
+		t.Fatal("BatchRPC histogram empty after MPut")
+	}
+	if lat.ReplicaAckWait.Count == 0 {
+		t.Fatal("ReplicaAckWait histogram empty after R=2 MPut")
+	}
+}

@@ -15,6 +15,9 @@ import (
 //	uint32   big-endian length of the frame body
 //	byte     wire version (wireVersion; mismatches fail loudly)
 //	byte     format: formatBinary or formatGob
+//	byte     flags: flagTrace | flagSampled
+//	uvarint  trace ID   (only when flagTrace is set)
+//	uvarint  span ID    (only when flagTrace is set)
 //
 // followed, for formatBinary, by
 //
@@ -29,18 +32,31 @@ import (
 // (join/split/transfer/...) keep gob, whose reflection cost is irrelevant
 // at their volume.  The per-frame version byte makes a mixed cluster fail
 // with an explicit error instead of silently mis-decoding.
+//
+// Version history: v1 had no flags byte; v2 added it (with the optional
+// trace context) — a frame-level layout change, hence the bump per
+// docs/WIRE.md rule 1.
 
 const (
-	wireVersion byte = 1
+	wireVersion byte = 2
 
 	formatGob    byte = 0
 	formatBinary byte = 1
+
+	// Frame flags (v2+).  flagTrace marks a trace context present in the
+	// header; flagSampled carries the head-sampling decision.
+	flagTrace   byte = 1 << 0
+	flagSampled byte = 1 << 1
 
 	// maxFrame bounds a frame body so a corrupt length prefix cannot make
 	// the reader allocate unbounded memory.
 	maxFrame = 256 << 20
 
 	frameHeaderLen = 4 // length prefix
+
+	// minFrameBody is version + format + flags — the smallest well-formed
+	// frame body.
+	minFrameBody = 3
 )
 
 // WireMessage is implemented by payloads with a hand-rolled binary codec.
@@ -100,8 +116,24 @@ func CodecCounters() (binaryEnc, gobEnc, binaryDec, gobDec int64) {
 func AppendFrame(buf []byte, env Envelope) ([]byte, error) {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0) // length back-patched below
+	var flags byte
+	if env.Trace.TraceID != 0 {
+		flags |= flagTrace
+	}
+	if env.Trace.Sampled {
+		flags |= flagSampled
+	}
+	appendTrace := func(buf []byte) []byte {
+		buf = append(buf, flags)
+		if flags&flagTrace != 0 {
+			buf = binary.AppendUvarint(buf, env.Trace.TraceID)
+			buf = binary.AppendUvarint(buf, env.Trace.SpanID)
+		}
+		return buf
+	}
 	if wm, ok := env.Msg.(WireMessage); ok {
 		buf = append(buf, wireVersion, formatBinary)
+		buf = appendTrace(buf)
 		buf = binary.AppendVarint(buf, int64(env.From))
 		buf = binary.AppendVarint(buf, int64(env.To))
 		buf = binary.AppendUvarint(buf, uint64(wm.WireTag()))
@@ -109,6 +141,10 @@ func AppendFrame(buf []byte, env Envelope) ([]byte, error) {
 		binaryEncodes.Add(1)
 	} else {
 		buf = append(buf, wireVersion, formatGob)
+		buf = appendTrace(buf)
+		// The header owns the trace context for every format; zero it in
+		// the gob stream so it is not encoded twice.
+		env.Trace = TraceContext{}
 		var gb bytes.Buffer
 		if err := gob.NewEncoder(&gb).Encode(&env); err != nil {
 			return buf[:start], fmt.Errorf("transport: gob encode %T: %w", env.Msg, err)
@@ -129,15 +165,35 @@ func AppendFrame(buf []byte, env Envelope) ([]byte, error) {
 // so the caller may reuse the buffer.  Truncated or corrupt input returns
 // an error, never panics.
 func DecodeFrame(body []byte) (Envelope, error) {
-	if len(body) < 2 {
+	if len(body) < minFrameBody {
 		return Envelope{}, fmt.Errorf("transport: frame body of %d bytes is shorter than its header", len(body))
 	}
 	if body[0] != wireVersion {
 		return Envelope{}, fmt.Errorf("transport: peer speaks wire version %d, this node speaks %d — mixed cluster?", body[0], wireVersion)
 	}
-	switch body[1] {
+	format, flags := body[1], body[2]
+	if flags&^(flagTrace|flagSampled) != 0 {
+		// Unknown flag bits would mean a frame-level change that should
+		// have bumped the version — treat as corruption, not extension.
+		return Envelope{}, fmt.Errorf("transport: unknown frame flags %#x", flags)
+	}
+	var tr TraceContext
+	rest := body[3:]
+	if flags&flagTrace != 0 {
+		var n, m int
+		tr.TraceID, n = binary.Uvarint(rest)
+		if n > 0 {
+			tr.SpanID, m = binary.Uvarint(rest[n:])
+		}
+		if n <= 0 || m <= 0 {
+			return Envelope{}, fmt.Errorf("transport: truncated trace context in frame header")
+		}
+		rest = rest[n+m:]
+	}
+	tr.Sampled = flags&flagSampled != 0
+	switch format {
 	case formatBinary:
-		r := NewWireReader(body[2:])
+		r := NewWireReader(rest)
 		from := r.Varint()
 		to := r.Varint()
 		tag := r.Uvarint()
@@ -156,19 +212,20 @@ func DecodeFrame(body []byte) (Envelope, error) {
 			return Envelope{}, fmt.Errorf("transport: decode wire tag %d: %w", tag, err)
 		}
 		binaryDecodes.Add(1)
-		return Envelope{From: NodeID(from), To: NodeID(to), Msg: msg}, nil
+		return Envelope{From: NodeID(from), To: NodeID(to), Trace: tr, Msg: msg}, nil
 	case formatGob:
 		var env Envelope
-		if err := gob.NewDecoder(bytes.NewReader(body[2:])).Decode(&env); err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(rest)).Decode(&env); err != nil {
 			return Envelope{}, fmt.Errorf("transport: gob decode frame: %w", err)
 		}
 		if env.Msg == nil {
 			return Envelope{}, fmt.Errorf("transport: gob frame decoded to an empty envelope")
 		}
+		env.Trace = tr
 		gobDecodes.Add(1)
 		return env, nil
 	default:
-		return Envelope{}, fmt.Errorf("transport: unknown frame format %d", body[1])
+		return Envelope{}, fmt.Errorf("transport: unknown frame format %d", format)
 	}
 }
 

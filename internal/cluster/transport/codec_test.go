@@ -2,6 +2,7 @@ package transport
 
 import (
 	"encoding/binary"
+	"strings"
 	"testing"
 )
 
@@ -110,12 +111,80 @@ func TestDecodeFrameVersionMismatch(t *testing.T) {
 
 func TestDecodeFrameUnknownTag(t *testing.T) {
 	var body []byte
-	body = append(body, wireVersion, formatBinary)
+	body = append(body, wireVersion, formatBinary, 0) // no flags
 	body = binary.AppendVarint(body, 1)
 	body = binary.AppendVarint(body, 2)
 	body = binary.AppendUvarint(body, 0xfffe) // never registered
 	if _, err := DecodeFrame(body); err == nil {
 		t.Fatal("unknown wire tag must error")
+	}
+}
+
+func TestFrameRoundTripTraceContext(t *testing.T) {
+	tr := TraceContext{TraceID: 0xfeedface12345678, SpanID: 42, Sampled: true}
+	// Binary path: trace context rides the frame header.
+	frame := encodeFrame(t, Envelope{From: -1, To: 3, Trace: tr, Msg: fuzzMsg{U: 7}})
+	env, err := DecodeFrame(frame[frameHeaderLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Trace != tr {
+		t.Fatalf("binary trace round trip: got %+v, want %+v", env.Trace, tr)
+	}
+	if !env.Trace.Active() {
+		t.Fatal("sampled trace context must be Active after decode")
+	}
+	// Gob path: the header owns the context there too.
+	frame = encodeFrame(t, Envelope{From: 1, To: 2, Trace: tr, Msg: testMsg{Seq: 9, S: "traced"}})
+	if env, err = DecodeFrame(frame[frameHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+	if env.Trace != tr || env.Msg.(testMsg).Seq != 9 {
+		t.Fatalf("gob trace round trip: got %+v / %+v", env.Trace, env.Msg)
+	}
+	// An untraced envelope pays exactly one flags byte and decodes to the
+	// zero context.
+	traced := encodeFrame(t, Envelope{From: -1, To: 3, Trace: tr, Msg: fuzzMsg{U: 7}})
+	plain := encodeFrame(t, Envelope{From: -1, To: 3, Msg: fuzzMsg{U: 7}})
+	if len(traced) <= len(plain) {
+		t.Fatalf("traced frame (%d bytes) not larger than plain (%d)", len(traced), len(plain))
+	}
+	if env, err = DecodeFrame(plain[frameHeaderLen:]); err != nil {
+		t.Fatal(err)
+	}
+	if env.Trace != (TraceContext{}) {
+		t.Fatalf("plain frame decoded a trace context: %+v", env.Trace)
+	}
+}
+
+func TestDecodeFrameOldVersionRejected(t *testing.T) {
+	// A v1 frame (no flags byte) from a pre-upgrade peer: the version check
+	// must reject it with the mixed-cluster error before misreading its
+	// envelope header as a flags byte.
+	var body []byte
+	body = append(body, 1, formatBinary) // v1 layout: version, format
+	body = binary.AppendVarint(body, -1)
+	body = binary.AppendVarint(body, 2)
+	body = binary.AppendUvarint(body, uint64(fuzzTag))
+	body = fuzzMsg{U: 1}.AppendWire(body)
+	_, err := DecodeFrame(body)
+	if err == nil {
+		t.Fatal("v1 frame must be rejected, not decoded")
+	}
+	if want := "wire version 1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("rejection error %q does not name the peer's version", err)
+	}
+}
+
+func TestDecodeFrameBadTraceHeader(t *testing.T) {
+	// Truncated trace context: flags promise trace IDs the body lacks.
+	if _, err := DecodeFrame([]byte{wireVersion, formatBinary, flagTrace | flagSampled, 0x80}); err == nil {
+		t.Fatal("truncated trace context must error")
+	}
+	// Unknown flag bits are corruption, not extension (a frame-level
+	// change bumps the version instead).
+	if _, err := DecodeFrame([]byte{wireVersion, formatBinary, 0x80}); err == nil {
+		t.Fatal("unknown frame flags must error")
 	}
 }
 

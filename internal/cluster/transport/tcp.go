@@ -159,7 +159,7 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 			return
 		}
 		n := binary.BigEndian.Uint32(hdr[:])
-		if n < 2 || n > maxFrame {
+		if n < minFrameBody || n > maxFrame {
 			log.Printf("transport: node %d: dropping connection: frame body of %d bytes out of range", ep.id, n)
 			return
 		}

@@ -10,9 +10,27 @@ import (
 // snode, or a client endpoint.
 type NodeID int
 
+// TraceContext is the request-tracing context riding every envelope: a
+// cluster-unique trace ID, the sender's current span ID (the receiver's
+// parent), and the head-sampling decision.  The zero value means
+// untraced; on the TCP fabric a zero context costs zero header bytes
+// beyond the flags byte (see codec.go).
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Sampled bool
+}
+
+// Active reports whether the context carries a sampled trace — the one
+// check every instrumentation point makes before doing any trace work.
+func (t TraceContext) Active() bool { return t.Sampled && t.TraceID != 0 }
+
 // Envelope is one message in flight.
 type Envelope struct {
 	From, To NodeID
+	// Trace is the tracing context, propagated by value on the in-memory
+	// fabric and in the frame header on TCP.
+	Trace TraceContext
 	// Msg is the payload.  For the TCP fabric every concrete payload type
 	// must be registered with encoding/gob (the cluster package registers
 	// its protocol messages in init).

@@ -110,9 +110,9 @@ func TestWireTruncatedFrames(t *testing.T) {
 	// Flipping the length of the items array to a huge value must error,
 	// not allocate.
 	corrupt := append([]byte(nil), body...)
-	// Body layout: version, format, From varint, To varint, tag uvarint,
-	// Op uvarint, Kind varint, then the item count.
-	off := 2
+	// Body layout: version, format, flags, From varint, To varint,
+	// tag uvarint, Op uvarint, Kind varint, then the item count.
+	off := 3
 	for n := 0; n < 4; n++ { // From, To, tag, Op, Kind occupy varints
 		_, w := binary.Uvarint(corrupt[off:])
 		off += w

@@ -13,8 +13,9 @@ import (
 
 // Metric types understood by the exposition writer.
 const (
-	TypeCounter = "counter"
-	TypeGauge   = "gauge"
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
 )
 
 // Label is one name/value pair attached to a sample.  Labels are written
@@ -25,6 +26,10 @@ type Label struct {
 
 // Sample is one measured value of a family.
 type Sample struct {
+	// Suffix, if set, is appended to the family name for this sample —
+	// how a histogram family emits `_bucket`/`_sum`/`_count` series under
+	// one TYPE declaration.  See HistogramFamily.
+	Suffix string
 	Labels []Label
 	Value  float64
 }
@@ -33,7 +38,7 @@ type Sample struct {
 type Family struct {
 	Name    string
 	Help    string
-	Type    string // TypeCounter or TypeGauge
+	Type    string // TypeCounter, TypeGauge or TypeHistogram — required
 	Samples []Sample
 }
 
@@ -52,15 +57,20 @@ func WritePrometheus(w io.Writer, families []Family) error {
 				return err
 			}
 		}
-		typ := f.Type
-		if typ == "" {
-			typ = TypeGauge
+		switch f.Type {
+		case TypeCounter, TypeGauge, TypeHistogram:
+		case "":
+			// An unset type used to silently publish as a gauge, hiding
+			// families that were never classified; fail loudly instead.
+			return fmt.Errorf("metrics: family %s has no type", f.Name)
+		default:
+			return fmt.Errorf("metrics: family %s has unknown type %q", f.Name, f.Type)
 		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, typ); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
 			return err
 		}
 		for _, s := range f.Samples {
-			if _, err := io.WriteString(w, f.Name); err != nil {
+			if _, err := io.WriteString(w, f.Name+s.Suffix); err != nil {
 				return err
 			}
 			if len(s.Labels) > 0 {

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// unescapeExposition inverts the text-format escaping (`\\` → `\`,
+// `\n` → newline, and for label values `\"` → `"`), per the Prometheus
+// text exposition rules.  Test-only: the writer never needs to parse.
+func unescapeExposition(s string, label bool) (string, bool) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false // trailing bare backslash: not a valid escape
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case '"':
+			if !label {
+				return "", false
+			}
+			b.WriteByte('"')
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+// FuzzEscapeRoundTrip asserts that escapeLabel/escapeHelp produce output
+// that (a) contains none of the characters that would corrupt the text
+// format and (b) unescapes back to the original string byte-for-byte.
+func FuzzEscapeRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", `back\slash`, "new\nline", `quo"te`, `\n`, `\\n`,
+		"mix\\\"\n", "\\", "trailing\\", "µ±∞", string([]byte{0, 0xff}),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		lab := escapeLabel(s)
+		if strings.Contains(lab, "\n") {
+			t.Fatalf("escapeLabel(%q) = %q still contains a raw newline", s, lab)
+		}
+		// A bare (unescaped) quote would terminate the label value early.
+		for i := 0; i < len(lab); i++ {
+			switch lab[i] {
+			case '\\':
+				i++ // escape sequence: consumes the next byte
+			case '"':
+				t.Fatalf("escapeLabel(%q) = %q contains an unescaped quote", s, lab)
+			}
+		}
+		if got, ok := unescapeExposition(lab, true); !ok || got != s {
+			t.Fatalf("escapeLabel(%q) = %q does not round-trip (got %q, ok=%v)", s, lab, got, ok)
+		}
+		help := escapeHelp(s)
+		if strings.Contains(help, "\n") {
+			t.Fatalf("escapeHelp(%q) = %q still contains newline", s, help)
+		}
+		// Help text may contain quotes unescaped (they are legal there),
+		// but the escape sequences must still round-trip exactly.
+		if got, ok := unescapeExposition(help, false); !ok || got != s {
+			t.Fatalf("escapeHelp(%q) = %q does not round-trip (got %q, ok=%v)", s, help, got, ok)
+		}
+	})
+}

@@ -44,7 +44,7 @@ dbdht_keys{snode="2"} 0.5
 func TestWritePrometheusEscaping(t *testing.T) {
 	var sb strings.Builder
 	err := WritePrometheus(&sb, []Family{{
-		Name: "m", Help: "line1\nline2 \\ backslash",
+		Name: "m", Help: "line1\nline2 \\ backslash", Type: TypeGauge,
 		Samples: []Sample{{Labels: []Label{{"l", "a\"b\\c\nd"}}, Value: 1}},
 	}})
 	if err != nil {
@@ -61,16 +61,53 @@ func TestWritePrometheusEscaping(t *testing.T) {
 
 func TestWritePrometheusRejectsBadNames(t *testing.T) {
 	for _, name := range []string{"", "9lead", "has space", "dash-ed"} {
-		err := WritePrometheus(&strings.Builder{}, []Family{{Name: name, Samples: []Sample{{Value: 1}}}})
+		err := WritePrometheus(&strings.Builder{}, []Family{{Name: name, Type: TypeGauge, Samples: []Sample{{Value: 1}}}})
 		if err == nil {
 			t.Fatalf("name %q accepted", name)
 		}
 	}
 	err := WritePrometheus(&strings.Builder{}, []Family{{
-		Name:    "ok",
+		Name: "ok", Type: TypeGauge,
 		Samples: []Sample{{Labels: []Label{{"bad name", "v"}}, Value: 1}},
 	}})
 	if err == nil {
 		t.Fatal("bad label name accepted")
+	}
+}
+
+func TestWritePrometheusRejectsBadTypes(t *testing.T) {
+	for _, typ := range []string{"", "histo", "summary", "Counter"} {
+		err := WritePrometheus(&strings.Builder{}, []Family{{
+			Name: "m", Type: typ, Samples: []Sample{{Value: 1}},
+		}})
+		if err == nil {
+			t.Fatalf("type %q accepted", typ)
+		}
+	}
+}
+
+func TestWritePrometheusHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5) // +Inf bucket
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, []Family{
+		HistogramFamily("dbdht_op_seconds", "op latency", h.Snapshot(), Label{"snode", "3"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := `# HELP dbdht_op_seconds op latency
+# TYPE dbdht_op_seconds histogram
+dbdht_op_seconds_bucket{snode="3",le="0.001"} 2
+dbdht_op_seconds_bucket{snode="3",le="0.01"} 3
+dbdht_op_seconds_bucket{snode="3",le="+Inf"} 4
+dbdht_op_seconds_sum{snode="3"} 5.006
+dbdht_op_seconds_count{snode="3"} 4
+`
+	if got != want {
+		t.Fatalf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }

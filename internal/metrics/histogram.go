@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-boundary latency histogram safe for concurrent
+// observation without locks: one atomic add per bucket hit plus two for
+// the running sum/count.  Boundaries are chosen at construction and never
+// change, so readers can snapshot with plain atomic loads — a snapshot is
+// not a consistent cut across buckets, which is the standard (and
+// Prometheus-accepted) trade for a lock-free hot path.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds in seconds; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
+	sumNs  atomic.Int64    // sum of observations in nanoseconds
+	count  atomic.Uint64
+}
+
+// DefaultLatencyBounds covers the cluster's operating range — sub-µs
+// in-memory hops to multi-second fsync stalls — in powers of four, so a
+// dozen buckets span seven decades.
+func DefaultLatencyBounds() []float64 {
+	return []float64{
+		1e-6, 4e-6, 16e-6, 64e-6, 256e-6, // 1µs .. 256µs
+		1e-3, 4e-3, 16e-3, 64e-3, 256e-3, // 1ms .. 256ms
+		1, 4, // 1s, 4s
+	}
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds
+// (seconds).  It panics on unsorted or empty bounds — boundaries are
+// compile-time constants of the instrumentation, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// NewLatencyHistogram returns a histogram over DefaultLatencyBounds.
+func NewLatencyHistogram() *Histogram { return NewHistogram(DefaultLatencyBounds()) }
+
+// Observe records one value in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	// Linear scan: a dozen comparisons over a cache-resident slice beats a
+	// branchy binary search at this size.
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(seconds * 1e9))
+	h.count.Add(1)
+}
+
+// ObserveSince records the elapsed time since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Snapshot returns a point-in-time copy (per-bucket counts are loaded
+// individually; see the type comment on consistency).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction: shared, not copied
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    float64(h.sumNs.Load()) / 1e9,
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.  Counts
+// are per-bucket (NOT cumulative); Counts[len(Bounds)] is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Merge folds another snapshot into s (for aggregating per-snode
+// histograms and carrying retired snodes' totals forward).  Both sides
+// must share bounds; an empty s adopts o's shape.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	if o.Count == 0 && len(o.Counts) == 0 {
+		return
+	}
+	if len(s.Counts) == 0 {
+		s.Bounds = o.Bounds
+		s.Counts = append([]uint64(nil), o.Counts...)
+		s.Sum, s.Count = o.Sum, o.Count
+		return
+	}
+	if len(o.Counts) != len(s.Counts) {
+		panic("metrics: merging histograms with different bucket layouts")
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+}
+
+// Quantile estimates the q-th quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the containing bucket, the same estimate a
+// Prometheus histogram_quantile() would produce.  It returns 0 for an
+// empty snapshot; a quantile landing in the +Inf bucket reports the
+// highest finite bound (the histogram cannot resolve beyond it).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) {
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*math.Min(1, math.Max(0, frac))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// HistogramFamily renders a snapshot as one TypeHistogram exposition
+// family: cumulative `_bucket` samples with `le` labels (ending in +Inf),
+// then `_sum` and `_count`.  Extra labels are attached to every sample,
+// before `le`.
+func HistogramFamily(name, help string, s HistogramSnapshot, labels ...Label) Family {
+	f := Family{Name: name, Help: help, Type: TypeHistogram}
+	if len(s.Counts) == 0 {
+		return f
+	}
+	cum := uint64(0)
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatValue(s.Bounds[i])
+		}
+		ls := make([]Label, 0, len(labels)+1)
+		ls = append(ls, labels...)
+		ls = append(ls, Label{Name: "le", Value: le})
+		f.Samples = append(f.Samples, Sample{Suffix: "_bucket", Labels: ls, Value: float64(cum)})
+	}
+	f.Samples = append(f.Samples,
+		Sample{Suffix: "_sum", Labels: labels, Value: s.Sum},
+		Sample{Suffix: "_count", Labels: labels, Value: float64(s.Count)})
+	return f
+}

@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Bucket semantics are le (inclusive upper bound), matching Prometheus.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count: got %d want 6", s.Count)
+	}
+	if math.Abs(s.Sum-1063) > 1e-6 {
+		t.Fatalf("sum: got %g want 1063", s.Sum)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race it proves the lock-free observation path, and the final
+// snapshot proves no observation was lost.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%1000) * 1e-6)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must be safe (if not cut-consistent).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("lost observations: got %d want %d", s.Count, workers*perWorker)
+	}
+	var inBuckets uint64
+	for _, c := range s.Counts {
+		inBuckets += c
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket sum %d != count %d", inBuckets, s.Count)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005) // 90% in the first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05) // 10% in the (0.01, 0.1] bucket
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 <= 0 || p50 > 0.001 {
+		t.Fatalf("p50 = %g, want within first bucket (0, 0.001]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 <= 0.01 || p99 > 0.1 {
+		t.Fatalf("p99 = %g, want within (0.01, 0.1]", p99)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty snapshot quantile = %g, want 0", q)
+	}
+	// A quantile in the +Inf bucket saturates at the highest finite bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Snapshot().Quantile(0.99); q != 1 {
+		t.Fatalf("+Inf quantile = %g, want 1", q)
+	}
+}
+
+func TestHistogramSnapshotMerge(t *testing.T) {
+	a, b := NewHistogram([]float64{1, 10}), NewHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	a.Observe(5)
+	b.Observe(50)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 || s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 1 {
+		t.Fatalf("merge mismatch: %+v", s)
+	}
+	var empty HistogramSnapshot
+	empty.Merge(s)
+	if empty.Count != 3 {
+		t.Fatalf("merge into empty: got count %d want 3", empty.Count)
+	}
+}

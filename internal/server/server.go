@@ -27,8 +27,10 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
-	// Per-route request counters, exported at /v1/metrics.
+	// Per-route request counters and latency histograms, exported at
+	// /v1/metrics.
 	reqs map[string]*atomic.Int64
+	lats map[string]*metrics.Histogram
 
 	// Cached per-snode load reports for the metrics scrape: LoadReport is
 	// a cluster-wide RPC fan-out that can block up to RPCTimeout on a
@@ -47,6 +49,7 @@ func New(c *cluster.Cluster) *Server {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 		reqs:  make(map[string]*atomic.Int64),
+		lats:  make(map[string]*metrics.Histogram),
 	}
 	s.route("PUT /v1/kv/{key...}", s.handlePut)
 	s.route("GET /v1/kv/{key...}", s.handleGet)
@@ -62,16 +65,23 @@ func New(c *cluster.Cluster) *Server {
 	s.route("POST /v1/snapshot", s.handleSnapshotNow)
 	s.route("GET /v1/status", s.handleStatus)
 	s.route("GET /v1/metrics", s.handleMetrics)
+	s.route("GET /v1/trace", s.handleTraceList)
+	s.route("GET /v1/trace/{id}", s.handleTraceGet)
+	s.route("PUT /v1/trace/sampling", s.handleTraceSampling)
 	return s
 }
 
-// route registers a handler with a request counter.
+// route registers a handler with a request counter and latency histogram.
 func (s *Server) route(pattern string, h http.HandlerFunc) {
 	ctr := &atomic.Int64{}
+	lat := metrics.NewLatencyHistogram()
 	s.reqs[pattern] = ctr
+	s.lats[pattern] = lat
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		ctr.Add(1)
+		start := time.Now()
 		h(w, r)
+		lat.ObserveSince(start)
 	})
 }
 
@@ -474,6 +484,98 @@ func (s *Server) handleSnapshotNow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int64{"snapshot_files": st.SnapWrites})
 }
 
+// --- tracing ---
+
+// TraceSummary is one sampled trace in GET /v1/trace.
+type TraceSummary struct {
+	TraceID    string  `json:"trace_id"` // hex
+	Name       string  `json:"name"`
+	Start      string  `json:"start"` // RFC 3339 with nanoseconds
+	DurationMS float64 `json:"duration_ms"`
+	Outcome    string  `json:"outcome"`
+	Spans      int     `json:"spans"`
+}
+
+// TraceSpan is one recorded stage in GET /v1/trace/{id}.
+type TraceSpan struct {
+	SpanID     string  `json:"span_id"`          // hex
+	Parent     string  `json:"parent,omitempty"` // hex; absent for the root
+	Name       string  `json:"name"`
+	Snode      int     `json:"snode"` // -1 is the client handle
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Outcome    string  `json:"outcome"`
+}
+
+// TraceResponse answers GET /v1/trace/{id}.
+type TraceResponse struct {
+	TraceID string      `json:"trace_id"`
+	Spans   []TraceSpan `json:"spans"`
+}
+
+func traceID(id uint64) string { return strconv.FormatUint(id, 16) }
+
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	summaries := s.c.Traces()
+	out := make([]TraceSummary, 0, len(summaries))
+	for _, ts := range summaries {
+		out = append(out, TraceSummary{
+			TraceID: traceID(ts.TraceID), Name: ts.Name,
+			Start:      ts.Start.Format(time.RFC3339Nano),
+			DurationMS: float64(ts.Duration) / float64(time.Millisecond),
+			Outcome:    ts.Outcome, Spans: ts.Spans,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sampling": s.c.TraceSampling(),
+		"traces":   out,
+	})
+}
+
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 16, 64)
+	if err != nil || id == 0 {
+		writeErr(w, http.StatusBadRequest, "bad trace id %q (want hex)", r.PathValue("id"))
+		return
+	}
+	spans := s.c.Trace(id)
+	if len(spans) == 0 {
+		writeErr(w, http.StatusNotFound, "trace %s not found (unsampled or evicted)", r.PathValue("id"))
+		return
+	}
+	resp := TraceResponse{TraceID: traceID(id), Spans: make([]TraceSpan, len(spans))}
+	for i, sp := range spans {
+		out := TraceSpan{
+			SpanID: traceID(sp.SpanID), Name: sp.Name, Snode: int(sp.Snode),
+			Start:      sp.Start.Format(time.RFC3339Nano),
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+			Outcome:    sp.Outcome,
+		}
+		if sp.Parent != 0 {
+			out.Parent = traceID(sp.Parent)
+		}
+		resp.Spans[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type traceSamplingRequest struct {
+	Rate float64 `json:"rate"`
+}
+
+func (s *Server) handleTraceSampling(w http.ResponseWriter, r *http.Request) {
+	var req traceSamplingRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Rate < 0 || req.Rate > 1 {
+		writeErr(w, http.StatusBadRequest, "sampling rate must be in [0, 1], got %v", req.Rate)
+		return
+	}
+	s.c.SetTraceSampling(req.Rate)
+	writeJSON(w, http.StatusOK, map[string]float64{"sampling": s.c.TraceSampling()})
+}
+
 // --- introspection ---
 
 // SnodeStatus summarizes one live snode.
@@ -689,6 +791,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("dbdht_failover_reads_total", "reads served from replica buckets", st.Stats.FailoverReads),
 		httpReqs,
 	}
+	lat := s.c.Latencies()
+	families = append(families,
+		metrics.HistogramFamily("dbdht_batch_rpc_seconds",
+			"client-side batch RPC round trip", lat.BatchRPC),
+		metrics.HistogramFamily("dbdht_replica_ack_wait_seconds",
+			"primary's wait for replica write acks", lat.ReplicaAckWait),
+		metrics.HistogramFamily("dbdht_wal_durable_wait_seconds",
+			"wait for the WAL group commit covering a write", lat.WALDurableWait),
+		metrics.HistogramFamily("dbdht_migration_chunk_seconds",
+			"one live-migration chunk transfer", lat.MigrationChunk),
+		metrics.HistogramFamily("dbdht_anti_entropy_pass_seconds",
+			"one anti-entropy repair pass", lat.AntiEntropyPass),
+	)
+	httpLat := metrics.Family{
+		Name: "dbdht_http_request_seconds", Help: "API request latency per route",
+		Type: metrics.TypeHistogram,
+	}
+	for route, h := range s.lats {
+		f := metrics.HistogramFamily(httpLat.Name, httpLat.Help, h.Snapshot(),
+			metrics.Label{Name: "route", Value: route})
+		httpLat.Samples = append(httpLat.Samples, f.Samples...)
+	}
+	families = append(families, httpLat)
 	walEnabled := 0.0
 	if st.Durability.Enabled {
 		walEnabled = 1

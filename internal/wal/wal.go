@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -66,6 +67,8 @@ type Options struct {
 	// BufferBytes sizes the append buffer handed to the flusher in one
 	// piece (default 256 KiB).
 	BufferBytes int
+	// Logger receives recovery and I/O-failure events.  Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BufferBytes == 0 {
 		o.BufferBytes = 256 << 10
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
 	}
 	return o
 }
@@ -173,6 +179,7 @@ type Log struct {
 	// Sync races the flusher goroutine.
 	flushMu sync.Mutex
 
+	log   *slog.Logger
 	stats Stats
 }
 
@@ -225,6 +232,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		nextSeq: 1,
 		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
+		log:     opts.Logger,
 	}
 	l.cond = sync.NewCond(&l.mu)
 	segs, err := listSegments(dir)
@@ -249,6 +257,8 @@ func Open(dir string, opts Options) (*Log, error) {
 					if err := os.Truncate(path, validLen); err != nil {
 						return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 					}
+					l.log.Info("wal: truncated torn tail",
+						"segment", segName(first), "bytes", fi.Size()-validLen)
 				}
 				l.firstSeq = first
 				l.nextSeq = first + uint64(n)
@@ -540,8 +550,11 @@ func (l *Log) flushThrough(target uint64, sync bool) error {
 		// the truncated end.)
 		if terr := f.Truncate(prevSize); terr != nil {
 			l.failed = true
+			l.log.Error("wal: fail-stop: flush failed and partial write could not be undone",
+				"flush_err", err, "truncate_err", terr)
 		} else {
 			l.buf = append(buf, l.buf...)
+			l.log.Warn("wal: flush failed, records re-buffered for retry", "err", err)
 		}
 	}
 	l.cond.Broadcast()
