@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -24,9 +25,10 @@ const DefaultRequestTimeout = 30 * time.Second
 
 // Client talks to one dhtd endpoint.  Safe for concurrent use.
 type Client struct {
-	base       string
-	hc         *http.Client
-	reqTimeout time.Duration
+	base        string
+	hc          *http.Client
+	reqTimeout  time.Duration
+	retryBudget time.Duration
 }
 
 // Option customizes a Client.
@@ -43,6 +45,17 @@ func WithHTTPClient(hc *http.Client) Option {
 // context alone governs the request).
 func WithRequestTimeout(d time.Duration) Option {
 	return func(c *Client) { c.reqTimeout = d }
+}
+
+// WithWriteRetry enables automatic retry of transiently failed writes —
+// keys landing on a partition that is frozen mid-migration, being
+// promoted after its primary crashed, or momentarily unrouted — with
+// jittered exponential backoff.  budget bounds the total time spent
+// retrying one operation (on top of the first attempt); zero, the
+// default, disables retry.  Only the failed keys of a batch are retried;
+// puts and deletes are idempotent, so re-issuing a failed key is safe.
+func WithWriteRetry(budget time.Duration) Option {
+	return func(c *Client) { c.retryBudget = budget }
 }
 
 // New returns a Client for a base URL such as "http://127.0.0.1:8080".
@@ -155,8 +168,14 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 
 func kvPath(key string) string { return "/v1/kv/" + url.PathEscape(key) }
 
-// Put stores a key/value pair.
+// Put stores a key/value pair.  With WithWriteRetry set, transient
+// failures (partition frozen or promoting) are retried within the
+// budget.
 func (c *Client) Put(ctx context.Context, key string, value []byte) error {
+	return c.retrying(ctx, func() error { return c.putOnce(ctx, key, value) })
+}
+
+func (c *Client) putOnce(ctx context.Context, key string, value []byte) error {
 	resp, cancel, err := c.do(ctx, http.MethodPut, kvPath(key), bytes.NewReader(value), "application/octet-stream")
 	if err != nil {
 		return err
@@ -192,15 +211,20 @@ func (c *Client) Get(ctx context.Context, key string) (value []byte, found bool,
 	return value, true, nil
 }
 
-// Delete removes a key; found reports whether it existed.
+// Delete removes a key; found reports whether it existed.  With
+// WithWriteRetry set, transient failures are retried within the budget.
 func (c *Client) Delete(ctx context.Context, key string) (found bool, err error) {
-	var out struct {
-		Found bool `json:"found"`
-	}
-	if err := c.doJSON(ctx, http.MethodDelete, kvPath(key), nil, &out); err != nil {
-		return false, err
-	}
-	return out.Found, nil
+	err = c.retrying(ctx, func() error {
+		var out struct {
+			Found bool `json:"found"`
+		}
+		if err := c.doJSON(ctx, http.MethodDelete, kvPath(key), nil, &out); err != nil {
+			return err
+		}
+		found = out.Found
+		return nil
+	})
+	return found, err
 }
 
 // Item is one key/value pair of a batch put.
@@ -238,10 +262,147 @@ func (c *Client) batch(ctx context.Context, op string, items []Item) ([]Result, 
 	return out.Results, nil
 }
 
+// --- write retry ---
+
+const (
+	writeRetryBase = 25 * time.Millisecond
+	writeRetryCap  = 2 * time.Second
+)
+
+// transientWriteError reports whether a write failure is worth retrying:
+// the key's partition was frozen for a migration handover, is being
+// promoted after a primary crash, or the route to it lapsed — all states
+// that resolve on their own within the failover window.  Permanent
+// errors (bad request, oversized value) are not retried.
+func transientWriteError(msg string) bool {
+	for _, s := range [...]string{
+		"frozen",
+		"no route",
+		"no snode",
+		"replication aborted",
+		"sub-request",
+		"timed out",
+		"timeout",
+		"connection refused",
+		"EOF",
+	} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// retryBackoff returns the jittered delay before retry attempt n: base
+// 25 ms doubling each attempt, capped at 2 s, drawn uniformly from
+// [d/2, d] so a herd of clients retrying into the same promoting
+// partition does not stay synchronized.
+func retryBackoff(attempt int) time.Duration {
+	d := writeRetryBase
+	for i := 0; i < attempt && d < writeRetryCap; i++ {
+		d *= 2
+	}
+	if d > writeRetryCap {
+		d = writeRetryCap
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// retrying runs op, re-issuing it on transient write failures with
+// jittered exponential backoff until it succeeds, the failure turns
+// permanent, or the write-retry budget (or caller's context) expires.
+func (c *Client) retrying(ctx context.Context, op func() error) error {
+	err := op()
+	if c.retryBudget <= 0 {
+		return err
+	}
+	deadline := time.Now().Add(c.retryBudget)
+	for attempt := 0; err != nil && transientWriteError(err.Error()); attempt++ {
+		d := retryBackoff(attempt)
+		if time.Now().Add(d).After(deadline) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(d):
+		}
+		err = op()
+	}
+	return err
+}
+
+// writeBatch issues one batch write and, when a retry budget is set,
+// re-issues just the transiently failed keys with jittered backoff until
+// all succeed or the budget runs out.  Results stay parallel to items.
+func (c *Client) writeBatch(ctx context.Context, op string, items []Item) ([]Result, error) {
+	results, err := c.batch(ctx, op, items)
+	if c.retryBudget <= 0 {
+		return results, err
+	}
+	deadline := time.Now().Add(c.retryBudget)
+	for attempt := 0; ; attempt++ {
+		var pending []int
+		if err != nil {
+			if !transientWriteError(err.Error()) {
+				return results, err
+			}
+			pending = make([]int, len(items))
+			for i := range pending {
+				pending[i] = i
+			}
+		} else {
+			for i, r := range results {
+				if !r.OK() && transientWriteError(r.Error) {
+					pending = append(pending, i)
+				}
+			}
+		}
+		if len(pending) == 0 {
+			return results, err
+		}
+		d := retryBackoff(attempt)
+		if time.Now().Add(d).After(deadline) {
+			return results, err
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+			return results, err
+		case <-time.After(d):
+		}
+		sub := make([]Item, len(pending))
+		for j, i := range pending {
+			sub[j] = items[i]
+		}
+		rres, rerr := c.batch(ctx, op, sub)
+		if rerr != nil {
+			err = rerr
+			continue
+		}
+		if results == nil {
+			results = make([]Result, len(items))
+			for i, it := range items {
+				results[i] = Result{Key: it.Key, Error: "not attempted"}
+			}
+		}
+		for j, i := range pending {
+			if j < len(rres) {
+				results[i] = rres[j]
+			}
+		}
+		err = nil
+	}
+}
+
 // MPut stores many pairs in one request; results are parallel to items
-// and partial failures are reported per key.
+// and partial failures are reported per key.  With WithWriteRetry set,
+// transiently failed keys are retried within the budget.
 func (c *Client) MPut(ctx context.Context, items []Item) ([]Result, error) {
-	return c.batch(ctx, "put", items)
+	return c.writeBatch(ctx, "put", items)
 }
 
 // MGet fetches many keys in one request.
@@ -249,9 +410,10 @@ func (c *Client) MGet(ctx context.Context, keys []string) ([]Result, error) {
 	return c.batch(ctx, "get", keyItems(keys))
 }
 
-// MDelete removes many keys in one request.
+// MDelete removes many keys in one request.  With WithWriteRetry set,
+// transiently failed keys are retried within the budget.
 func (c *Client) MDelete(ctx context.Context, keys []string) ([]Result, error) {
-	return c.batch(ctx, "delete", keyItems(keys))
+	return c.writeBatch(ctx, "delete", keyItems(keys))
 }
 
 func keyItems(keys []string) []Item {
@@ -347,6 +509,10 @@ type Stats struct {
 	ReplRepairs    int64 `json:"ReplRepairs"`
 	ReplLagged     int64 `json:"ReplLagged"`
 	FailoverReads  int64 `json:"FailoverReads"`
+
+	Elections       int64 `json:"Elections"`
+	Promotions      int64 `json:"Promotions"`
+	FailoverDetects int64 `json:"FailoverDetects"`
 }
 
 // Status is the GET /v1/status document.

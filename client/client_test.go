@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -77,5 +78,134 @@ func TestBodyCap(t *testing.T) {
 	_, _, err := cl.Get(context.Background(), "huge")
 	if err == nil || !strings.Contains(err.Error(), "exceeds") {
 		t.Fatalf("oversized Get error = %v, want a body-cap error", err)
+	}
+}
+
+// TestWriteRetryBatch verifies that with a retry budget only the
+// transiently failed keys of a batch are re-issued, and the merged
+// results come back in input order.
+func TestWriteRetryBatch(t *testing.T) {
+	var attempts int
+	var secondBody batchRequest
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("decode batch request: %v", err)
+		}
+		attempts++
+		var resp batchResponse
+		for _, it := range req.Items {
+			res := Result{Key: it.Key}
+			// First attempt: keys on the "promoting" partition fail.
+			if attempts == 1 && strings.HasPrefix(it.Key, "hot-") {
+				res.Error = "partition frozen for handover"
+			}
+			resp.Results = append(resp.Results, res)
+		}
+		if attempts == 2 {
+			secondBody = req
+		}
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithWriteRetry(2*time.Second))
+	items := []Item{
+		{Key: "cold-0", Value: []byte("a")},
+		{Key: "hot-0", Value: []byte("b")},
+		{Key: "cold-1", Value: []byte("c")},
+		{Key: "hot-1", Value: []byte("d")},
+	}
+	res, err := cl.MPut(context.Background(), items)
+	if err != nil {
+		t.Fatalf("MPut: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("server saw %d attempts, want 2", attempts)
+	}
+	if len(secondBody.Items) != 2 || secondBody.Items[0].Key != "hot-0" || secondBody.Items[1].Key != "hot-1" {
+		t.Fatalf("retry re-sent %+v, want only the two hot keys", secondBody.Items)
+	}
+	if len(res) != len(items) {
+		t.Fatalf("got %d results, want %d", len(res), len(items))
+	}
+	for i, r := range res {
+		if !r.OK() || r.Key != items[i].Key {
+			t.Fatalf("result[%d] = %+v, want OK for %q", i, r, items[i].Key)
+		}
+	}
+}
+
+// TestWriteRetryPermanentError verifies non-transient per-key failures
+// are returned immediately, not retried.
+func TestWriteRetryPermanentError(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		json.NewEncoder(w).Encode(batchResponse{Results: []Result{
+			{Key: "k", Error: "value exceeds maximum size"},
+		}})
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithWriteRetry(2*time.Second))
+	res, err := cl.MPut(context.Background(), []Item{{Key: "k", Value: []byte("v")}})
+	if err != nil {
+		t.Fatalf("MPut: %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (permanent error must not retry)", attempts)
+	}
+	if res[0].OK() {
+		t.Fatal("permanent error reported as success")
+	}
+}
+
+// TestWriteRetryBudget verifies a persistently failing transient write
+// gives up once the budget is spent instead of retrying forever.
+func TestWriteRetryBudget(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		json.NewEncoder(w).Encode(batchResponse{Results: []Result{
+			{Key: "k", Error: "no route to partition"},
+		}})
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithWriteRetry(150*time.Millisecond))
+	start := time.Now()
+	res, err := cl.MPut(context.Background(), []Item{{Key: "k", Value: []byte("v")}})
+	if err != nil {
+		t.Fatalf("MPut: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v, want bounded by the 150ms budget", elapsed)
+	}
+	if attempts < 2 {
+		t.Fatalf("server saw %d attempts, want at least one retry", attempts)
+	}
+	if res[0].OK() {
+		t.Fatal("exhausted retry reported success")
+	}
+}
+
+// TestPutRetry verifies the single-key write path retries a frozen
+// partition until it thaws.
+func TestPutRetry(t *testing.T) {
+	var attempts int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(apiError{Error: "partition frozen for handover"})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer ts.Close()
+	cl := New(ts.URL, WithWriteRetry(5*time.Second))
+	if err := cl.Put(context.Background(), "k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("server saw %d attempts, want 3", attempts)
 	}
 }

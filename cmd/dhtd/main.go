@@ -63,6 +63,8 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "root directory for crash-durable snode storage (WAL + snapshots; empty = in-memory only)")
 		fsync      = flag.String("fsync", "batch", "WAL durability of acknowledged writes: off | batch (group-commit fsync) | always")
 		snapEvery  = flag.Duration("snapshot-interval", 30*time.Second, "background snapshot + WAL truncation interval (requires -data-dir)")
+		failPing   = flag.Duration("failover-ping", 0, "liveness detector ping interval; a crashed snode is declared dead and its partitions promoted automatically (0 = off; e.g. 500ms; requires -replicas >= 2 to be useful)")
+		failMiss   = flag.Int("failover-misses", 3, "consecutive missed pings before the liveness detector declares an snode crashed")
 		logLevel   = flag.String("log-level", "off", "structured log level: debug | info | warn | error | off")
 		traceRate  = flag.Float64("trace-sample", 0, "fraction of client operations to trace in [0, 1] (0 = off; adjustable live via PUT /v1/trace/sampling)")
 		traceBuf   = flag.Int("trace-buffer", 0, "spans retained per snode ring (0 = default 4096)")
@@ -87,7 +89,7 @@ func main() {
 	}
 	dur := dbdht.DurabilityConfig{Dir: *dataDir, Fsync: mode, SnapshotInterval: *snapEvery}
 	obs := obsOptions{Sample: *traceRate, Buffer: *traceBuf, SlowOp: *slowOp, Logger: logger}
-	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal, dur, obs); err != nil {
+	if err := run(*listen, *snodes, *vnodes, *pmin, *vmin, *replicas, *seed, *fabric, *host, *rpcTimeout, *drain, *pprofAddr, caps, bal, dur, obs, *failPing, *failMiss); err != nil {
 		fmt.Fprintf(os.Stderr, "dhtd: %v\n", err)
 		os.Exit(1)
 	}
@@ -152,7 +154,7 @@ func pprofHandler() http.Handler {
 	return mux
 }
 
-func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig, dur dbdht.DurabilityConfig, obs obsOptions) error {
+func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fabric, host string, rpcTimeout, drain time.Duration, pprofAddr string, caps []float64, bal dbdht.BalanceConfig, dur dbdht.DurabilityConfig, obs obsOptions, failPing time.Duration, failMiss int) error {
 	if snodes < 1 {
 		return fmt.Errorf("-snodes must be >= 1, got %d", snodes)
 	}
@@ -165,6 +167,7 @@ func run(listen string, snodes, vnodes, pmin, vmin, replicas int, seed int64, fa
 	opts := dbdht.ClusterOptions{
 		Pmin: pmin, Vmin: vmin, Seed: seed, RPCTimeout: rpcTimeout,
 		Replicas: replicas, Balance: bal, Durability: dur,
+		FailoverPingInterval: failPing, FailoverPingMisses: failMiss,
 		TraceSample: obs.Sample, TraceBuffer: obs.Buffer,
 		SlowOpThreshold: obs.SlowOp, Logger: obs.Logger,
 	}

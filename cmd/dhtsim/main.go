@@ -17,6 +17,7 @@
 //	dhtsim -exp skew            # live balancer under a 10× hot-spot write skew
 //	dhtsim -exp crash           # crash-and-recover: R=2 replication under a kill
 //	dhtsim -exp restart         # durability: kill -9 one snode (R=1) and replay its WAL
+//	dhtsim -exp failover        # self-healing: primary killed under sustained writes, replicas promote
 //	dhtsim -exp trace           # observability: traced MPut with latency tails and a span dump
 //	dhtsim -exp all             # everything above
 //
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 stability ratio hetero skew crash restart trace all")
+		exp    = flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 stability ratio hetero skew crash restart failover trace all")
 		runs   = flag.Int("runs", 100, "independent runs to average (paper: 100)")
 		vnodes = flag.Int("vnodes", 1024, "consecutive vnode creations per run (paper: 1024)")
 		seed   = flag.Int64("seed", 1, "base seed; run i uses seed+i")
@@ -92,10 +93,11 @@ func main() {
 	run("skew", func(o sim.Options) error { return skew(o) })
 	run("crash", func(o sim.Options) error { return crash(o) })
 	run("restart", func(o sim.Options) error { return restart(o) })
+	run("failover", func(o sim.Options) error { return failover(o) })
 	run("trace", func(o sim.Options) error { return traceDemo(o.Seed) })
 	if *exp != "all" {
 		switch *exp {
-		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "stability", "ratio", "hetero", "skew", "crash", "restart", "trace":
+		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "stability", "ratio", "hetero", "skew", "crash", "restart", "failover", "trace":
 		default:
 			fmt.Fprintf(os.Stderr, "dhtsim: unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -644,6 +646,154 @@ func restartRun(w io.Writer, seed int64, snapshotted bool) error {
 		100*float64(readable)/float64(len(acked)), wst.Replayed, wst.TornBytes)
 	if readable != len(acked) {
 		return fmt.Errorf("restart: lost %d of %d acknowledged writes", len(acked)-readable, len(acked))
+	}
+	return nil
+}
+
+// failover runs the self-healing acceptance scenario: a durable R=2
+// cluster takes a sustained stream of batched writes while one primary
+// snode is killed abruptly.  The surviving replicas must elect and
+// promote new primaries automatically — no operator RestartSnode — so
+// the write stream resumes within a bounded blackout window (< 2s) and
+// every acknowledged write stays readable.
+func failover(o sim.Options) error {
+	fmt.Printf("\n== Automatic failover: 6 snodes, 24 vnodes, R=2, fsync=batch, primary killed under sustained MPut ==\n")
+	dir, err := os.MkdirTemp("", "dbdht-failover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	c, err := dbdht.NewCluster(dbdht.ClusterOptions{
+		Pmin: 32, Vmin: 8, Seed: o.Seed, Replicas: 2,
+		RPCTimeout:          5 * time.Second,
+		AntiEntropyInterval: 25 * time.Millisecond,
+		Durability: dbdht.DurabilityConfig{
+			Dir: dir, Fsync: dbdht.FsyncBatch, SnapshotInterval: -1,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	for i := 0; i < 6; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			return err
+		}
+	}
+	ids := c.Snodes()
+	for i := 0; i < 24; i++ {
+		if _, _, err := c.CreateVnode(ids[i%len(ids)]); err != nil {
+			return err
+		}
+	}
+
+	const batch = 256
+	var acked []string
+	seq := 0
+	// writeBatch streams one batch of fresh keys; okAll reports whether
+	// every key in the batch was acknowledged.  A whole-call error is
+	// returned so the caller can decide whether it is fatal (before the
+	// kill) or part of the blackout (after it).
+	writeBatch := func() (okAll bool, err error) {
+		items := make([]dbdht.KV, batch)
+		for i := range items {
+			k := fmt.Sprintf("failover-key-%06d", seq)
+			seq++
+			items[i] = dbdht.KV{Key: k, Value: []byte("val-" + k)}
+		}
+		res, err := c.MPut(items)
+		if err != nil {
+			return false, err
+		}
+		okAll = true
+		for _, r := range res {
+			if r.OK() {
+				acked = append(acked, r.Key)
+			} else {
+				okAll = false
+			}
+		}
+		return okAll, nil
+	}
+
+	// Warm-up: the stream must be fully healthy before the kill.
+	for i := 0; i < 10; i++ {
+		ok, err := writeBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("failover: warm-up batch had failures before the kill")
+		}
+	}
+
+	victim := ids[1]
+	killAt := time.Now()
+	if err := c.KillSnode(victim); err != nil {
+		return err
+	}
+	// Keep writing through the blackout; it ends at the first of 5
+	// consecutive fully-acknowledged batches (a single clean batch can
+	// slip between two partitions' promotions, so one success is not
+	// proof of health).  256 keys spread over the hash space make a batch
+	// that misses every partition of the dead snode (~1/6 of the space)
+	// vanishingly unlikely, so sustained full acks mean the promoted
+	// replicas are serving writes.
+	blackout := time.Duration(-1)
+	deadline := time.Now().Add(10 * time.Second)
+	var firstOK time.Time
+	streak := 0
+	for time.Now().Before(deadline) {
+		ok, err := writeBatch()
+		if err != nil || !ok {
+			streak = 0 // whole-call failure is part of the blackout
+			continue
+		}
+		if streak == 0 {
+			firstOK = time.Now()
+		}
+		streak++
+		if streak == 5 {
+			blackout = firstOK.Sub(killAt)
+			break
+		}
+	}
+	if blackout < 0 {
+		return fmt.Errorf("failover: writes did not resume within 10s of the kill")
+	}
+
+	// Zero acknowledged-write loss: every acked key must read back.
+	lost := 0
+	for off := 0; off < len(acked); off += 4096 {
+		end := off + 4096
+		if end > len(acked) {
+			end = len(acked)
+		}
+		res, err := c.MGet(acked[off:end])
+		if err != nil {
+			return err
+		}
+		for _, r := range res {
+			if !r.OK() || !r.Found {
+				lost++
+			}
+		}
+	}
+
+	st := c.StatsTotal()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "acked keys\tblackout [ms]\telections\tpromotions\tfailover reads\tlost acked keys")
+	fmt.Fprintf(w, "%d\t%.0f\t%d\t%d\t%d\t%d\n", len(acked),
+		float64(blackout.Microseconds())/1000, st.Elections, st.Promotions, st.FailoverReads, lost)
+	w.Flush()
+	if lost > 0 {
+		return fmt.Errorf("failover: lost %d of %d acknowledged writes", lost, len(acked))
+	}
+	if st.Promotions == 0 {
+		return fmt.Errorf("failover: no replica was promoted — the kill did not exercise failover")
+	}
+	if blackout > 2*time.Second {
+		return fmt.Errorf("failover: write blackout %v exceeds the 2s acceptance window", blackout)
 	}
 	return nil
 }

@@ -139,6 +139,15 @@ type ClusterOptions struct {
 	// AntiEntropyInterval paces the background replica repair pass
 	// (default 1s; only runs when Replicas > 1).
 	AntiEntropyInterval time.Duration
+	// FailoverPingInterval paces the liveness detector: every interval
+	// each snode is pinged, and one missing FailoverPingMisses
+	// consecutive rounds is declared crashed, triggering automatic
+	// replica promotion (default 0 = detector off; crashes must then be
+	// reported via KillSnode).
+	FailoverPingInterval time.Duration
+	// FailoverPingMisses is how many consecutive missed pings declare an
+	// snode dead (default 3).
+	FailoverPingMisses int
 	// Balance configures the autonomous load-aware balancer.  Zero value:
 	// the background loop is off; Cluster.BalanceNow still runs rounds on
 	// demand.
@@ -185,6 +194,7 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
+		FailoverPingInterval: o.FailoverPingInterval, FailoverPingMisses: o.FailoverPingMisses,
 		Balance: o.Balance, LoadInterval: o.LoadInterval,
 		Durability:  o.Durability,
 		TraceSample: o.TraceSample, TraceBufferSize: o.TraceBuffer,
@@ -198,6 +208,7 @@ func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
+		FailoverPingInterval: o.FailoverPingInterval, FailoverPingMisses: o.FailoverPingMisses,
 		Balance: o.Balance, LoadInterval: o.LoadInterval,
 		Durability:  o.Durability,
 		TraceSample: o.TraceSample, TraceBufferSize: o.TraceBuffer,

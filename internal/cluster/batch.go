@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
 	"dbdht/internal/hashspace"
 )
 
@@ -83,6 +84,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 	var (
 		replWrites map[hashspace.Partition][]batchItem
 		replDests  map[hashspace.Partition][]transport.NodeID
+		replMeta   map[hashspace.Partition]replFanMeta
 	)
 	var localWrites []int // indices applied locally and pending replica acks
 	var (
@@ -97,6 +99,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 		replDests = make(map[hashspace.Partition][]transport.NodeID)
 		if replicate {
 			replWrites = make(map[hashspace.Partition][]batchItem)
+			replMeta = make(map[hashspace.Partition]replFanMeta)
 		}
 	}
 
@@ -111,6 +114,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 	type bucketWork struct {
 		owner ownerRef
 		p     hashspace.Partition
+		group core.GroupID
 		reps  []transport.NodeID
 		idxs  []int
 	}
@@ -152,7 +156,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 							replDests[p] = reps
 						}
 					}
-					w = &bucketWork{owner: ownerRef{Vnode: ref.vs.name, Host: s.id}, p: p, reps: reps}
+					w = &bucketWork{owner: ownerRef{Vnode: ref.vs.name, Host: s.id}, p: p, group: ref.vs.group, reps: reps}
 					work[bk] = w
 				}
 				w.idxs = append(w.idxs, i)
@@ -179,6 +183,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 		// bucket per batch) and acknowledged only once durable.
 		var again []int
 		for bk, w := range work {
+			var verAfter uint64 // bucket write version after this apply
 			if m.Kind == opGet {
 				bk.mu.RLock()
 				if bk.state == bucketDead {
@@ -253,6 +258,11 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 					}
 					durWrites = append(durWrites, w.idxs...)
 				}
+				// Bump the bucket's write version under the same lock that
+				// applied the writes: the replica fan-out below carries it, so
+				// replicas rank freshness during a failover election.
+				bk.ver++
+				verAfter = bk.ver
 				bk.mu.Unlock()
 				bk.noteWrites(int64(len(w.idxs)), wroteBytes)
 			}
@@ -261,6 +271,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 				for _, i := range w.idxs {
 					replWrites[w.p] = append(replWrites[w.p], m.Items[i])
 				}
+				replMeta[w.p] = replFanMeta{ver: verAfter, group: w.group}
 				localWrites = append(localWrites, w.idxs...)
 			}
 			served = append(served, routeEntry{Partition: w.p, Ref: w.owner, Replicas: w.reps})
@@ -301,7 +312,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 			defer wg.Done()
 			rsp := beginSpan(sp.ctx, "batch.repl-ack")
 			t0 := time.Now()
-			err := s.replicate(m.Kind, replWrites, replDests, rsp.ctx)
+			err := s.replicate(m.Kind, replWrites, replDests, replMeta, rsp.ctx)
 			s.lat.replAck.ObserveSince(t0)
 			outcome := ""
 			if err != nil {
@@ -465,10 +476,16 @@ func (c *Cluster) MDelete(keys []string) ([]BatchResult, error) {
 // partition's replica hosts for read failover.  dead marks a route whose
 // primary crashed but whose replicas survive: reads aim straight at a
 // replica (no doomed RPC to the dead primary first), writes re-resolve.
+// keep marks a route whose replica list was emptied by a crash purge while
+// its primary stayed live: invalidateStaleRoutes treats it like a
+// replica-backed route (retained on transient RPC failure), because a
+// crash can orphan custody chains and leave this cached pointer as the
+// only path to a perfectly healthy partition.
 type route struct {
 	ref      ownerRef
 	replicas []transport.NodeID
 	dead     bool
+	keep     bool
 }
 
 // learnRoutes folds served-partition info from batch responses into the
@@ -495,22 +512,23 @@ func (c *Cluster) learnRoutes(entries []routeEntry) {
 // Crash: a route whose primary died but whose replicas survive is kept
 // and marked dead, so the very next read goes straight to a replica
 // instead of burning a failed RPC; a victim route that knows no replicas
-// is dropped (nothing can serve it).  Replica-set entries at OTHER
-// routes are deliberately NOT stripped: a crash can orphan custody
-// chains, leaving cached routes as the only path to perfectly healthy
-// partitions, and invalidateStaleRoutes uses a non-empty replica list as
-// its keep signal when a live primary merely times out under the
-// post-crash congestion — blanking those lists would let one transient
-// timeout evict the irreplaceable route.
+// is dropped (nothing can serve it).  The dead host is also stripped from
+// the replica list of every OTHER route — a failover read must never aim
+// at the crashed replica.  When that strip empties a previously non-empty
+// list the route is marked keep instead of losing its retention signal:
+// a crash can orphan custody chains, leaving cached routes as the only
+// path to perfectly healthy partitions, and invalidateStaleRoutes must
+// not let one transient post-crash timeout evict the irreplaceable route.
 func (c *Cluster) purgeRoutesTo(host transport.NodeID, crashed bool) {
 	c.routeMu.Lock()
 	defer c.routeMu.Unlock()
 	for p, rt := range c.routes {
-		if !crashed {
-			if n := stripHost(rt.replicas, host); len(n) != len(rt.replicas) {
-				rt.replicas = n
-				c.routes[p] = rt
+		if n := stripHost(rt.replicas, host); len(n) != len(rt.replicas) {
+			if crashed && len(n) == 0 {
+				rt.keep = true
 			}
+			rt.replicas = n
+			c.routes[p] = rt
 		}
 		if rt.ref.Host != host {
 			continue
@@ -550,11 +568,12 @@ func stripHost(reps []transport.NodeID, host transport.NodeID) []transport.NodeI
 // invalidateStaleRoutes handles a host that stopped answering mid-batch:
 // routes aimed at it with no surviving replica are dropped (stale — the
 // retry re-resolves them via the normal lookup path), while routes that
-// know replica hosts are kept, so every later read of a dead primary's
-// partition keeps failing over instead of dead-ending in the custody
-// chain.  Kept routes are deliberately NOT marked dead here: an RPC
-// failure may be transient congestion at a live host (e.g. it is stuck
-// forwarding into a crash), and only an authoritative departure
+// know replica hosts — or carry the keep mark from a crash purge that
+// emptied their list — are retained, so every later read of a dead
+// primary's partition keeps failing over instead of dead-ending in the
+// custody chain.  Kept routes are deliberately NOT marked dead here: an
+// RPC failure may be transient congestion at a live host (e.g. it is
+// stuck forwarding into a crash), and only an authoritative departure
 // (purgeRoutesTo, from RemoveSnode/KillSnode) may divert its traffic
 // permanently.
 func (c *Cluster) invalidateStaleRoutes(host transport.NodeID) {
@@ -564,7 +583,7 @@ func (c *Cluster) invalidateStaleRoutes(host transport.NodeID) {
 		if rt.ref.Host != host {
 			continue
 		}
-		keep := false
+		keep := rt.keep
 		for _, rep := range rt.replicas {
 			if rep != host {
 				keep = true

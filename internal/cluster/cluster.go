@@ -54,6 +54,10 @@ type Cluster struct {
 	// graceful departure leaves none behind).
 	subFails atomic.Int64
 
+	// failoverDetects counts snodes the liveness detector (failoverLoop)
+	// declared crashed after missing consecutive pings.
+	failoverDetects atomic.Int64
+
 	// Owner-route cache learned from batch responses: batches aim straight
 	// at believed owners instead of random entry snodes.
 	routeMu   sync.Mutex
@@ -99,6 +103,8 @@ func (a *StatsSnapshot) fold(b StatsSnapshot) {
 	a.ChunksSent += b.ChunksSent
 	a.MigAborts += b.MigAborts
 	a.FreezeTimeouts += b.FreezeTimeouts
+	a.Elections += b.Elections
+	a.Promotions += b.Promotions
 }
 
 // New starts an empty cluster over the given fabric (use transport.NewMem()
@@ -133,6 +139,9 @@ func New(cfg Config, net transport.Network) (*Cluster, error) {
 	if cfg.Balance.Interval > 0 {
 		go c.balancerLoop()
 	}
+	if cfg.FailoverPingInterval > 0 {
+		go c.failoverLoop()
+	}
 	return c, nil
 }
 
@@ -142,6 +151,13 @@ func (c *Cluster) loop(inbox <-chan transport.Envelope) {
 	for env := range inbox {
 		var op uint64
 		switch m := env.Msg.(type) {
+		case snodeRecoveredMsg:
+			// A promoted (failover.go) or restarted primary re-announced
+			// custody of its partitions: fold the fresh owner pointers into
+			// the route cache so the next batch aims straight at the new
+			// primary instead of a route the crash left dead.
+			c.learnRoutes(m.Routes)
+			continue
 		case createVnodeResp:
 			op = m.Op
 		case leaveVnodeResp:
@@ -482,11 +498,12 @@ func (c *Cluster) RemoveSnode(id transport.NodeID) error {
 // KillSnode stops an snode abruptly — no graceful leave, no partition
 // migration — simulating a crash.  Its vnodes' partitions lose their
 // primary: with replication on (R ≥ 2) their data stays readable from the
-// replicas (failover reads) while writes to them fail fast; with R = 1
-// the data is lost, exactly the failure the paper's model excludes (§5).
-// Survivors drop their routing pointers at the dead snode and learn the
-// shrunken membership view, so anti-entropy re-homes the replica sets
-// that included it.
+// replicas (failover reads) while the surviving replica set elects and
+// promotes a new primary (failover.go), after which writes resume without
+// operator action; with R = 1 the data is lost, exactly the failure the
+// paper's model excludes (§5).  Survivors drop their routing pointers at
+// the dead snode and learn the shrunken membership view, so anti-entropy
+// re-homes the replica sets that included it.
 func (c *Cluster) KillSnode(id transport.NodeID) error {
 	c.mu.Lock()
 	s, ok := c.snodes[id]
@@ -524,7 +541,9 @@ func (c *Cluster) KillSnode(id transport.NodeID) error {
 	c.broadcastView() // before any fallible step: placement must stop using the dead snode
 	// A crash bequeaths nothing: survivors just drop pointers at the dead
 	// snode (stale chains through it would only hit fast send errors).
-	dead := snodeLeavingMsg{Leaving: id}
+	// Crashed starts the failover election at every survivor backing one
+	// of the victim's partitions as a replica.
+	dead := snodeLeavingMsg{Leaving: id, Crashed: true}
 	for _, sid := range survivors {
 		_ = c.net.Send(transport.Envelope{From: clientID, To: sid, Msg: dead})
 	}
@@ -605,6 +624,45 @@ func (c *Cluster) RestartSnode(id transport.NodeID) error {
 	}
 	c.routeMu.Unlock()
 	return nil
+}
+
+// failoverLoop is the handle's liveness detector: every
+// FailoverPingInterval it pings each snode, and one that misses
+// FailoverPingMisses consecutive rounds is declared crashed via KillSnode
+// — which fences it out of the view and starts the replica-set failover
+// election, so a wedged or silently dead snode loses its partitions to
+// promoted replicas without operator action.
+func (c *Cluster) failoverLoop() {
+	misses := make(map[transport.NodeID]int)
+	t := time.NewTicker(c.cfg.FailoverPingInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+		}
+		for _, id := range c.Snodes() {
+			_, err := c.rpc(id, func(op uint64) any {
+				return pingReq{Op: op, ReplyTo: clientID}
+			})
+			if err == nil {
+				delete(misses, id)
+				continue
+			}
+			misses[id]++
+			if misses[id] < c.cfg.FailoverPingMisses {
+				continue
+			}
+			delete(misses, id)
+			c.failoverDetects.Add(1)
+			c.log.Warn("liveness detector declaring snode crashed",
+				"snode", id, "misses", c.cfg.FailoverPingMisses)
+			if err := c.KillSnode(id); err != nil {
+				c.log.Warn("liveness detector kill failed", "snode", id, "err", err)
+			}
+		}
+	}
 }
 
 // reseedBootstrap points every snode's fallback route at a live vnode after
@@ -843,5 +901,6 @@ func (c *Cluster) StatsTotal() StatsSnapshot {
 	for _, s := range snodes {
 		tot.fold(s.stats.snapshot())
 	}
+	tot.FailoverDetects = c.failoverDetects.Load()
 	return tot
 }

@@ -45,13 +45,16 @@ import (
 // bucket serialized late in the pass — already containing post-cut
 // writes — absorb their replay harmlessly.
 //
-// Documented limitation: a sender crashing in the narrow window after a
-// migration commit was acknowledged by the receiver but before the
-// sender's bucket-drop record became durable will resurrect its copy of
-// the partition at recovery, leaving two claimants until the custody
-// chain is repaired by hand; replicated clusters (R ≥ 2) detect the
-// divergence via anti-entropy.  True two-phase handover journaling is
-// future work (see ROADMAP).
+// Migration handovers are journaled in two phases (migrate.go): the
+// sender makes a walTagMigIntent record durable before the receiver may
+// commit, and the bucket-drop (or abort-resolution) record closes it.  A
+// sender crashing anywhere in between — including the once-documented
+// window after the receiver committed but before the drop became durable
+// — replays the partition FROZEN and in-doubt; the resolveIntents
+// goroutine probes the receiver and either finalizes the drop (receiver
+// owns the region) or reverts to live (receiver provably never
+// committed), so a crash can no longer resurrect a stale copy of a
+// partition that lives elsewhere.
 
 // DurabilityConfig parameterizes the per-snode durability layer.  The
 // zero value disables it (no I/O on any path).
@@ -167,6 +170,19 @@ func (s *Snode) openDurability() error {
 		return err
 	}
 	s.dur = &durable{log: log, snapRoot: snapRoot, interval: dc.SnapshotInterval, lastCut: cut}
+	// Freeze every in-doubt partition before the snode starts serving:
+	// whether the crashed handover's receiver committed is unknown, so
+	// reads may serve (both copies agree — the bucket froze before the
+	// final delta shipped) but writes must wait for resolveIntents'
+	// verdict.  An intent for a partition no longer owned (its drop
+	// record followed in the log) is stale bookkeeping and is pruned.
+	for p := range s.inDoubt {
+		if ref, ok := s.owned[p]; ok {
+			ref.bk.state = bucketFrozen // pre-start: snode owned exclusively
+		} else {
+			delete(s.inDoubt, p)
+		}
+	}
 	// Reinstall leadership for the groups this snode led: the recovered
 	// LPDR states carry the leader, and installLeaderLocked rebuilds the
 	// balance table from the members (no lock needed pre-start).
@@ -242,6 +258,9 @@ func (s *Snode) loadSnapshot(dir string) error {
 	}
 	for _, p := range meta.Rprov {
 		s.rprov[p] = true
+	}
+	for _, in := range meta.Intents {
+		s.inDoubt[in.Partition] = &migIntent{vnode: in.Vnode, newOwner: in.NewOwner}
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
@@ -371,13 +390,31 @@ func (s *Snode) applyWalRecord(seq uint64, payload []byte) error {
 			}
 		}
 		s.setTombLocked(rec.Partition, rec.NewOwner)
+		delete(s.inDoubt, rec.Partition) // the drop resolves any open intent
+		return nil
+	case walTagMigIntent:
+		rec := decodeWalBucketDrop(r) // same payload layout as tag 38
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		s.inDoubt[rec.Partition] = &migIntent{vnode: rec.Vnode, newOwner: rec.NewOwner}
+		return nil
+	case walTagMigIntentResolved:
+		p := readPartition(r)
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
+		}
+		delete(s.inDoubt, p)
 		return nil
 	case walTagReplSync:
 		rec := decodeWalReplSync(r)
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("cluster: wal record %d: %w", seq, err)
 		}
-		s.dropReplicaWithinLocked(rec.Partition)
+		// Mirror handleReplSync: replace only this exact bucket, sparing
+		// strictly deeper ones (they can only exist if the sync's sender
+		// was stale geometry).
+		s.delReplicaBucketLocked(rec.Partition)
 		s.setReplicaBucketLocked(rec.Partition, rec.Data)
 		delete(s.rprov, rec.Partition)
 		return nil
@@ -522,6 +559,13 @@ func (s *Snode) trySnapshot() (ok bool, err error) {
 	}
 	for p := range s.rprov {
 		meta.Rprov = append(meta.Rprov, p)
+	}
+	for p, in := range s.inDoubt {
+		// An open intent must survive the truncation of its (pre-cut)
+		// journal record, or a crash before its resolution would replay
+		// without it — reopening the stale-copy window the intent exists
+		// to close.
+		meta.Intents = append(meta.Intents, walBucketDropRec{Vnode: in.vnode, Partition: p, NewOwner: in.newOwner})
 	}
 	for p := range s.rparts {
 		rparts = append(rparts, p)

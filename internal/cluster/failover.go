@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"dbdht/internal/cluster/transport"
+	"dbdht/internal/hashspace"
+)
+
+// Automatic primary failover.  When an snode crashes (KillSnode, or the
+// cluster handle's liveness detector declaring it dead), every partition
+// it was primary for still has R−1 replica buckets on survivors — but
+// until this file, those buckets only served failover *reads* and an
+// operator had to re-home the partition by hand before writes resumed.
+//
+// The protocol, run independently per dead primary:
+//
+//  1. Scan.  Each survivor receives snodeLeavingMsg{Crashed: true} and
+//     scans its replica metadata (rmeta) for partitions whose primary
+//     was the dead snode.
+//  2. Coordinate.  For each such partition the pre-crash replica set is
+//     recomputed from the placement function (the view plus the dead
+//     snode); the lowest-id live member of that set is the coordinator.
+//     Every survivor derives the same coordinator without messages, so
+//     exactly one election runs per partition.
+//  3. Elect.  The coordinator queries each live replica host
+//     (promoteQueryReq) for its copy's write version and provisional
+//     flag.  The winner is the most-caught-up copy: authoritative
+//     (full-synced) beats provisional, then the highest version wins,
+//     ties broken by the lower node id.  A restarted replica re-joins
+//     with version 0 and so never outranks one that stayed up.
+//  4. Promote.  The winner (ordered via promoteOrderReq, or locally if
+//     the coordinator won) installs the replica bucket as a primary
+//     bucket on a joined vnode of the partition's group — allocating a
+//     fresh joined vnode if it hosts none — journals the install like a
+//     migration commit, re-announces custody to every survivor and the
+//     cluster handle exactly like RestartSnode does, and re-homes fresh
+//     replicas for the partition.  Writes resume with no operator action.
+//
+// The election is best-effort by design: with R=2 there is one replica,
+// so the "election" degenerates to promoting it; a partition whose every
+// replica host also died is orphaned (reads and writes fail fast) until
+// an operator restarts one of the snodes from its journal.  Promotion is
+// idempotent — a duplicate order finds the partition already owned and
+// succeeds without side effects.
+
+// promoteQueryReq asks a replica host for its copy's election credentials
+// for one partition of a dead primary.
+type promoteQueryReq struct {
+	Op        uint64
+	Partition hashspace.Partition
+	Dead      transport.NodeID
+	ReplyTo   transport.NodeID
+}
+
+type promoteQueryResp struct {
+	Op   uint64
+	Has  bool   // this host backs the partition and its metadata names Dead as primary
+	Prov bool   // the copy is provisional (write-created, never full-synced)
+	Ver  uint64 // highest primary write version folded into the copy
+}
+
+// promoteOrderReq tells the election winner to promote its replica bucket
+// to primary.
+type promoteOrderReq struct {
+	Op        uint64
+	Partition hashspace.Partition
+	Dead      transport.NodeID
+	ReplyTo   transport.NodeID
+}
+
+type promoteOrderResp struct {
+	Op  uint64
+	Err string
+}
+
+// overlapQueryReq asks whether the receiver knows — as owner, replica
+// holder, replica metadata or custody tomb — any partition strictly
+// deeper than Partition that overlaps it.  Partition geometry only ever
+// deepens (splits refine, migrations preserve level), so one positive
+// answer proves Partition is stale geometry and must not be promoted:
+// its region was since refined, and the stale replica bucket backing it
+// is bounded garbage, not the current copy.
+type overlapQueryReq struct {
+	Op        uint64
+	Partition hashspace.Partition
+	ReplyTo   transport.NodeID
+}
+
+type overlapQueryResp struct {
+	Op     uint64
+	Deeper bool
+}
+
+func init() {
+	for _, m := range []any{
+		promoteQueryReq{}, promoteQueryResp{},
+		promoteOrderReq{}, promoteOrderResp{},
+		overlapQueryReq{}, overlapQueryResp{},
+	} {
+		gob.Register(m)
+	}
+}
+
+// failoverScan runs on every survivor after a crash notice: find the
+// partitions this snode backs whose primary died, and for those where
+// this snode is the deterministic coordinator, run the election.
+func (s *Snode) failoverScan(dead transport.NodeID) {
+	s.mu.Lock()
+	view := append([]transport.NodeID(nil), s.view...)
+	live := make(map[transport.NodeID]bool, len(view))
+	for _, id := range view {
+		live[id] = true
+	}
+	// The placement the dead primary replicated with was computed over a
+	// view that still contained it.
+	preCrash := make([]transport.NodeID, 0, len(s.view)+1)
+	preCrash = append(preCrash, s.view...)
+	if !live[dead] {
+		preCrash = append(preCrash, dead)
+	}
+	sort.Slice(preCrash, func(i, j int) bool { return preCrash[i] < preCrash[j] })
+	var targets []hashspace.Partition
+	for p, m := range s.rmeta {
+		if m.prim == dead {
+			targets = append(targets, p)
+		}
+	}
+	r := s.cfg.Replicas
+	s.mu.Unlock()
+
+	// Elections for distinct partitions are independent — only the
+	// coordinator-per-partition rule must hold, and that is decided
+	// locally.  Run them concurrently: each election is a chain of small
+	// RPCs (overlap probes, vote queries, the promotion order), so a
+	// crashed primary with hundreds of partitions would otherwise pay the
+	// whole chain's latency per partition and stretch the write blackout
+	// by seconds.  Bounded, so a large custody set cannot stampede the
+	// survivors with hundreds of simultaneous probe fan-outs.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, failoverElectionWorkers)
+	for _, p := range targets {
+		select {
+		case <-s.stopCh:
+			wg.Wait()
+			return
+		default:
+		}
+		cands := replicaHostsFor(p, dead, preCrash, r)
+		coord := transport.NodeID(-1)
+		for _, id := range cands {
+			if live[id] && (coord < 0 || id < coord) {
+				coord = id
+			}
+		}
+		if coord != s.id {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p hashspace.Partition) {
+			defer func() { <-sem; wg.Done() }()
+			if s.staleGeometry(p, view) {
+				// A leftover replica of a refined partition: the deeper
+				// descendants hold the current copies and run their own
+				// elections; promoting the ancestor would shadow them with
+				// an empty bucket.
+				s.mu.Lock()
+				s.delReplicaBucketLocked(p)
+				s.mu.Unlock()
+				return
+			}
+			s.electAndPromote(p, dead, cands, live)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// failoverElectionWorkers bounds how many partition elections one
+// coordinator runs concurrently after a crash notice.
+const failoverElectionWorkers = 8
+
+// deeperOverlapLocked reports whether this snode knows any partition
+// strictly deeper than p overlapping p — as a primary bucket, a replica
+// bucket, replica metadata or a custody tomb.  Caller holds s.mu.
+func (s *Snode) deeperOverlapLocked(p hashspace.Partition) bool {
+	for q := range s.owned {
+		if q.Level > p.Level && overlapping(q, p) {
+			return true
+		}
+	}
+	for q := range s.rparts {
+		if q.Level > p.Level && overlapping(q, p) {
+			return true
+		}
+	}
+	for q := range s.rmeta {
+		if q.Level > p.Level && overlapping(q, p) {
+			return true
+		}
+	}
+	for q := range s.tombs {
+		if q.Level > p.Level && overlapping(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// handleOverlapQuery answers a stale-geometry probe.  Fast (no nested
+// RPCs) — runs inline in the actor loop.
+func (s *Snode) handleOverlapQuery(m overlapQueryReq) {
+	s.mu.Lock()
+	deeper := s.deeperOverlapLocked(m.Partition)
+	s.mu.Unlock()
+	s.send(m.ReplyTo, overlapQueryResp{Op: m.Op, Deeper: deeper})
+}
+
+// staleGeometry asks every live view member whether it knows a partition
+// strictly deeper than p overlapping it.  Replica buckets survive splits
+// as bounded garbage at their old hosts, so a dead primary's rmeta may
+// name partitions the geometry has since refined; promoting one would
+// install an empty ancestor that shadows live deeper partitions.  Levels
+// only grow, so one positive answer anywhere is proof of staleness; an
+// unreachable member is skipped (the check is best-effort, like the
+// election it guards).
+func (s *Snode) staleGeometry(p hashspace.Partition, view []transport.NodeID) bool {
+	s.mu.Lock()
+	local := s.deeperOverlapLocked(p)
+	s.mu.Unlock()
+	if local {
+		return true
+	}
+	for _, id := range view {
+		if id == s.id {
+			continue
+		}
+		v, err := s.rpc(id, func(op uint64) any {
+			return overlapQueryReq{Op: op, Partition: p, ReplyTo: s.id}
+		})
+		if err != nil {
+			continue
+		}
+		if v.(overlapQueryResp).Deeper {
+			return true
+		}
+	}
+	return false
+}
+
+// electAndPromote runs one partition's failover election as coordinator
+// and dispatches the promotion order to the winner.
+func (s *Snode) electAndPromote(p hashspace.Partition, dead transport.NodeID, cands []transport.NodeID, live map[transport.NodeID]bool) {
+	s.stats.Elections.Add(1)
+	type vote struct {
+		id   transport.NodeID
+		prov bool
+		ver  uint64
+	}
+	var votes []vote
+	for _, id := range cands {
+		if !live[id] {
+			continue
+		}
+		if id == s.id {
+			s.mu.Lock()
+			m := s.rmeta[p]
+			_, has := s.rparts[p]
+			prov := s.rprov[p]
+			s.mu.Unlock()
+			if has && m != nil && m.prim == dead {
+				votes = append(votes, vote{id: id, prov: prov, ver: m.ver})
+			}
+			continue
+		}
+		v, err := s.rpc(id, func(op uint64) any {
+			return promoteQueryReq{Op: op, Partition: p, Dead: dead, ReplyTo: s.id}
+		})
+		if err != nil {
+			continue // unreachable elector: proceed with the quorum we have
+		}
+		resp := v.(promoteQueryResp)
+		if resp.Has {
+			votes = append(votes, vote{id: id, prov: resp.Prov, ver: resp.Ver})
+		}
+	}
+	if len(votes) == 0 {
+		s.log.Warn("failover: no promotable replica", "partition", p.String(), "dead", int(dead))
+		return
+	}
+	// Authoritative beats provisional, then highest version, then lowest id.
+	win := votes[0]
+	for _, v := range votes[1:] {
+		switch {
+		case win.prov != v.prov:
+			if win.prov {
+				win = v
+			}
+		case v.ver != win.ver:
+			if v.ver > win.ver {
+				win = v
+			}
+		case v.id < win.id:
+			win = v
+		}
+	}
+	if win.id == s.id {
+		if err := s.promotePartition(p, dead); err != nil {
+			s.log.Warn("failover: local promotion failed", "partition", p.String(), "err", err)
+		}
+		return
+	}
+	v, err := s.rpc(win.id, func(op uint64) any {
+		return promoteOrderReq{Op: op, Partition: p, Dead: dead, ReplyTo: s.id}
+	})
+	if err != nil {
+		s.log.Warn("failover: promotion order failed", "partition", p.String(), "winner", int(win.id), "err", err)
+		return
+	}
+	if resp := v.(promoteOrderResp); resp.Err != "" {
+		s.log.Warn("failover: promotion refused", "partition", p.String(), "winner", int(win.id), "err", resp.Err)
+	}
+}
+
+// handlePromoteQuery answers an election query from the replica store.
+// Fast (no nested RPCs) — runs inline in the actor loop.
+func (s *Snode) handlePromoteQuery(m promoteQueryReq) {
+	s.mu.Lock()
+	meta := s.rmeta[m.Partition]
+	_, has := s.rparts[m.Partition]
+	prov := s.rprov[m.Partition]
+	s.mu.Unlock()
+	resp := promoteQueryResp{Op: m.Op}
+	if has && meta != nil && meta.prim == m.Dead {
+		resp.Has, resp.Prov, resp.Ver = true, prov, meta.ver
+	}
+	s.send(m.ReplyTo, resp)
+}
+
+// handlePromoteOrder executes a promotion order from the coordinator.
+// Runs in its own goroutine: promotion journals durably and re-homes
+// replicas over the fabric.
+func (s *Snode) handlePromoteOrder(m promoteOrderReq) {
+	resp := promoteOrderResp{Op: m.Op}
+	if err := s.promotePartition(m.Partition, m.Dead); err != nil {
+		resp.Err = err.Error()
+	}
+	s.send(m.ReplyTo, resp)
+}
+
+// promotePartition installs this snode's replica bucket for p as the
+// partition's new primary bucket.  Idempotent: promoting a partition this
+// snode already owns (any deeper split of it included) is a no-op.
+func (s *Snode) promotePartition(p hashspace.Partition, dead transport.NodeID) error {
+	s.mu.Lock()
+	if _, _, owned := s.ownedForLocked(p.Start()); owned {
+		s.mu.Unlock()
+		return nil // duplicate order, or custody already moved here
+	}
+	data, has := s.rparts[p]
+	meta := s.rmeta[p]
+	if !has || meta == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: snode %d holds no promotable replica of %s", s.id, p.String())
+	}
+	if meta.prim != dead {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: snode %d replica of %s names primary %d, not %d", s.id, p.String(), meta.prim, dead)
+	}
+	// Host the partition on a joined vnode of its group, allocating a
+	// fresh one (journaled, so a restart replays the allocation) when
+	// none lives here.
+	var vs *vnodeState
+	for _, v := range s.vnodes {
+		if v.joined && v.group == meta.group && v.level == p.Level {
+			vs = v
+			break
+		}
+	}
+	if vs == nil {
+		name := VnodeName{Snode: s.id, Local: s.nextLocal}
+		s.nextLocal++
+		vs = &vnodeState{
+			name: name, group: meta.group, level: p.Level, joined: true,
+			parts: make(map[hashspace.Partition]*bucket),
+		}
+		s.vnodes[name] = vs
+		s.durAppendWith(func(b []byte) []byte {
+			return encodeWalVnode(b, walVnodeRec{Name: name, Group: meta.group, Level: p.Level, Joined: true})
+		})
+	}
+	ver := meta.ver
+	// Journal the install first — exactly like a migration commit — and
+	// only then flip the in-memory state, so a crash mid-promotion
+	// replays to the same outcome.
+	seq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalMigInstall(b, walMigInstallRec{
+			To: vs.name, Group: meta.group, Level: p.Level, Partition: p, Data: data,
+		})
+	})
+	name := vs.name
+	s.mu.Unlock()
+	if s.dur != nil && !s.durFastAck() && !s.durWaitSeq(seq) {
+		return fmt.Errorf("cluster: snode %d stopping: promotion not durable", s.id)
+	}
+	s.mu.Lock()
+	vs2, still := s.vnodes[name]
+	if !still {
+		s.mu.Unlock()
+		return fmt.Errorf("cluster: snode %d: vnode %v vanished during promotion", s.id, name)
+	}
+	if _, _, owned := s.ownedForLocked(p.Start()); owned {
+		s.mu.Unlock()
+		return nil
+	}
+	s.installBucketLocked(vs2, meta.group, p.Level, p, data)
+	if bk, ok := vs2.parts[p]; ok {
+		bk.mu.Lock()
+		bk.ver = ver // keep the version climbing across the handover
+		bk.mu.Unlock()
+	}
+	route := routeEntry{
+		Partition: p,
+		Ref:       ownerRef{Vnode: name, Host: s.id},
+		Replicas:  s.replicaHostsLocked(p),
+	}
+	view := append([]transport.NodeID(nil), s.view...)
+	s.mu.Unlock()
+	s.stats.Promotions.Add(1)
+	s.log.Info("failover: promoted to primary", "partition", p.String(), "dead", int(dead), "ver", ver)
+	// Re-announce custody exactly like a restart does: survivors adopt
+	// pointers to the new primary, and the cluster handle repairs its
+	// client routes.
+	ann := snodeRecoveredMsg{Recovered: s.id, Routes: []routeEntry{route}}
+	for _, id := range view {
+		if id != s.id {
+			s.send(id, ann)
+		}
+	}
+	s.send(clientID, ann)
+	s.rehomeReplicas(p)
+	return nil
+}

@@ -194,13 +194,17 @@ type routeEntry struct {
 	Replicas  []transport.NodeID
 }
 
-// snodeLeavingMsg announces a graceful snode departure.  Survivors drop
-// every forwarding pointer aimed at the leaver and adopt the leaver's own
+// snodeLeavingMsg announces an snode departure.  Survivors drop every
+// forwarding pointer aimed at the leaver and adopt the leaver's own
 // custody table, so every routing chain that used to pass through the
-// leaver now skips it.
+// leaver now skips it.  Crashed marks an abrupt death (KillSnode or the
+// liveness detector) rather than a graceful leave: the data died with the
+// snode, and survivors backing its partitions as replicas start the
+// failover election (failover.go).
 type snodeLeavingMsg struct {
 	Leaving transport.NodeID
 	Routes  []routeEntry
+	Crashed bool
 }
 
 // snodeRecoveredMsg announces an snode restarted from its write-ahead

@@ -39,6 +39,22 @@ import (
 // not own the region — reverting blindly would leave both sides
 // serving.
 //
+// The handover is journaled in two phases (closing the crash window the
+// durable layer used to document as a limitation): right before the
+// commit RPC — while the bucket is frozen — the sender journals a
+// *migration intent* (walTagMigIntent) and waits for it to be durable.
+// On success the existing bucket-drop record doubles as the resolution;
+// an abort journals walTagMigIntentResolved.  A sender that crashes
+// anywhere between the intent and its resolution therefore replays into
+// an *in-doubt* state: the bucket recovers FROZEN (reads serve, writes
+// wait) and a resolver goroutine probes the receiver with a lookup —
+// exactly the lost-ack probe — finalizing the drop if the receiver (or
+// any third party, after a later handover) owns the region, reverting to
+// live if the probe resolves back to this snode, and staying frozen
+// while the receiver is unreachable (it may have durably committed, so a
+// blind revert could resurrect a stale copy — the precise bug this
+// protocol exists to prevent).
+//
 // All five messages ride the hand-rolled binary frame codec (wire.go):
 // with the balancer migrating continuously they are data-plane volume,
 // not control-plane volume.
@@ -52,6 +68,17 @@ type migSender struct {
 	// dirty records keys written (put or deleted) since their last chunk
 	// was streamed; each delta round swaps it for a fresh map.
 	dirty map[string]struct{}
+}
+
+// migIntent is one journaled, not-yet-resolved migration handover: the
+// sending vnode and the destination the frozen bucket was committed
+// towards.  Live entries exist only between the intent record and its
+// resolution; recovery rebuilds the map from the journal and the
+// resolver goroutine (resolveIntents) settles each entry by probing the
+// receiver.
+type migIntent struct {
+	vnode    VnodeName
+	newOwner ownerRef
 }
 
 // migInbound is one staging bucket at the receiving snode: contents
@@ -298,12 +325,42 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 	// Freeze for the final delta only.  Writes arriving now requeue on the
 	// batch path's frozen-deadline loop; the window is one commit
 	// round-trip carrying at most one round of residual writes.
+	//
+	// Phase one of the two-phase handover: with the bucket frozen (no
+	// write can land between the intent and the commit), journal the
+	// migration intent and make it durable BEFORE the receiver is allowed
+	// to commit.  From here to the resolution record, a crash replays
+	// into the in-doubt state resolved by resolveIntents.
 	s.mu.Lock()
 	bk.mu.Lock()
 	bk.state = bucketFrozen
 	final := collectDeltaLocked(bk, bk.mig.dirty)
 	bk.mu.Unlock()
+	intent := &migIntent{vnode: vs.name, newOwner: ownerRef{Vnode: to, Host: toHost}}
+	s.inDoubt[p] = intent
+	intentSeq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalMigIntent(b, walBucketDropRec{
+			Vnode: vs.name, Partition: p, NewOwner: ownerRef{Vnode: to, Host: toHost},
+		})
+	})
 	s.mu.Unlock()
+	abortResolved := func(err error) (int, error) {
+		// The intent is on disk; journal its resolution so a later crash
+		// does not replay into a needless in-doubt probe.
+		s.mu.Lock()
+		delete(s.inDoubt, p)
+		s.durAppendWith(func(b []byte) []byte { return encodeWalMigIntentResolved(b, p) })
+		s.mu.Unlock()
+		return abort(err)
+	}
+	if s.dur != nil && !s.durFastAck() && !s.durWaitSeq(intentSeq) {
+		return abortResolved(fmt.Errorf("cluster: snode %d stopping: migration intent not durable", s.id))
+	}
+	if s.testCrashBeforeCommit != nil {
+		if err := s.testCrashBeforeCommit(p); err != nil {
+			return moved, err // simulated sender death: no abort, no cleanup
+		}
+	}
 
 	csp := beginSpan(root.ctx, "mig.commit")
 	v, err = s.rpcTr(toHost, csp.ctx, func(op uint64) any {
@@ -348,17 +405,23 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 			}
 		}
 		if err != nil {
-			return abort(err)
+			return abortResolved(err)
 		}
 	} else if resp := v.(migCommitResp); resp.Err != "" {
-		return abort(fmt.Errorf("cluster: migration commit at %d: %s", toHost, resp.Err))
+		return abortResolved(fmt.Errorf("cluster: migration commit at %d: %s", toHost, resp.Err))
 	}
 	moved += len(final)
 
+	if s.testCrashAfterCommit != nil {
+		if err := s.testCrashAfterCommit(p); err != nil {
+			return moved, err // simulated sender death after receiver commit
+		}
+	}
+
 	// Committed: retire the local copy behind a custody tombstone.  The
-	// retirement is journaled so a restart does not resurrect a partition
-	// that provably lives elsewhere now (see durable.go for the one
-	// remaining crash window).
+	// retirement is journaled (resolving the intent — tag 38 closes tag
+	// 43) so a restart does not resurrect a partition that provably lives
+	// elsewhere now.
 	s.mu.Lock()
 	bk.mu.Lock()
 	bk.state = bucketDead
@@ -368,6 +431,7 @@ func (s *Snode) migratePartition(g core.GroupID, to VnodeName, toHost transport.
 	delete(vs.parts, p)
 	s.delOwnedLocked(p, bk)
 	s.setTombLocked(p, ownerRef{Vnode: to, Host: toHost})
+	delete(s.inDoubt, p)
 	seq := s.durAppendWith(func(b []byte) []byte {
 		return encodeWalBucketDrop(b, walBucketDropRec{
 			Vnode: vs.name, Partition: p, NewOwner: ownerRef{Vnode: to, Host: toHost},
@@ -536,4 +600,144 @@ func (s *Snode) handleMigAbort(m migAbortMsg) {
 		delete(s.migIn, m.Partition)
 	}
 	s.mu.Unlock()
+}
+
+// --- in-doubt intent resolution (recovery) ---
+
+// resolveIntents settles every migration intent that recovery replayed
+// without a resolution: the sender crashed somewhere between journaling
+// the intent and journaling the bucket drop, so whether the receiver
+// committed is unknown.  Each in-doubt bucket recovered FROZEN (reads
+// serve, writes requeue); this goroutine probes until every intent is
+// settled or the snode stops.  Started by newSnode after recovery.
+func (s *Snode) resolveIntents() {
+	for {
+		s.mu.Lock()
+		ps := make([]hashspace.Partition, 0, len(s.inDoubt))
+		for p := range s.inDoubt {
+			ps = append(ps, p)
+		}
+		s.mu.Unlock()
+		if len(ps) == 0 {
+			return
+		}
+		for _, p := range ps {
+			s.resolveIntentOnce(p)
+		}
+		select {
+		case <-s.stopCh:
+			return
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// resolveIntentOnce probes the receiver of one in-doubt intent and
+// settles it when the answer is conclusive:
+//
+//   - the lookup resolves at another host for this region (the receiver
+//     itself, or a third party after a later handover) ⇒ the commit
+//     landed; finalize the drop exactly like a clean handover;
+//   - the lookup resolves back to THIS snode (the probe was forwarded
+//     around and our own frozen bucket answered) ⇒ the receiver provably
+//     does not own the region, so the commit never landed; revert to
+//     live and tell the receiver to discard any staging leftovers;
+//   - the receiver is unreachable or the lookup fails ⇒ stay frozen and
+//     retry: the receiver may have durably committed and be mid-restart,
+//     and a blind revert would put two live copies on the fabric.
+func (s *Snode) resolveIntentOnce(p hashspace.Partition) {
+	s.mu.Lock()
+	in, ok := s.inDoubt[p]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	// The probe uses a short deadline of its own: this loop is the retry
+	// layer, and the first reply after a restart is routinely lost to a
+	// peer's stale connection — waiting out the full RPC timeout for it
+	// would stall every requeued write behind the frozen bucket.
+	timeout := time.Second
+	if s.cfg.RPCTimeout < timeout {
+		timeout = s.cfg.RPCTimeout
+	}
+	v, err := s.rpcTimeout(in.newOwner.Host, transport.TraceContext{}, timeout, func(op uint64) any {
+		return lookupReq{Op: op, R: p.Start(), ReplyTo: s.id}
+	})
+	if err != nil {
+		s.log.Debug("intent probe failed, staying in doubt", "partition", p.String(), "err", err)
+		return
+	}
+	lr, ok := v.(lookupResp)
+	if !ok || lr.Err != "" {
+		return
+	}
+	if lr.Host != s.id && lr.Partition.Level >= p.Level && overlapping(lr.Partition, p) {
+		s.finalizeIntent(p, in)
+		return
+	}
+	if lr.Host == s.id && lr.Partition == p {
+		s.revertIntent(p, in)
+	}
+}
+
+// finalizeIntent completes a crashed handover whose receiver committed:
+// the local frozen copy dies behind a custody tombstone, mirroring the
+// retire sequence of migratePartition's success path.
+func (s *Snode) finalizeIntent(p hashspace.Partition, in *migIntent) {
+	s.mu.Lock()
+	if cur, ok := s.inDoubt[p]; !ok || cur != in {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.inDoubt, p)
+	vs, p2, owned := s.ownsLocked(p.Start())
+	if owned && p2 == p {
+		bk := vs.parts[p]
+		bk.mu.Lock()
+		bk.state = bucketDead
+		bk.m = nil
+		bk.mig = nil
+		bk.mu.Unlock()
+		delete(vs.parts, p)
+		s.delOwnedLocked(p, bk)
+	}
+	s.setTombLocked(p, in.newOwner)
+	seq := s.durAppendWith(func(b []byte) []byte {
+		return encodeWalBucketDrop(b, walBucketDropRec{Vnode: in.vnode, Partition: p, NewOwner: in.newOwner})
+	})
+	s.mu.Unlock()
+	if s.dur != nil && !s.durFastAck() {
+		s.durWaitSeq(seq) // best-effort: a failed wait means we are stopping
+	}
+	s.dropOrphanReplicas(p, in.newOwner.Host)
+	s.log.Info("migration intent finalized: receiver owns the partition",
+		"partition", p.String(), "to", int(in.newOwner.Host))
+}
+
+// revertIntent settles a crashed handover whose receiver provably never
+// committed: the frozen bucket goes back to live (requeued writes
+// proceed) and the resolution is journaled.
+func (s *Snode) revertIntent(p hashspace.Partition, in *migIntent) {
+	s.mu.Lock()
+	if cur, ok := s.inDoubt[p]; !ok || cur != in {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.inDoubt, p)
+	vs, p2, owned := s.ownsLocked(p.Start())
+	if owned && p2 == p {
+		bk := vs.parts[p]
+		bk.mu.Lock()
+		if bk.state == bucketFrozen {
+			bk.state = bucketLive
+		}
+		bk.mig = nil
+		bk.mu.Unlock()
+	}
+	s.durAppendWith(func(b []byte) []byte { return encodeWalMigIntentResolved(b, p) })
+	s.mu.Unlock()
+	s.send(in.newOwner.Host, migAbortMsg{To: in.newOwner.Vnode, Partition: p})
+	s.stats.MigAborts.Add(1)
+	s.log.Info("migration intent reverted: receiver never committed",
+		"partition", p.String(), "to", int(in.newOwner.Host))
 }

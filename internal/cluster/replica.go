@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dbdht/internal/cluster/transport"
+	"dbdht/internal/core"
 	"dbdht/internal/hashspace"
 )
 
@@ -40,19 +41,30 @@ import (
 // so primaries, their successors after a transfer, and the anti-entropy
 // pass all converge on one replica set without coordination.
 //
-// Limitations (documented, by design of this increment): a partition whose
-// primary crashes serves reads from its replicas but rejects writes until
-// an operator re-homes it; failover reads are eventually consistent if the
-// primary crashed with a replica write still in flight; two *concurrent*
-// writes of the same key may replicate in the opposite order from the
-// primary's apply order (callers racing same-key writes have no ordering
-// guarantee at the primary either — anti-entropy re-converges the replica
-// within one interval); replica placement
-// is a modular offset into the view, so a membership change re-shuffles
-// most replica sets and anti-entropy re-ships them (a rendezvous-hash
-// placement would move ~1/n — future work); ancestor buckets stranded at
-// hosts with no deeper local bucket escape the stale sweep and linger as
-// bounded garbage (shadowed on reads once current buckets sync).
+// Placement is rendezvous (HRW) hashing: each (partition, host) pair gets
+// a 64-bit score and the R−1 highest-scoring non-primary hosts back the
+// partition.  Adding or removing one host therefore relocates only the
+// replica sets whose score order that host perturbed — ~1/n of them —
+// and the anti-entropy pass migrates exactly those deltas.
+//
+// Each replica bucket also carries volatile metadata (rmeta): the
+// primary's write version, the owning vnode's group, and the last primary
+// host.  Failover promotion (failover.go) uses it to elect the
+// most-caught-up replica deterministically.  It is deliberately not
+// journaled: a restarted replica restarts at version 0 and loses
+// elections to replicas that stayed up with the data in memory.
+//
+// Limitations (documented, by design of this increment): failover reads
+// are eventually consistent if the primary crashed with a replica write
+// still in flight; two *concurrent* writes of the same key may replicate
+// in the opposite order from the primary's apply order (callers racing
+// same-key writes have no ordering guarantee at the primary either —
+// anti-entropy re-converges the replica within one interval); a replica
+// bucket created before this snode learned its metadata (possible only
+// across a version upgrade) cannot be promoted; ancestor buckets
+// stranded at hosts with no deeper local bucket escape the stale sweep
+// and linger as bounded garbage (shadowed on reads once current buckets
+// sync).
 
 // viewUpdate is the cluster handle's membership broadcast: the sorted ids
 // of every live snode, stamped with a monotonically increasing epoch so
@@ -63,10 +75,15 @@ type viewUpdate struct {
 	Snodes []transport.NodeID
 }
 
-// replWriteSet is one partition's share of a replica write fan-out.
+// replWriteSet is one partition's share of a replica write fan-out.  Ver
+// and Group piggyback the failover metadata the replica needs to stand
+// for its primary: the primary's post-apply write version for the bucket
+// and the owning vnode's group.
 type replWriteSet struct {
 	Partition hashspace.Partition
 	Items     []batchItem
+	Ver       uint64
+	Group     core.GroupID
 }
 
 // replWriteReq applies a batch's writes to the replica buckets its
@@ -112,6 +129,8 @@ type replSyncReq struct {
 	Op        uint64
 	Partition hashspace.Partition
 	Data      map[string][]byte
+	Ver       uint64
+	Group     core.GroupID
 	ReplyTo   transport.NodeID
 }
 
@@ -167,17 +186,26 @@ func (s *Snode) replicaHostsLocked(p hashspace.Partition) []transport.NodeID {
 	return replicaHostsFor(p, s.id, s.view, s.cfg.Replicas)
 }
 
-// replicaHostsFor is the pure placement rule: from the sorted view minus
-// the primary, take R−1 hosts starting at an offset derived from the
-// partition, so replica load spreads across the cluster.
+// replicaHostsFor is the pure placement rule: rendezvous (HRW) hashing.
+// Every (partition, host) pair gets a 64-bit score and the R−1
+// highest-scoring non-primary hosts win, ties broken by the lower id.
+// Removing a host only promotes the next-ranked host into the sets the
+// dead host was in, and adding a host only displaces the sets it now
+// out-scores — each membership change moves ~1/n of the replica sets
+// instead of reshuffling most of them (as the old modular-offset rule
+// did).
 func replicaHostsFor(p hashspace.Partition, primary transport.NodeID, view []transport.NodeID, r int) []transport.NodeID {
 	if r <= 1 || len(view) == 0 {
 		return nil
 	}
-	cands := make([]transport.NodeID, 0, len(view))
+	type scored struct {
+		id transport.NodeID
+		w  uint64
+	}
+	cands := make([]scored, 0, len(view))
 	for _, id := range view {
 		if id != primary {
-			cands = append(cands, id)
+			cands = append(cands, scored{id: id, w: hrwScore(p, id)})
 		}
 	}
 	if len(cands) == 0 {
@@ -187,15 +215,61 @@ func replicaHostsFor(p hashspace.Partition, primary transport.NodeID, view []tra
 	if n > len(cands) {
 		n = len(cands)
 	}
-	start := int(p.Prefix % uint64(len(cands)))
-	out := make([]transport.NodeID, 0, n)
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		return cands[i].id < cands[j].id
+	})
+	out := make([]transport.NodeID, n)
 	for k := 0; k < n; k++ {
-		out = append(out, cands[(start+k)%len(cands)])
+		out[k] = cands[k].id
 	}
 	return out
 }
 
+// hrwScore is the rendezvous weight of one (partition, host) pair: a
+// SplitMix64-style finalizer over the partition identity mixed with the
+// host id.  Pure and stable — every snode computes the same ranking.
+func hrwScore(p hashspace.Partition, id transport.NodeID) uint64 {
+	x := p.Prefix*0x9e3779b97f4a7c15 ^ uint64(p.Level)<<56 ^ uint64(id)*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // --- replica store maintenance (caller holds s.mu) ---
+
+// replMeta is the volatile failover metadata of one replica bucket: the
+// highest primary write version seen, the owning vnode's group, and the
+// primary host that last fed the bucket.  Map-entry presence in s.rmeta
+// distinguishes "metadata known" from "never told" (GroupID's zero value
+// is the valid group 0).  Not journaled, not snapshotted — see the file
+// header.
+type replMeta struct {
+	ver   uint64
+	group core.GroupID
+	prim  transport.NodeID
+}
+
+// noteReplMetaLocked folds fresh metadata into a replica bucket's record.
+// The version only ratchets up, so a reordered stale fan-out cannot
+// regress the election priority.  Caller holds s.mu.
+func (s *Snode) noteReplMetaLocked(p hashspace.Partition, ver uint64, g core.GroupID, prim transport.NodeID) {
+	m, ok := s.rmeta[p]
+	if !ok {
+		m = &replMeta{}
+		s.rmeta[p] = m
+	}
+	if ver > m.ver {
+		m.ver = ver
+	}
+	m.group = g
+	m.prim = prim
+}
 
 func (s *Snode) setReplicaBucketLocked(p hashspace.Partition, b map[string][]byte) {
 	if _, ok := s.rparts[p]; !ok {
@@ -208,6 +282,7 @@ func (s *Snode) delReplicaBucketLocked(p hashspace.Partition) {
 	if _, ok := s.rparts[p]; ok {
 		delete(s.rparts, p)
 		delete(s.rprov, p)
+		delete(s.rmeta, p)
 		s.rpartLvls.remove(p.Level)
 	}
 }
@@ -253,6 +328,9 @@ func (s *Snode) handleReplWrite(m replWriteReq, tr transport.TraceContext) {
 	sp := beginSpan(tr, "repl.write")
 	s.mu.Lock()
 	applied := s.applyReplWriteLocked(m.Kind, m.Sets, m.private)
+	for _, set := range m.Sets {
+		s.noteReplMetaLocked(set.Partition, set.Ver, set.Group, m.ReplyTo)
+	}
 	seq := s.durAppendWith(func(b []byte) []byte {
 		return encodeWalReplWrite(b, m.Kind, m.Sets)
 	})
@@ -348,9 +426,15 @@ func (s *Snode) handleReplSync(m replSyncReq) {
 		data = make(map[string][]byte)
 	}
 	s.mu.Lock()
-	s.dropReplicaWithinLocked(m.Partition)
+	// Replace only this exact bucket.  Strictly deeper buckets are spared:
+	// geometry only ever deepens, so a deeper overlapping bucket here can
+	// only mean the SENDER's partition is stale (a leftover ancestor), and
+	// the deeper buckets may hold the only failover copy of acknowledged
+	// keys the stale sync does not carry.
+	s.delReplicaBucketLocked(m.Partition)
 	s.setReplicaBucketLocked(m.Partition, data)
 	delete(s.rprov, m.Partition) // a full sync makes the bucket authoritative
+	s.noteReplMetaLocked(m.Partition, m.Ver, m.Group, m.ReplyTo)
 	// Lazy encode: the whole-bucket serialization must cost nothing when
 	// durability is off.
 	seq := s.durAppendWith(func(b []byte) []byte {
@@ -383,6 +467,13 @@ func (s *Snode) handleReplDrop(m replDropMsg) {
 // the read-failover path when a primary stopped answering.  Keys this
 // snode holds no replica bucket for get a per-key error (the requester
 // falls back to its normal retry path).
+//
+// Owned buckets take precedence when at least as deep as any replica
+// bucket covering the key: a failover promotion moves the authoritative
+// copy from the replica store into an owned bucket (and drops the
+// replica), so a probe planned against the pre-promotion placement must
+// serve from the promoted bucket — not from whatever stale shallower
+// replica leftover still covers the key.
 func (s *Snode) serveReplicaRead(m batchReq, tr transport.TraceContext) {
 	sp := beginSpan(tr, "repl.read")
 	results := make([]batchItemResp, len(m.Items))
@@ -393,7 +484,20 @@ func (s *Snode) serveReplicaRead(m batchReq, tr transport.TraceContext) {
 			results[i] = batchItemResp{Err: "replicas serve reads only"}
 			continue
 		}
-		p, b, ok := s.replicaBucketLocked(hashspace.HashString(it.Key))
+		h := hashspace.HashString(it.Key)
+		p, b, ok := s.replicaBucketLocked(h)
+		if ref, po, owned := s.ownedForLocked(h); owned && (!ok || po.Level >= p.Level) {
+			bk := ref.bk
+			bk.mu.RLock()
+			if bk.state != bucketDead {
+				v, found := bk.m[it.Key]
+				results[i] = batchItemResp{Value: append([]byte(nil), v...), Found: found}
+				bk.mu.RUnlock()
+				served++
+				continue
+			}
+			bk.mu.RUnlock()
+		}
 		if !ok {
 			results[i] = batchItemResp{Err: fmt.Sprintf("snode %d holds no replica for key %q", s.id, it.Key)}
 			continue
@@ -428,6 +532,14 @@ func (s *Snode) replicaBucketLocked(h hashspace.Index) (hashspace.Partition, map
 
 // --- primary-side fan-out ---
 
+// replFanMeta is the per-partition failover metadata a primary piggybacks
+// on its replica fan-out: the bucket's post-apply write version and the
+// owning vnode's group.
+type replFanMeta struct {
+	ver   uint64
+	group core.GroupID
+}
+
 // replicate synchronously applies a write set to its replica hosts, one
 // replWriteReq per destination host (carrying every affected partition's
 // items placed there), all in parallel.  An unreachable replica is
@@ -435,11 +547,14 @@ func (s *Snode) replicaBucketLocked(h hashspace.Index) (hashspace.Partition, map
 // repairs the replica later); an error is returned only when this snode is
 // stopping, in which case the write must NOT be acknowledged — the
 // primary's copy dies with it.
-func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID, tr transport.TraceContext) error {
+func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID, meta map[hashspace.Partition]replFanMeta, tr transport.TraceContext) error {
 	byHost := make(map[transport.NodeID][]replWriteSet)
 	for p, items := range writes {
 		for _, host := range dests[p] {
-			byHost[host] = append(byHost[host], replWriteSet{Partition: p, Items: items})
+			byHost[host] = append(byHost[host], replWriteSet{
+				Partition: p, Items: items,
+				Ver: meta[p].ver, Group: meta[p].group,
+			})
 		}
 	}
 	if len(byHost) == 0 {
@@ -536,8 +651,10 @@ func (s *Snode) syncReplica(p hashspace.Partition, host transport.NodeID) (ok bo
 	s.mu.Lock()
 	vs, p2, owned := s.ownsLocked(p.Start())
 	var bk *bucket
+	var g core.GroupID
 	if owned && p2 == p {
 		bk = vs.parts[p]
+		g = vs.group
 	}
 	s.mu.Unlock()
 	if bk == nil {
@@ -551,9 +668,10 @@ func (s *Snode) syncReplica(p hashspace.Partition, host transport.NodeID) (ok bo
 		return false, nil
 	}
 	data := copyBucket(bk.m)
+	ver := bk.ver
 	bk.mu.RUnlock()
 	err = s.net.Send(transport.Envelope{From: s.id, To: host,
-		Msg: replSyncReq{Op: op, Partition: p, Data: data, ReplyTo: s.id}})
+		Msg: replSyncReq{Op: op, Partition: p, Data: data, Ver: ver, Group: g, ReplyTo: s.id}})
 	ord.Unlock()
 	if err != nil {
 		return true, err

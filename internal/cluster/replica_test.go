@@ -70,6 +70,79 @@ func TestReplicaPlacement(t *testing.T) {
 	}
 }
 
+// TestReplicaPlacementHRWRelocation pins the rendezvous-hashing
+// property the placement exists for: one membership change relocates
+// only ~1/n of the replica sets, not all of them (a modular-offset
+// scheme reshuffles nearly everything).
+func TestReplicaPlacementHRWRelocation(t *testing.T) {
+	const (
+		level   = 10 // 1024 partitions — enough for tight statistics
+		r       = 3  // R=3 → 2 replica hosts per partition
+		primary = transport.NodeID(1)
+	)
+	view := make([]transport.NodeID, 12)
+	for i := range view {
+		view[i] = transport.NodeID(i + 1)
+	}
+	placement := func(v []transport.NodeID) map[hashspace.Partition][]transport.NodeID {
+		out := make(map[hashspace.Partition][]transport.NodeID)
+		for prefix := uint64(0); prefix < 1<<level; prefix++ {
+			p := hashspace.Partition{Prefix: prefix, Level: level}
+			out[p] = replicaHostsFor(p, primary, v, r)
+		}
+		return out
+	}
+	same := func(a, b []transport.NodeID) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	base := placement(view)
+
+	// Adding one host: a set changes only when the newcomer out-scores a
+	// member, which happens with probability (r-1)/candidates — about
+	// 2/12 ≈ 17% here.  Allow generous slack either way, but far below
+	// the near-100% a modular scheme produces.
+	grown := placement(append(append([]transport.NodeID(nil), view...), 13))
+	changed := 0
+	for p, hosts := range base {
+		if !same(hosts, grown[p]) {
+			changed++
+		}
+	}
+	frac := float64(changed) / float64(len(base))
+	if frac > 0.35 || frac < 0.05 {
+		t.Errorf("adding 1 of 12 hosts relocated %.1f%% of replica sets, want ≈ %.1f%%",
+			100*frac, 100*float64(r-1)/12)
+	}
+
+	// Removing one host: only the sets that actually contained it may
+	// change; every other set must be byte-identical.
+	removed := view[len(view)-1]
+	shrunk := placement(view[:len(view)-1])
+	for p, hosts := range base {
+		had := false
+		for _, h := range hosts {
+			if h == removed {
+				had = true
+			}
+		}
+		if !had && !same(hosts, shrunk[p]) {
+			t.Fatalf("partition %v: set %v changed to %v though host %d was not a member",
+				p, hosts, shrunk[p], removed)
+		}
+		if had && same(hosts, shrunk[p]) {
+			t.Fatalf("partition %v: set %v still places removed host %d", p, hosts, removed)
+		}
+	}
+}
+
 // replicasConverged reports whether every owned, unfrozen partition has
 // digest-matching buckets at each of its placed replica hosts.
 func replicasConverged(c *Cluster) bool {
@@ -266,8 +339,11 @@ func runCrashWorkload(t *testing.T, c *Cluster, vnodes, preload int) {
 	if lost > 0 {
 		t.Fatalf("lost %d of %d acknowledged keys after killing snode %d", lost, len(ackedKeys), victim)
 	}
-	if st := c.StatsTotal(); st.FailoverReads == 0 {
-		t.Fatal("no read was served from a replica — the crash scenario did not exercise failover")
+	// The crash must have exercised the failover machinery: either reads
+	// were served straight from replicas, or the surviving replica set
+	// already promoted new primaries (which then serve reads normally).
+	if st := c.StatsTotal(); st.FailoverReads == 0 && st.Promotions == 0 {
+		t.Fatal("neither replica reads nor promotions — the crash scenario did not exercise failover")
 	}
 }
 
@@ -282,8 +358,9 @@ func TestCrashFailoverTCP(t *testing.T) {
 }
 
 // TestAntiEntropyRehomesAfterCrash kills a replica-holding snode and
-// expects the background pass to re-establish R copies on the shrunken
-// view, so a *second* crash (of a primary) still loses no reads.
+// expects failover promotion plus the background anti-entropy pass to
+// restore full coverage at R copies on the shrunken view, so a *second*
+// crash (of a primary) still loses no reads.
 func TestAntiEntropyRehomesAfterCrash(t *testing.T) {
 	c := newReplicatedCluster(t, transport.NewMem(), 5, 2, 34)
 	growCluster(t, c, 12)
@@ -301,34 +378,46 @@ func TestAntiEntropyRehomesAfterCrash(t *testing.T) {
 	if err := c.KillSnode(c.Snodes()[3]); err != nil {
 		t.Fatal(err)
 	}
-	// The survivors converge on the new placement: every partition backed
-	// by the dead snode gets a fresh replica elsewhere.
-	waitConverged(t, c)
-	if st := c.StatsTotal(); st.ReplRepairs == 0 {
-		t.Fatal("anti-entropy repaired nothing after a replica host crashed")
-	}
-	// Keys under a live primary at this point are at R copies again; the
-	// first victim's own partitions are down to their single replica (R=2
-	// tolerates one failure per partition) and are excluded from the
-	// strict post-second-crash check.
-	snap := c.Snapshot()
-	live := make(map[string]bool, len(keys))
-	for _, k := range keys {
-		h := hashspace.HashString(k)
-		for _, v := range snap.Vnodes {
-			for _, p := range v.Partitions {
-				if p.Contains(h) {
-					live[k] = true
+	// Failover promotion re-owns the victim's partitions at surviving
+	// replicas, and the survivors converge on the new placement: every
+	// partition is back under a live primary with a fresh replica.
+	allOwned := func() bool {
+		snap := c.Snapshot()
+		for _, k := range keys {
+			h := hashspace.HashString(k)
+			owned := false
+			for _, v := range snap.Vnodes {
+				for _, p := range v.Partitions {
+					if p.Contains(h) {
+						owned = true
+					}
 				}
 			}
+			if !owned {
+				return false
+			}
 		}
+		return true
 	}
-	if len(live) == 0 || len(live) == len(keys) {
-		t.Fatalf("test setup: %d of %d keys under live primaries, want a strict subset", len(live), len(keys))
+	deadline := time.Now().Add(15 * time.Second)
+	for !allOwned() {
+		if time.Now().After(deadline) {
+			t.Fatal("failover promotion did not restore primary coverage")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	// Second crash, this time losing primaries: reads of re-replicated
-	// keys must fail over to the re-homed replicas.  Refresh the handle's
-	// replica routes first (they may predate the first crash).
+	waitConverged(t, c)
+	st := c.StatsTotal()
+	if st.ReplRepairs == 0 {
+		t.Fatal("anti-entropy repaired nothing after a replica host crashed")
+	}
+	if st.Promotions == 0 {
+		t.Fatal("no replica was promoted after the primary crashed")
+	}
+	// Second crash, this time losing the promoted primaries too: every key
+	// must stay readable — either straight from the re-homed replicas or
+	// from the next round of promotions.  Refresh the handle's replica
+	// routes first (they may predate the first crash).
 	if _, err := c.MGet(keys); err != nil {
 		t.Fatal(err)
 	}
@@ -340,11 +429,8 @@ func TestAntiEntropyRehomesAfterCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, r := range res {
-		if !live[keys[i]] {
-			continue
-		}
 		if !r.OK() || !r.Found {
-			t.Fatalf("MGet %q (re-replicated) after second crash = %+v", keys[i], r)
+			t.Fatalf("MGet %q after second crash = %+v", keys[i], r)
 		}
 	}
 }

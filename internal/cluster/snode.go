@@ -62,6 +62,15 @@ type Config struct {
 	// Durability configures the per-snode write-ahead log and snapshots
 	// (see durable.go).  Zero value: no disk I/O on any path.
 	Durability DurabilityConfig
+	// FailoverPingInterval paces the cluster handle's liveness detector:
+	// every interval each snode is pinged, and FailoverPingMisses
+	// consecutive misses declare it dead and trigger automatic failover
+	// (exactly as if KillSnode had been called).  0 (the default)
+	// disables the detector — explicit KillSnode still fails over.
+	FailoverPingInterval time.Duration
+	// FailoverPingMisses is how many consecutive missed pings declare an
+	// snode dead (default 3; only meaningful with FailoverPingInterval).
+	FailoverPingMisses int
 	// TraceSample is the head-sampling probability for request tracing
 	// (0, the default, disables tracing; 1 traces every operation).  See
 	// trace.go.  Adjustable at runtime via Cluster.SetTraceSampling.
@@ -132,6 +141,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Durability.Dir != "" && c.Durability.SnapshotInterval == 0 {
 		c.Durability.SnapshotInterval = 30 * time.Second
 	}
+	if c.FailoverPingMisses == 0 {
+		c.FailoverPingMisses = 3
+	}
 	if c.TraceBufferSize == 0 {
 		c.TraceBufferSize = defaultTraceBufferSize
 	}
@@ -165,6 +177,8 @@ type Stats struct {
 	ChunksSent     atomic.Int64 // live-migration chunks streamed
 	MigAborts      atomic.Int64 // live migrations aborted (bucket back to live)
 	FreezeTimeouts atomic.Int64 // writes failed because a frozen partition never settled
+	Elections      atomic.Int64 // failover elections this snode coordinated
+	Promotions     atomic.Int64 // replica buckets this snode promoted to primary
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
@@ -175,6 +189,11 @@ type StatsSnapshot struct {
 	ReplWrites, ReplRepairs, ReplLagged         int64
 	FailoverReads                               int64
 	ChunksSent, MigAborts, FreezeTimeouts       int64
+	Elections, Promotions                       int64
+	// FailoverDetects counts snodes the cluster handle's liveness
+	// detector declared dead; it is handle-level, set only in
+	// Cluster.StatsTotal (zero in per-snode snapshots).
+	FailoverDetects int64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -189,6 +208,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		ReplLagged: s.ReplLagged.Load(), FailoverReads: s.FailoverReads.Load(),
 		ChunksSent: s.ChunksSent.Load(), MigAborts: s.MigAborts.Load(),
 		FreezeTimeouts: s.FreezeTimeouts.Load(),
+		Elections:      s.Elections.Load(), Promotions: s.Promotions.Load(),
 	}
 }
 
@@ -218,6 +238,11 @@ type bucket struct {
 	mu    sync.RWMutex
 	state bucketState
 	m     map[string][]byte
+	// ver counts write batches applied to this bucket (guarded by mu).
+	// It piggybacks on the replica fan-out so replicas can rank
+	// themselves by recency in a failover election; a promoted bucket
+	// inherits the replica's version so it keeps climbing.
+	ver uint64
 	// mig is non-nil while the bucket streams out in a chunked live
 	// migration (see migrate.go).  Like state, the pointer transitions
 	// under BOTH s.mu and mu, so a read under either lock is race-free;
@@ -301,7 +326,9 @@ type Snode struct {
 	rpartLvls levelSet
 	migIn     map[hashspace.Partition]*migInbound        // staging buckets of inbound live migrations
 	rprov     map[hashspace.Partition]bool               // replica buckets not yet full-synced (write-created)
+	rmeta     map[hashspace.Partition]*replMeta          // volatile failover metadata per replica bucket
 	placed    map[hashspace.Partition][]transport.NodeID // replica hosts last reconciled per owned partition
+	inDoubt   map[hashspace.Partition]*migIntent         // unresolved journaled migration intents (recovery)
 
 	// sendOrd serializes replica-plane sends per destination, so a full
 	// sync and the writes racing it reach a replica in an order
@@ -332,6 +359,13 @@ type Snode struct {
 	lat     *latencies
 	sampler sampler
 	log     *slog.Logger
+
+	// Test-only crash injection points for the two-phase migration
+	// protocol: when non-nil and returning an error, migratePartition
+	// bails out silently right before / right after the receiver-commit
+	// RPC, simulating a sender that died at the worst possible moment.
+	testCrashBeforeCommit func(hashspace.Partition) error
+	testCrashAfterCommit  func(hashspace.Partition) error
 }
 
 // newSnode registers and starts an snode actor on the fabric.  With
@@ -352,8 +386,10 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		led:      make(map[core.GroupID]*ledGroup),
 		rparts:   make(map[hashspace.Partition]map[string][]byte),
 		rprov:    make(map[hashspace.Partition]bool),
+		rmeta:    make(map[hashspace.Partition]*replMeta),
 		migIn:    make(map[hashspace.Partition]*migInbound),
 		placed:   make(map[hashspace.Partition][]transport.NodeID),
+		inDoubt:  make(map[hashspace.Partition]*migIntent),
 		sendOrd:  make(map[transport.NodeID]*sync.Mutex),
 		pending:  make(map[uint64]chan any),
 		stopCh:   make(chan struct{}),
@@ -380,6 +416,9 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 	go s.loadLoop()
 	if cfg.Replicas > 1 {
 		go s.antiEntropyLoop()
+	}
+	if len(s.inDoubt) > 0 {
+		go s.resolveIntents()
 	}
 	if s.dur != nil && s.dur.interval > 0 {
 		go s.snapshotLoop()
@@ -453,6 +492,13 @@ func (s *Snode) rpc(to transport.NodeID, build func(op uint64) any) (any, error)
 
 // rpcTr is rpc with a trace context riding the request envelope.
 func (s *Snode) rpcTr(to transport.NodeID, tr transport.TraceContext, build func(op uint64) any) (any, error) {
+	return s.rpcTimeout(to, tr, s.cfg.RPCTimeout, build)
+}
+
+// rpcTimeout is rpcTr with an explicit deadline, for callers that retry
+// on their own (e.g. the migration-intent resolver) and want a probe to
+// fail fast instead of burning the full configured RPC timeout.
+func (s *Snode) rpcTimeout(to transport.NodeID, tr transport.TraceContext, timeout time.Duration, build func(op uint64) any) (any, error) {
 	op := s.opSeq.Add(1)
 	ch := make(chan any, 1)
 	s.pendMu.Lock()
@@ -469,7 +515,7 @@ func (s *Snode) rpcTr(to transport.NodeID, tr transport.TraceContext, build func
 	select {
 	case v := <-ch:
 		return v, nil
-	case <-time.After(s.cfg.RPCTimeout):
+	case <-time.After(timeout):
 		return nil, fmt.Errorf("cluster: snode %d: rpc to %d timed out", s.id, to)
 	case <-s.stopCh:
 		return nil, fmt.Errorf("cluster: snode %d stopping", s.id)
@@ -579,6 +625,18 @@ func (s *Snode) loop() {
 			s.deliver(m.Op, m)
 		case replDropMsg:
 			s.handleReplDrop(m)
+		case promoteQueryReq:
+			s.handlePromoteQuery(m)
+		case promoteQueryResp:
+			s.deliver(m.Op, m)
+		case promoteOrderReq:
+			go s.handlePromoteOrder(m)
+		case promoteOrderResp:
+			s.deliver(m.Op, m)
+		case overlapQueryReq:
+			s.handleOverlapQuery(m)
+		case overlapQueryResp:
+			s.deliver(m.Op, m)
 		case pingReq:
 			s.send(m.ReplyTo, pingResp{Op: m.Op})
 		}
@@ -1014,6 +1072,13 @@ func (s *Snode) handleSnodeLeaving(m snodeLeavingMsg) {
 		s.hasBoot = false // the cluster handle re-seeds shortly after
 	}
 	s.mu.Unlock()
+	if m.Crashed && s.cfg.Replicas > 1 {
+		// The snode died with its data: partitions it was primary for
+		// need a replica promoted.  Every surviving replica host runs the
+		// scan; the deterministic coordinator rule keeps them from racing
+		// (see failover.go).
+		go s.failoverScan(m.Leaving)
+	}
 }
 
 // handleSync installs an LPDR replica refresh.  Journaled (fire-and-

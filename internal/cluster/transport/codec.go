@@ -35,10 +35,14 @@ import (
 //
 // Version history: v1 had no flags byte; v2 added it (with the optional
 // trace context) — a frame-level layout change, hence the bump per
-// docs/WIRE.md rule 1.
+// docs/WIRE.md rule 1.  v3 changed the replWriteReq (tag 5) payload in
+// place (each set now carries the primary's write version and replica
+// group); the bump keeps a mixed cluster failing loudly — an old decoder
+// would otherwise mis-read the trailing fields of a one-set request as
+// its ReplyTo.
 
 const (
-	wireVersion byte = 2
+	wireVersion byte = 3
 
 	formatGob    byte = 0
 	formatBinary byte = 1

@@ -34,6 +34,13 @@ const (
 	walTagReplDrop   uint16 = 40 // replica buckets discarded
 	walTagLpdr       uint16 = 41 // LPDR replica refresh (group membership/level/leader)
 	walTagBoot       uint16 = 42 // bootstrap fallback route learned
+	// Two-phase migration handover (see migrate.go): an intent is
+	// journaled right before the receiver may commit; the bucket-drop
+	// record (tag 38) resolves it on success, tag 44 on abort.  A replayed
+	// intent with neither resolution recovers the bucket frozen and
+	// in-doubt.
+	walTagMigIntent         uint16 = 43 // pre-commit handover intent (same payload as tag 38)
+	walTagMigIntentResolved uint16 = 44 // handover aborted or reverted; intent closed
 )
 
 // --- shared helpers ---
@@ -300,6 +307,23 @@ func decodeWalBucketDrop(r *transport.WireReader) walBucketDropRec {
 	return rec
 }
 
+// encodeWalMigIntent journals phase one of a migration handover.  The
+// payload is exactly a walBucketDropRec — the intent names the same
+// (vnode, partition, new owner) triple the eventual drop will.
+func encodeWalMigIntent(buf []byte, rec walBucketDropRec) []byte {
+	buf = transport.AppendUvarint(buf, uint64(walTagMigIntent))
+	buf = appendVnodeName(buf, rec.Vnode)
+	buf = appendPartition(buf, rec.Partition)
+	return appendOwnerRef(buf, rec.NewOwner)
+}
+
+// encodeWalMigIntentResolved closes an intent without a drop: the
+// handover aborted (or recovery reverted it) and the bucket is live here.
+func encodeWalMigIntentResolved(buf []byte, p hashspace.Partition) []byte {
+	buf = transport.AppendUvarint(buf, uint64(walTagMigIntentResolved))
+	return appendPartition(buf, p)
+}
+
 // walReplSyncRec journals a replica bucket overwrite (full sync from the
 // primary, or the re-homing push after a transfer).
 type walReplSyncRec struct {
@@ -364,7 +388,12 @@ func encodeWalBoot(buf []byte, owner ownerRef) []byte {
 
 // snapVersion guards the snapshot encoding; bump on breaking layout
 // changes so an old snapshot fails loudly instead of mis-decoding.
-const snapVersion = 1
+// Version 2 appended the unresolved migration intents to snapMeta;
+// decoders still accept version-1 files (which simply carry no intents).
+const snapVersion = 2
+
+// snapOldestVersion is the oldest snapshot layout this node still reads.
+const snapOldestVersion = 1
 
 // snapMeta is the snode-level metadata captured by one snapshot pass:
 // everything except the bucket contents, which live in per-bucket files.
@@ -376,6 +405,7 @@ type snapMeta struct {
 	Tombs     []routeEntry  // custody pointers (Replicas unused)
 	Lpdrs     []lpdrState
 	Rprov     []hashspace.Partition // provisional (write-created) replica buckets
+	Intents   []walBucketDropRec    // unresolved migration intents (v2+)
 }
 
 func encodeSnapMeta(buf []byte, m snapMeta) []byte {
@@ -400,14 +430,22 @@ func encodeSnapMeta(buf []byte, m snapMeta) []byte {
 	for _, st := range m.Lpdrs {
 		buf = appendLpdrState(buf, st)
 	}
-	return appendPartitions(buf, m.Rprov)
+	buf = appendPartitions(buf, m.Rprov)
+	buf = transport.AppendUvarint(buf, uint64(len(m.Intents)))
+	for _, in := range m.Intents {
+		buf = appendVnodeName(buf, in.Vnode)
+		buf = appendPartition(buf, in.Partition)
+		buf = appendOwnerRef(buf, in.NewOwner)
+	}
+	return buf
 }
 
 func decodeSnapMeta(payload []byte) (snapMeta, error) {
 	r := transport.NewWireReader(payload)
 	var m snapMeta
-	if v := r.Uvarint(); v != snapVersion {
-		return m, fmt.Errorf("cluster: snapshot meta version %d, this node speaks %d", v, snapVersion)
+	v := r.Uvarint()
+	if v < snapOldestVersion || v > snapVersion {
+		return m, fmt.Errorf("cluster: snapshot meta version %d, this node speaks %d–%d", v, snapOldestVersion, snapVersion)
 	}
 	m.NextLocal = int(r.Varint())
 	m.HasBoot = r.Bool()
@@ -436,6 +474,16 @@ func decodeSnapMeta(payload []byte) (snapMeta, error) {
 		}
 	}
 	m.Rprov = readPartitions(r)
+	if v >= 2 {
+		if n := r.ArrayLen(4); n > 0 {
+			m.Intents = make([]walBucketDropRec, n)
+			for i := range m.Intents {
+				m.Intents[i].Vnode = readVnodeName(r)
+				m.Intents[i].Partition = readPartition(r)
+				m.Intents[i].NewOwner = readOwnerRef(r)
+			}
+		}
+	}
 	return m, r.Err()
 }
 
@@ -454,8 +502,8 @@ func encodeSnapBucket(buf []byte, p hashspace.Partition, data map[string][]byte)
 func decodeSnapBucket(payload []byte) (snapBucket, error) {
 	r := transport.NewWireReader(payload)
 	var b snapBucket
-	if v := r.Uvarint(); v != snapVersion {
-		return b, fmt.Errorf("cluster: snapshot bucket version %d, this node speaks %d", v, snapVersion)
+	if v := r.Uvarint(); v < snapOldestVersion || v > snapVersion {
+		return b, fmt.Errorf("cluster: snapshot bucket version %d, this node speaks %d–%d", v, snapOldestVersion, snapVersion)
 	}
 	b.Partition = readPartition(r)
 	b.Data = readKVMap(r)
@@ -471,8 +519,8 @@ func encodeManifest(cut uint64) []byte {
 
 func decodeManifest(payload []byte) (uint64, error) {
 	r := transport.NewWireReader(payload)
-	if v := r.Uvarint(); v != snapVersion {
-		return 0, fmt.Errorf("cluster: snapshot manifest version %d, this node speaks %d", v, snapVersion)
+	if v := r.Uvarint(); v < snapOldestVersion || v > snapVersion {
+		return 0, fmt.Errorf("cluster: snapshot manifest version %d, this node speaks %d–%d", v, snapOldestVersion, snapVersion)
 	}
 	cut := r.Uvarint()
 	return cut, r.Err()

@@ -266,6 +266,8 @@ func (m replWriteReq) AppendWire(b []byte) []byte {
 	for _, set := range m.Sets {
 		b = appendPartition(b, set.Partition)
 		b = appendBatchItems(b, set.Items)
+		b = transport.AppendUvarint(b, set.Ver)
+		b = appendGroup(b, set.Group)
 	}
 	return transport.AppendVarint(b, int64(m.ReplyTo))
 }
@@ -279,6 +281,8 @@ func decodeReplWriteReq(r *transport.WireReader) (any, error) {
 		for i := range m.Sets {
 			m.Sets[i].Partition = readPartition(r)
 			m.Sets[i].Items = readBatchItems(r)
+			m.Sets[i].Ver = r.Uvarint()
+			m.Sets[i].Group = readGroup(r)
 		}
 	}
 	m.ReplyTo = transport.NodeID(r.Varint())

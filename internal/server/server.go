@@ -789,6 +789,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("dbdht_repl_repairs_total", "replica buckets repaired by anti-entropy", st.Stats.ReplRepairs),
 		counter("dbdht_repl_lagged_total", "failed replica exchanges (replication lag)", st.Stats.ReplLagged),
 		counter("dbdht_failover_reads_total", "reads served from replica buckets", st.Stats.FailoverReads),
+		counter("dbdht_failover_elections_total", "failover elections coordinated after primary crashes", st.Stats.Elections),
+		counter("dbdht_promotions_total", "replica buckets promoted to primary by failover", st.Stats.Promotions),
+		counter("dbdht_failover_detected_total", "snodes declared crashed by the liveness detector", st.Stats.FailoverDetects),
 		httpReqs,
 	}
 	lat := s.c.Latencies()
