@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NoGob enforces the gob-free data plane: no encoding/gob call may be
+// reachable — through any chain of same-package static calls — from a
+// function marked with a `//dbdht:dataplane` directive.  The batch,
+// replica-write, failover-read, lookup and migration-chunk paths carry
+// every byte the system serves; one stray gob.Encode would put
+// reflection back on the hot path (the regression PR 3 removed).  This
+// replaces the runtime codec-counter test as the first line of defense:
+// the counter only trips when a test exercises the exact path, the
+// analyzer trips on the call graph alone.
+//
+// The check is per-package and resolves static calls only (direct
+// function calls and concrete-receiver methods); interface dispatch and
+// function values are out of scope, as are calls into other packages —
+// the transport package's gob fallback is guarded by its own invariant
+// (binary-codec registration, enforced by wiretag).
+var NoGob = &Analyzer{
+	Name: "nogob",
+	Doc:  "no gob encode/decode reachable from //dbdht:dataplane functions",
+	Run:  runNoGob,
+}
+
+const dataplaneDirective = "//dbdht:dataplane"
+
+func runNoGob(pass *Pass) error {
+	// One node per function declared in this package.
+	type fnode struct {
+		decl    *ast.FuncDecl
+		root    bool
+		gobCall token.Pos // first direct gob use in the body, if any
+		callees []*types.Func
+	}
+	nodes := make(map[*types.Func]*fnode)
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &fnode{decl: fd}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(strings.TrimSpace(c.Text), dataplaneDirective) {
+						n.root = true
+					}
+				}
+			}
+			ast.Inspect(fd.Body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.SelectorExpr:
+					if isGobSelector(pass, m) && n.gobCall == token.NoPos {
+						n.gobCall = m.Pos()
+					}
+				case *ast.CallExpr:
+					if callee := staticCallee(pass, m); callee != nil && callee.Pkg() == pass.Pkg {
+						n.callees = append(n.callees, callee)
+					}
+				}
+				return true
+			})
+			nodes[obj] = n
+		}
+	}
+
+	// BFS from each root, reporting the offending chain once per root.
+	for _, n := range nodes {
+		if !n.root {
+			continue
+		}
+		type step struct {
+			fn   *types.Func
+			via  []string
+			node *fnode
+		}
+		seen := make(map[*types.Func]bool)
+		start, _ := pass.Info.Defs[n.decl.Name].(*types.Func)
+		queue := []step{{fn: start, via: []string{n.decl.Name.Name}, node: n}}
+		seen[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.node == nil {
+				continue
+			}
+			if cur.node.gobCall != token.NoPos {
+				if len(cur.via) == 1 {
+					pass.Reportf(cur.node.gobCall, "data-plane function %s uses encoding/gob — the data plane is reflection-free by contract (docs/WIRE.md); add a binary codec in wire.go instead", cur.via[0])
+				} else {
+					pass.Reportf(n.decl.Name.Pos(), "data-plane function %s reaches encoding/gob via %s — the data plane is reflection-free by contract (docs/WIRE.md); add a binary codec in wire.go instead",
+						cur.via[0], strings.Join(cur.via, " → "))
+				}
+				break
+			}
+			for _, callee := range cur.node.callees {
+				if seen[callee] {
+					continue
+				}
+				seen[callee] = true
+				queue = append(queue, step{fn: callee, via: append(append([]string(nil), cur.via...), callee.Name()), node: nodes[callee]})
+			}
+		}
+	}
+	return nil
+}
+
+// isGobSelector reports whether sel is a reference into encoding/gob.
+func isGobSelector(pass *Pass, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "encoding/gob"
+}
+
+// staticCallee resolves a call to its target *types.Func when the target
+// is statically known (plain functions and concrete methods).
+func staticCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				// Interface dispatch is not static.
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); !isIface {
+					return fn
+				}
+			}
+			return nil
+		}
+		if fn, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn // package-qualified call
+		}
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+package atomicfieldtest
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64
+	ok   uint32
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n) // ok: atomic access to an atomic field
+}
+
+func (c *counter) racy() int64 {
+	return c.n // want `field n is accessed with sync/atomic elsewhere.*atomic.Int64`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `field n is accessed with sync/atomic elsewhere`
+}
+
+func (c *counter) plain() { c.hits++ } // ok: hits is never touched atomically
+
+func (c *counter) addOK()         { atomic.AddUint32(&c.ok, 1) }
+func (c *counter) loadOK() uint32 { return atomic.LoadUint32(&c.ok) }

@@ -1,0 +1,61 @@
+// Package cleantest is the non-flagging golden package: every analyzer in
+// the suite must stay silent on it.
+package cleantest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type TraceContext struct{ ID uint64 }
+
+const (
+	wireTagGet uint16 = 1
+	walTagSet  uint16 = 32
+)
+
+func RegisterWire(tag uint16, fn func([]byte) any) {}
+
+type getReq struct{ K string }
+
+func (getReq) WireTag() uint16 { return wireTagGet }
+
+func init() {
+	RegisterWire(wireTagGet, func(b []byte) any { return getReq{} })
+}
+
+func encodeSet(buf []byte) []byte { return append(buf, byte(walTagSet)) }
+
+func replay(tag uint16) bool {
+	switch tag {
+	case walTagSet:
+		return true
+	}
+	return false
+}
+
+type node struct {
+	mu  sync.Mutex
+	n   int64 // guarded by mu
+	raw int64
+	out chan any
+}
+
+func (nd *node) bump() {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	nd.n++
+}
+
+func (nd *node) count()       { atomic.AddInt64(&nd.raw, 1) }
+func (nd *node) total() int64 { return atomic.LoadInt64(&nd.raw) }
+
+func (nd *node) send(m any)                    { nd.out <- m }
+func (nd *node) sendTr(tr TraceContext, m any) { nd.out <- tr; nd.out <- m }
+
+//dbdht:dataplane
+func (nd *node) handleGet(ctx context.Context, tr TraceContext, r getReq) {
+	<-ctx.Done()
+	nd.sendTr(tr, getReq{K: r.K})
+}

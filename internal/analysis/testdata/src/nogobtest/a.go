@@ -1,0 +1,32 @@
+package nogobtest
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+//dbdht:dataplane
+func handleDirect(v any) {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(v) // want `data-plane function handleDirect uses encoding/gob`
+}
+
+//dbdht:dataplane
+func handleChain(v any) { // want `data-plane function handleChain reaches encoding/gob via handleChain → helper → encodeGob`
+	helper(v)
+}
+
+func helper(v any) { encodeGob(v) }
+
+func encodeGob(v any) {
+	var buf bytes.Buffer
+	_ = gob.NewEncoder(&buf).Encode(v)
+}
+
+//dbdht:dataplane
+func handleClean(v []byte) []byte {
+	return append([]byte{1}, v...)
+}
+
+// controlPlane may use gob: it is not a dataplane root.
+func controlPlane(v any) { encodeGob(v) }

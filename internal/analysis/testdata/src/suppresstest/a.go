@@ -1,0 +1,26 @@
+// Package suppresstest exercises the //lint:dbdht suppression policy; its
+// expectations are asserted directly (not via want comments) because the
+// suppression marker is itself a comment and cannot share a line with one.
+package suppresstest
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (b *box) justified() int {
+	//lint:dbdht lockguard test justification: read is benign here
+	return b.n
+}
+
+func (b *box) unjustified() int {
+	//lint:dbdht lockguard
+	return b.n
+}
+
+func (b *box) wrongAnalyzer() int {
+	//lint:dbdht wiretag justification for a different analyzer
+	return b.n
+}

@@ -1,0 +1,80 @@
+package tracectxtest
+
+import "context"
+
+type TraceContext struct{ ID uint64 }
+
+type fooReq struct{ K string }
+
+type fooResp struct{ V string }
+
+type node struct{ out chan any }
+
+func (n *node) send(m any) { n.out <- m }
+
+func (n *node) sendTr(tr TraceContext, m any) {
+	n.out <- tr
+	n.out <- m
+}
+
+func (n *node) rpc(m any) any {
+	n.out <- m
+	return nil
+}
+
+func (n *node) rpcTr(tr TraceContext, m any) any {
+	n.out <- tr
+	n.out <- m
+	return nil
+}
+
+func (n *node) forward(tr TraceContext, k string) {
+	n.sendTr(tr, fooReq{K: k}) // ok: traced variant
+}
+
+func (n *node) reply(tr TraceContext, v string) {
+	_ = tr.ID
+	n.send(fooResp{V: v}) // ok: responses are deliberately untraced
+}
+
+func (n *node) dropped(tr TraceContext, k string) { // want `trace context parameter tr is never used`
+	n.send(fooReq{K: k}) // want `request sent via n.send while a trace context is in scope — use sendTr`
+}
+
+func (n *node) partial(tr TraceContext, k string) {
+	n.sendTr(tr, fooReq{K: k})
+	n.send(fooReq{K: k + "2"}) // want `use sendTr`
+}
+
+func (n *node) call(tr TraceContext, k string) any {
+	_ = tr.ID
+	return n.rpc(fooReq{K: k}) // want `use rpcTr`
+}
+
+func run(ctx context.Context) { <-ctx.Done() }
+
+func lookup(ctx context.Context) {
+	go run(context.Background()) // want `context.Background\(\) inside a function that already has a context parameter`
+	run(ctx)
+}
+
+func todoer(ctx context.Context) {
+	run(context.TODO()) // want `context.TODO\(\) inside a function that already has a context parameter`
+	run(ctx)
+}
+
+func ignores(ctx context.Context, k string) string { // want `context.Context parameter ctx is never used`
+	return k
+}
+
+func blankOK(_ context.Context, k string) string { return k }
+
+func late(k string, ctx context.Context) { // want `context.Context parameter ctx should be the function's first parameter`
+	_ = k
+	run(ctx)
+}
+
+func traceFirst(tr TraceContext, ctx context.Context) { // ok: trace params may lead
+	_ = tr.ID
+	run(ctx)
+}

@@ -1,0 +1,70 @@
+package wiretagtest // want `registry entry wireTagGone = 7 in .*tags.lock has no constant`
+
+// RegisterWire stands in for the transport registry.
+func RegisterWire(tag uint16, fn func([]byte) any) {}
+
+const (
+	wireTagPing  uint16 = 1
+	wireTagPong  uint16 = 2
+	wireTagDup   uint16 = 2 // want `tag wireTagDup reuses value 2 already held by wireTagPong` `tag wireTagDup = 2 collides with registry entry wireTagPong`
+	wireTagNovel uint16 = 9 // want `tag wireTagNovel = 9 is not registered`
+	wireTagMoved uint16 = 5 // want `tag wireTagMoved = 5 disagrees with registry \(.*tags.lock says 4\)`
+	wireTagBurn  uint16 = 6 // want `tag wireTagBurn = 6 collides with registry entry retired`
+	wireTagNoDec uint16 = 8 // want `wire tag wireTagNoDec has no decoder`
+)
+
+const (
+	walTagPut   uint16 = 32
+	walTagNoEnc uint16 = 33 // want `WAL tag walTagNoEnc has no encoder`
+)
+
+type ping struct{}
+
+func (ping) WireTag() uint16 { return wireTagPing }
+
+type pong struct{}
+
+func (pong) WireTag() uint16 { return wireTagPong }
+
+type dup struct{}
+
+func (dup) WireTag() uint16 { return wireTagDup }
+
+type novel struct{}
+
+func (novel) WireTag() uint16 { return wireTagNovel }
+
+type moved struct{}
+
+func (moved) WireTag() uint16 { return wireTagMoved }
+
+type burn struct{}
+
+func (burn) WireTag() uint16 { return wireTagBurn }
+
+type noDec struct{}
+
+func (noDec) WireTag() uint16 { return wireTagNoDec }
+
+func init() {
+	RegisterWire(wireTagPing, func(b []byte) any { return ping{} })
+	RegisterWire(wireTagPong, func(b []byte) any { return pong{} })
+	RegisterWire(wireTagDup, func(b []byte) any { return dup{} })
+	RegisterWire(wireTagNovel, func(b []byte) any { return novel{} })
+	RegisterWire(wireTagMoved, func(b []byte) any { return moved{} })
+	RegisterWire(wireTagBurn, func(b []byte) any { return burn{} })
+}
+
+func encodePut(buf []byte) []byte {
+	return append(buf, byte(uint64(walTagPut)))
+}
+
+func replay(tag uint16) int {
+	switch tag {
+	case walTagPut:
+		return 1
+	case walTagNoEnc:
+		return 2
+	}
+	return 0
+}

@@ -70,6 +70,8 @@ func init() {
 // handleBatch serves a batch: local keys are applied immediately, the rest
 // are regrouped by next hop and forwarded as sub-batches awaited in
 // parallel.  Runs outside the actor loop (it performs nested RPCs).
+//
+//dbdht:dataplane
 func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 	if m.ReadReplica {
 		s.serveReplicaRead(m, tr)
@@ -141,7 +143,7 @@ func (s *Snode) handleBatch(m batchReq, tr transport.TraceContext) {
 			h := hashes[i]
 			if ref, p, ok := s.ownedForLocked(h); ok {
 				bk := ref.bk
-				if bk.state == bucketFrozen && m.Kind != opGet { // state reads are safe under s.mu
+				if bk.state == bucketFrozen && m.Kind != opGet { //lint:dbdht lockguard state transitions under BOTH s.mu and bk.mu, so this read under s.mu is race-free
 					frozen = append(frozen, i)
 					continue
 				}
@@ -634,6 +636,8 @@ func (c *Cluster) planFailover(failed transport.NodeID, idxs []int, items []batc
 // and whatever remains is retried once through the normal lookup path via
 // fresh entry snodes — hosts that just failed are not re-picked — before
 // per-key errors surface.
+//
+//dbdht:dataplane
 func (c *Cluster) mbatch(kind dataOp, keys []string, items []batchItem) ([]BatchResult, error) {
 	results := make([]BatchResult, len(items))
 	for i, k := range keys {

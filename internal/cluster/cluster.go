@@ -29,19 +29,19 @@ type Cluster struct {
 	net transport.Network
 
 	pendMu  sync.Mutex
-	pending map[uint64]chan any
+	pending map[uint64]chan any // guarded by pendMu
 	opSeq   atomic.Uint64
 
 	mu           sync.Mutex
-	snodes       map[transport.NodeID]*Snode
-	order        []transport.NodeID
-	caps         map[transport.NodeID]float64 // per-snode capacity weights
-	deadCaps     map[transport.NodeID]float64 // weights of crashed snodes, for RestartSnode
-	nextID       transport.NodeID
-	viewEpoch    uint64
-	bootstrapped bool
-	firstOwner   ownerRef
-	rng          *rand.Rand
+	snodes       map[transport.NodeID]*Snode  // guarded by mu
+	order        []transport.NodeID           // guarded by mu
+	caps         map[transport.NodeID]float64 // guarded by mu; per-snode capacity weights
+	deadCaps     map[transport.NodeID]float64 // guarded by mu; weights of crashed snodes, for RestartSnode
+	nextID       transport.NodeID             // guarded by mu
+	viewEpoch    uint64                       // guarded by mu
+	bootstrapped bool                         // guarded by mu
+	firstOwner   ownerRef                     // guarded by mu
+	rng          *rand.Rand                   // guarded by mu
 
 	// Autonomous balancer state (see balancer.go).
 	balMu     sync.Mutex // serializes balance rounds
@@ -61,13 +61,13 @@ type Cluster struct {
 	// Owner-route cache learned from batch responses: batches aim straight
 	// at believed owners instead of random entry snodes.
 	routeMu   sync.Mutex
-	routes    map[hashspace.Partition]route
-	routeLvls levelSet
+	routes    map[hashspace.Partition]route // guarded by routeMu
+	routeLvls levelSet                      // guarded by routeMu
 
 	retiredMu  sync.Mutex
-	retired    StatsSnapshot     // counters of snodes that left the cluster
-	retiredWal wal.StatsSnapshot // durability counters of snodes that left
-	retiredLat LatencySnapshot   // latency histograms of snodes that left
+	retired    StatsSnapshot     // guarded by retiredMu; counters of snodes that left the cluster
+	retiredWal wal.StatsSnapshot // guarded by retiredMu; durability counters of snodes that left
+	retiredLat LatencySnapshot   // guarded by retiredMu; latency histograms of snodes that left
 
 	// Observability at the handle: the head sampler for client operations,
 	// the client-side span ring, the batch sub-RPC latency histogram, the

@@ -87,7 +87,7 @@ type durable struct {
 	// which also guarantees a fresh pass never writes into (or aborts
 	// away) the directory the manifest currently references.
 	snapMu  sync.Mutex
-	lastCut uint64
+	lastCut uint64 // guarded by snapMu
 }
 
 // durAppend journals one encoded record; 0 means durability is off or
@@ -135,6 +135,8 @@ func snodeDataDir(root string, id transport.NodeID) string {
 // openDurability opens the snode's WAL and replays snapshot + tail into
 // its (not yet serving) state.  Called by newSnode before the actor
 // starts, so no locks are needed.
+//
+//dbdht:exclusive
 func (s *Snode) openDurability() error {
 	dc := s.cfg.Durability
 	root := snodeDataDir(dc.Dir, s.id)
@@ -225,6 +227,8 @@ func (s *Snode) ownedRoutes() []routeEntry {
 
 // loadSnapshot rebuilds the snode's state from one complete snapshot
 // directory.  Runs pre-start: no locks.
+//
+//dbdht:exclusive
 func (s *Snode) loadSnapshot(dir string) error {
 	payload, err := wal.ReadSnapshot(filepath.Join(dir, "meta.snap"))
 	if err != nil {
@@ -302,6 +306,8 @@ func (s *Snode) loadSnapshot(dir string) error {
 // applyWalRecord decodes and applies one journal record during recovery.
 // Runs pre-start: no locks, no fabric.  Records are idempotent, so a
 // record the snapshot already reflects applies harmlessly.
+//
+//dbdht:exclusive
 func (s *Snode) applyWalRecord(seq uint64, payload []byte) error {
 	r := transport.NewWireReader(payload)
 	tag := r.Uvarint()
@@ -499,7 +505,10 @@ func (s *Snode) snapshotPass() error {
 	defer s.dur.snapMu.Unlock()
 	const maxAttempts = 3
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		ok, err := s.trySnapshot()
+		cut, ok, err := s.trySnapshot(s.dur.lastCut)
+		if ok {
+			s.dur.lastCut = cut
+		}
 		if ok || err != nil {
 			return err
 		}
@@ -511,19 +520,22 @@ func (s *Snode) snapshotPass() error {
 	return fmt.Errorf("cluster: snode %d: snapshot aborted %d times by concurrent handovers; retry when migration settles", s.id, maxAttempts)
 }
 
-// trySnapshot runs one snapshot attempt; ok=false (with nil error) means
-// a bucket died mid-pass and the caller should retry.
-func (s *Snode) trySnapshot() (ok bool, err error) {
+// trySnapshot runs one snapshot attempt against the last published cut;
+// ok=false (with nil error) means a bucket died mid-pass and the caller
+// should retry.  On ok it returns the cut now published, which the caller
+// records as lastCut — the caller (snapshotPass) owns that field's guard,
+// so the guarded access stays where snapMu is visibly held.
+func (s *Snode) trySnapshot(lastCut uint64) (newCut uint64, ok bool, err error) {
 	cut := s.dur.log.NextSeq()
-	if cut <= s.dur.lastCut {
+	if cut <= lastCut {
 		// No record landed since the published snapshot: it is already
 		// current, and re-running would write into (and, on abort, delete)
 		// the very directory the manifest references.
-		return true, nil
+		return lastCut, true, nil
 	}
 	dir := filepath.Join(s.dur.snapRoot, strconv.FormatUint(cut, 10))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return false, fmt.Errorf("cluster: snapshot: %w", err)
+		return lastCut, false, fmt.Errorf("cluster: snapshot: %w", err)
 	}
 	abort := func() {
 		_ = os.RemoveAll(dir)
@@ -581,14 +593,14 @@ func (s *Snode) trySnapshot() (ok bool, err error) {
 		if o.bk.state == bucketDead {
 			o.bk.mu.RUnlock()
 			abort()
-			return false, nil // moved or split away; retry with a fresh cut
+			return lastCut, false, nil // moved or split away; retry with a fresh cut
 		}
 		payload := encodeSnapBucket(nil, o.p, o.bk.m)
 		o.bk.mu.RUnlock()
 		name := fmt.Sprintf("own-%d-%d.snap", o.p.Level, o.p.Prefix)
 		if err := stats.WriteSnapshot(filepath.Join(dir, name), payload); err != nil {
 			abort()
-			return false, err
+			return lastCut, false, err
 		}
 	}
 	// Replica buckets are guarded by s.mu; serialize one at a time so the
@@ -608,34 +620,33 @@ func (s *Snode) trySnapshot() (ok bool, err error) {
 		name := fmt.Sprintf("repl-%d-%d.snap", p.Level, p.Prefix)
 		if err := stats.WriteSnapshot(filepath.Join(dir, name), payload); err != nil {
 			abort()
-			return false, err
+			return lastCut, false, err
 		}
 	}
 	if err := stats.WriteSnapshot(filepath.Join(dir, "meta.snap"), encodeSnapMeta(nil, meta)); err != nil {
 		abort()
-		return false, err
+		return lastCut, false, err
 	}
 	// Publish: fsync the log through the cut (records below it must not
 	// be lost once the segments holding them are truncated), then flip
 	// the manifest and drop what the snapshot covers.
 	if err := s.dur.log.Sync(); err != nil {
 		abort()
-		return false, err
+		return lastCut, false, err
 	}
 	if err := stats.WriteSnapshot(filepath.Join(s.dur.snapRoot, "MANIFEST"), encodeManifest(cut)); err != nil {
 		abort()
-		return false, err
+		return lastCut, false, err
 	}
-	s.dur.lastCut = cut
 	if cut > 0 {
 		if err := s.dur.log.TruncateThrough(cut - 1); err != nil {
-			return true, err
+			return cut, true, err
 		}
 	}
 	// Retire superseded snapshot directories.
 	ents, err := os.ReadDir(s.dur.snapRoot)
 	if err != nil {
-		return true, nil
+		return cut, true, nil
 	}
 	for _, e := range ents {
 		if !e.IsDir() || e.Name() == strconv.FormatUint(cut, 10) {
@@ -645,7 +656,7 @@ func (s *Snode) trySnapshot() (ok bool, err error) {
 			_ = os.RemoveAll(filepath.Join(s.dur.snapRoot, e.Name()))
 		}
 	}
-	return true, nil
+	return cut, true, nil
 }
 
 // SnapshotNow forces one snapshot+truncate pass on every live snode —

@@ -488,6 +488,8 @@ func (s *Snode) handleMigBegin(m migBeginReq) {
 }
 
 // handleMigChunk folds one chunk into the staging bucket.  Runs inline.
+//
+//dbdht:dataplane
 func (s *Snode) handleMigChunk(m migChunkReq) {
 	s.mu.Lock()
 	st, ok := s.migIn[m.Partition]
@@ -506,6 +508,8 @@ func (s *Snode) handleMigChunk(m migChunkReq) {
 // whole-bucket install, same bookkeeping: ownership index, level/group
 // adoption, custody cleanup, replica re-homing before the ack.  Runs in
 // its own goroutine (re-homing performs nested RPCs).
+//
+//dbdht:dataplane
 func (s *Snode) handleMigCommit(m migCommitReq, tr transport.TraceContext) {
 	sp := beginSpan(tr, "mig.install")
 	defer func() { s.tracer.finish(sp, s.id, "") }()

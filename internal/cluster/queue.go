@@ -8,9 +8,9 @@ import "sync"
 // events within a group, §3.6).
 type queue[T any] struct {
 	mu     sync.Mutex
-	items  []T
+	items  []T // guarded by mu
 	wake   chan struct{}
-	closed bool
+	closed bool // guarded by mu
 }
 
 func newQueue[T any]() *queue[T] {

@@ -324,6 +324,8 @@ func (s *Snode) handleViewUpdate(m viewUpdate) {
 	s.mu.Unlock()
 }
 
+//
+//dbdht:dataplane
 func (s *Snode) handleReplWrite(m replWriteReq, tr transport.TraceContext) {
 	sp := beginSpan(tr, "repl.write")
 	s.mu.Lock()
@@ -474,6 +476,8 @@ func (s *Snode) handleReplDrop(m replDropMsg) {
 // replica), so a probe planned against the pre-promotion placement must
 // serve from the promoted bucket — not from whatever stale shallower
 // replica leftover still covers the key.
+//
+//dbdht:dataplane
 func (s *Snode) serveReplicaRead(m batchReq, tr transport.TraceContext) {
 	sp := beginSpan(tr, "repl.read")
 	results := make([]batchItemResp, len(m.Items))
@@ -547,6 +551,8 @@ type replFanMeta struct {
 // repairs the replica later); an error is returned only when this snode is
 // stopping, in which case the write must NOT be acknowledged — the
 // primary's copy dies with it.
+//
+//dbdht:dataplane
 func (s *Snode) replicate(kind dataOp, writes map[hashspace.Partition][]batchItem, dests map[hashspace.Partition][]transport.NodeID, meta map[hashspace.Partition]replFanMeta, tr transport.TraceContext) error {
 	byHost := make(map[transport.NodeID][]replWriteSet)
 	for p, items := range writes {
@@ -831,7 +837,7 @@ func (s *Snode) antiEntropyPass() {
 			// forever), but they are neither probed nor advanced this
 			// pass.
 			cur[p] = s.replicaHostsLocked(p)
-			if !vs.joined || bk.state != bucketLive { // state reads are safe under s.mu
+			if !vs.joined || bk.state != bucketLive { //lint:dbdht lockguard state transitions under BOTH s.mu and bk.mu, so this read under s.mu is race-free
 				frozen[p] = true
 			}
 		}

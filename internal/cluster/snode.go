@@ -235,9 +235,13 @@ const (
 // still guards the *maps* of buckets (ownership, custody, membership);
 // the data inside a bucket is guarded by the bucket's mutex alone.
 type bucket struct {
-	mu    sync.RWMutex
+	mu sync.RWMutex
+	// state transitions under BOTH s.mu and mu (setStateLocked), so a
+	// read under either lock is race-free; guarded by mu as far as the
+	// analyzer can see — single-lock readers under s.mu carry a
+	// per-site suppression.
 	state bucketState
-	m     map[string][]byte
+	m     map[string][]byte // guarded by mu
 	// ver counts write batches applied to this bucket (guarded by mu).
 	// It piggybacks on the replica fan-out so replicas can rank
 	// themselves by recency in a failover election; a promoted bucket
@@ -305,39 +309,39 @@ type Snode struct {
 	inbox <-chan transport.Envelope
 
 	rngMu sync.Mutex
-	rng   *rand.Rand
+	rng   *rand.Rand // guarded by rngMu
 
 	mu        sync.Mutex
-	vnodes    map[VnodeName]*vnodeState
-	owned     map[hashspace.Partition]ownedRef // ownership index over every hosted vnode's partitions
-	ownedLvls levelSet
-	nextLocal int
-	tombs     map[hashspace.Partition]ownerRef // custody forwarding pointers
-	tombLvls  levelSet
-	cache     map[hashspace.Partition]ownerRef // requester-side accelerator
-	cacheLvls levelSet
-	boot      ownerRef
-	hasBoot   bool
-	replicas  map[core.GroupID]*lpdrState
-	led       map[core.GroupID]*ledGroup
-	view      []transport.NodeID                        // sorted DHT membership (replica placement)
-	viewEpoch uint64                                    // highest membership epoch seen
-	rparts    map[hashspace.Partition]map[string][]byte // replica buckets backed for other primaries
-	rpartLvls levelSet
-	migIn     map[hashspace.Partition]*migInbound        // staging buckets of inbound live migrations
-	rprov     map[hashspace.Partition]bool               // replica buckets not yet full-synced (write-created)
-	rmeta     map[hashspace.Partition]*replMeta          // volatile failover metadata per replica bucket
-	placed    map[hashspace.Partition][]transport.NodeID // replica hosts last reconciled per owned partition
-	inDoubt   map[hashspace.Partition]*migIntent         // unresolved journaled migration intents (recovery)
+	vnodes    map[VnodeName]*vnodeState                  // guarded by mu
+	owned     map[hashspace.Partition]ownedRef           // guarded by mu; ownership index over every hosted vnode's partitions
+	ownedLvls levelSet                                   // guarded by mu
+	nextLocal int                                        // guarded by mu
+	tombs     map[hashspace.Partition]ownerRef           // guarded by mu; custody forwarding pointers
+	tombLvls  levelSet                                   // guarded by mu
+	cache     map[hashspace.Partition]ownerRef           // guarded by mu; requester-side accelerator
+	cacheLvls levelSet                                   // guarded by mu
+	boot      ownerRef                                   // guarded by mu
+	hasBoot   bool                                       // guarded by mu
+	replicas  map[core.GroupID]*lpdrState                // guarded by mu
+	led       map[core.GroupID]*ledGroup                 // guarded by mu
+	view      []transport.NodeID                         // guarded by mu; sorted DHT membership (replica placement)
+	viewEpoch uint64                                     // guarded by mu; highest membership epoch seen
+	rparts    map[hashspace.Partition]map[string][]byte  // guarded by mu; replica buckets backed for other primaries
+	rpartLvls levelSet                                   // guarded by mu
+	migIn     map[hashspace.Partition]*migInbound        // guarded by mu; staging buckets of inbound live migrations
+	rprov     map[hashspace.Partition]bool               // guarded by mu; replica buckets not yet full-synced (write-created)
+	rmeta     map[hashspace.Partition]*replMeta          // guarded by mu; volatile failover metadata per replica bucket
+	placed    map[hashspace.Partition][]transport.NodeID // guarded by mu; replica hosts last reconciled per owned partition
+	inDoubt   map[hashspace.Partition]*migIntent         // guarded by mu; unresolved journaled migration intents (recovery)
 
 	// sendOrd serializes replica-plane sends per destination, so a full
 	// sync and the writes racing it reach a replica in an order
 	// consistent with the primary's apply order (see syncReplica).
 	sendOrdMu sync.Mutex
-	sendOrd   map[transport.NodeID]*sync.Mutex
+	sendOrd   map[transport.NodeID]*sync.Mutex // guarded by sendOrdMu
 
 	pendMu  sync.Mutex
-	pending map[uint64]chan any
+	pending map[uint64]chan any // guarded by pendMu
 	opSeq   atomic.Uint64
 
 	// dur is the durability layer (nil when Config.Durability is off);
@@ -412,12 +416,16 @@ func newSnode(id transport.NodeID, cfg Config, net transport.Network) (*Snode, e
 		return nil, err
 	}
 	s.inbox = inbox
+	// Read recovery state BEFORE the actor loop starts: once loop() runs,
+	// s.inDoubt belongs to s.mu and an unlocked read here would race with
+	// intent resolution (caught by the lockguard analyzer).
+	hasInDoubt := len(s.inDoubt) > 0
 	go s.loop()
 	go s.loadLoop()
 	if cfg.Replicas > 1 {
 		go s.antiEntropyLoop()
 	}
-	if len(s.inDoubt) > 0 {
+	if hasInDoubt {
 		go s.resolveIntents()
 	}
 	if s.dur != nil && s.dur.interval > 0 {
@@ -792,6 +800,8 @@ func (s *Snode) setCacheLocked(p hashspace.Partition, ref ownerRef) {
 // A traced lookup records one span per snode visited — "lookup.serve" at
 // the owner, "lookup.hop" at every forwarder — so a custody chain is
 // visible end to end.
+//
+//dbdht:dataplane
 func (s *Snode) handleLookup(m lookupReq, tr transport.TraceContext) {
 	sp := beginSpan(tr, "lookup.serve")
 	s.mu.Lock()
@@ -941,7 +951,7 @@ func (s *Snode) handleTransfer(m transferReq) {
 	// live partition not already streaming out, per the configured policy.
 	var candidates []hashspace.Partition
 	for p, bk := range vs.parts {
-		if bk.state == bucketLive && bk.mig == nil { // state/mig reads are safe under s.mu
+		if bk.state == bucketLive && bk.mig == nil { //lint:dbdht lockguard state and mig transition under BOTH s.mu and bk.mu, so this read under s.mu is race-free
 			candidates = append(candidates, p)
 		}
 	}

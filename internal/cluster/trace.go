@@ -145,8 +145,8 @@ func beginSpan(tr transport.TraceContext, name string) activeSpan {
 // never grows, so a forgotten sampler at 1.0 costs bounded memory.
 type tracer struct {
 	mu  sync.Mutex
-	buf []Span
-	n   uint64 // spans recorded over the tracer's lifetime
+	buf []Span // guarded by mu
+	n   uint64 // spans recorded over the tracer's lifetime; guarded by mu
 }
 
 // defaultTraceBufferSize is the per-snode span ring capacity.

@@ -32,10 +32,10 @@ import (
 // one keeps failing fast).
 type TCP struct {
 	mu        sync.RWMutex
-	addr      string // listen address, e.g. "127.0.0.1:0"
-	endpoints map[NodeID]*tcpEndpoint
-	budget    int
-	closed    bool
+	addr      string                  // listen address, e.g. "127.0.0.1:0"
+	endpoints map[NodeID]*tcpEndpoint // guarded by mu
+	budget    int                     // guarded by mu
+	closed    bool                    // guarded by mu
 }
 
 // DefaultWriterBudget bounds the bytes queued on one outbound connection
@@ -49,8 +49,8 @@ type tcpEndpoint struct {
 	box    *mailbox
 	budget int
 	mu     sync.Mutex
-	conns  map[NodeID]*outConn // ordered-pair outbound connections
-	closed bool
+	conns  map[NodeID]*outConn // ordered-pair outbound connections; guarded by mu
+	closed bool                // guarded by mu
 	wg     sync.WaitGroup
 }
 
@@ -70,10 +70,10 @@ type outConn struct {
 	budget int
 
 	mu     sync.Mutex
-	buf    []byte // pending frames, appended by senders
-	spare  []byte // recycled slab, swapped in by the writer
-	closed bool
-	c      net.Conn // set by the writer once dialed
+	buf    []byte   // pending frames, appended by senders; guarded by mu
+	spare  []byte   // recycled slab, swapped in by the writer; guarded by mu
+	closed bool     // guarded by mu
+	c      net.Conn // set by the writer once dialed; guarded by mu
 	wake   chan struct{}
 }
 

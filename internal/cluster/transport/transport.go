@@ -67,11 +67,11 @@ type Network interface {
 // nothing queued and nothing in flight, so FIFO order is preserved.
 type mailbox struct {
 	mu         sync.Mutex
-	queue      []timedEnvelope
-	delivering bool // pump holds an undelivered batch outside the lock
+	queue      []timedEnvelope // guarded by mu
+	delivering bool            // pump holds an undelivered batch outside the lock; guarded by mu
 	wake       chan struct{}
 	out        chan Envelope
-	closed     bool
+	closed     bool // guarded by mu
 	latency    time.Duration
 }
 
@@ -170,8 +170,8 @@ func (m *mailbox) close() {
 // Mem is the in-memory fabric.
 type Mem struct {
 	mu      sync.RWMutex
-	boxes   map[NodeID]*mailbox
-	closed  bool
+	boxes   map[NodeID]*mailbox // guarded by mu
+	closed  bool                // guarded by mu
 	latency time.Duration
 }
 

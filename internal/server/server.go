@@ -38,7 +38,7 @@ type Server struct {
 	// counters matter most exactly when part of the cluster is sick).
 	// Scrapes serve the cache and refresh it in the background.
 	loadMu      sync.Mutex
-	loads       []cluster.SnodeLoad
+	loads       []cluster.SnodeLoad // guarded by loadMu
 	loadRefresh atomic.Bool
 }
 

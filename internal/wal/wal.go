@@ -154,14 +154,14 @@ type Log struct {
 	opts Options
 
 	mu       sync.Mutex
-	f        *os.File // current tail segment
-	fSize    int64    // bytes written to f (buffered included)
-	firstSeq uint64   // first sequence of the current segment
-	nextSeq  uint64   // sequence the next Append returns
-	buf      []byte   // records buffered since the last flush
-	spare    []byte   // recycled flush slab (swapped with buf each round)
-	closed   bool
-	failed   bool // fail-stop after an unrecoverable I/O error
+	f        *os.File // current tail segment; guarded by mu
+	fSize    int64    // bytes written to f (buffered included); guarded by mu
+	firstSeq uint64   // first sequence of the current segment; guarded by mu
+	nextSeq  uint64   // sequence the next Append returns; guarded by mu
+	buf      []byte   // records buffered since the last flush; guarded by mu
+	spare    []byte   // recycled flush slab (swapped with buf each round); guarded by mu
+	closed   bool     // guarded by mu
+	failed   bool     // fail-stop after an unrecoverable I/O error; guarded by mu
 
 	// Group commit: appenders publish the seq they need durable and wait
 	// on cond; the flusher goroutine flushes (and fsyncs, per mode) and
@@ -170,8 +170,8 @@ type Log struct {
 	// also wakes every durability waiter.
 	cond       *sync.Cond    // broadcasts durableSeq advances and close
 	wake       chan struct{} // capacity 1: flusher work signal
-	durableSeq uint64        // highest seq known flushed (+synced, per mode)
-	flushedSeq uint64        // highest seq handed to the OS
+	durableSeq uint64        // highest seq known flushed (+synced, per mode); guarded by mu
+	flushedSeq uint64        // highest seq handed to the OS; guarded by mu
 	done       chan struct{}
 
 	// flushMu serializes flushThrough: the buffer grab and the file write
