@@ -19,6 +19,10 @@
 //	dhtsim -exp restart         # durability: kill -9 one snode (R=1) and replay its WAL
 //	dhtsim -exp failover        # self-healing: primary killed under sustained writes, replicas promote
 //	dhtsim -exp trace           # observability: traced MPut with latency tails and a span dump
+//	dhtsim -exp partition       # nemesis: 2s symmetric partition + heal, invariants machine-checked
+//	dhtsim -exp slowlink        # nemesis: 250ms±50ms delay + 5% drop between snode halves
+//	dhtsim -exp slowdisk        # nemesis: slow and failing fsyncs under durable writes
+//	dhtsim -exp ycsb            # YCSB-B mix with scans and chunked blobs, open-loop paced
 //	dhtsim -exp all             # everything above
 //
 // Flags -runs, -vnodes, -seed, -sample scale the effort; the defaults match
@@ -44,25 +48,85 @@ import (
 	"dbdht/internal/viz"
 )
 
+// expCtx is what every experiment runs with: the simulation options,
+// the chosen table printer, and where scenario BENCH records go.
+type expCtx struct {
+	o        sim.Options
+	print    printFn
+	benchDir string
+}
+
+// experiment is one -exp entry.  The registry below is the single
+// source of truth for experiment names: dispatch, validation, and the
+// usage text all iterate it, so a new experiment cannot be reachable
+// but unlisted (or listed but unreachable).
+type experiment struct {
+	name, desc string
+	run        func(expCtx) error
+}
+
+var experiments = []experiment{
+	{"fig4", "σ̄(Q_v) for Pmin=Vmin ∈ {8..128}", func(e expCtx) error { return fig4(e.o, e.print) }},
+	{"fig5", "θ tradeoff, minimum at Vmin=32", func(e expCtx) error { return fig5(e.o) }},
+	{"fig6", "σ̄(Q_v), Pmin=32, Vmin ∈ {8..512}", func(e expCtx) error { return fig6(e.o, e.print) }},
+	{"fig7", "G_real vs G_ideal, Pmin=Vmin=32", func(e expCtx) error { return fig7(e.o, e.print) }},
+	{"fig8", "σ̄(Q_g), Pmin=Vmin=32", func(e expCtx) error { return fig8(e.o, e.print) }},
+	{"fig9", "local vs Consistent Hashing", func(e expCtx) error { return fig9(e.o, e.print) }},
+	{"stability", "§4.1.1: plateau stable out to 8192 vnodes", func(e expCtx) error { return stability(e.o, e.print) }},
+	{"ratio", "§4.1.1: ~30% σ̄ drop per doubling", func(e expCtx) error { return ratio(e.o) }},
+	{"hetero", "weighted nodes: model vs weighted CH", func(e expCtx) error { return hetero(e.o) }},
+	{"skew", "live balancer under a 10× hot-spot write skew", func(e expCtx) error { return skew(e.o) }},
+	{"crash", "crash-and-recover: R=2 replication under a kill", func(e expCtx) error { return crash(e.o) }},
+	{"restart", "durability: kill -9 one snode (R=1) and replay its WAL", func(e expCtx) error { return restart(e.o) }},
+	{"failover", "self-healing: primary killed under sustained writes", func(e expCtx) error { return failover(e.o) }},
+	{"trace", "observability: traced MPut with latency tails", func(e expCtx) error { return traceDemo(e.o.Seed) }},
+	{"partition", "nemesis: symmetric partition + heal under zipfian writes", func(e expCtx) error {
+		return runScenario(partitionScenario(), e.o.Seed, e.benchDir)
+	}},
+	{"slowlink", "nemesis: slow + lossy link between snode halves", func(e expCtx) error {
+		return runScenario(slowlinkScenario(), e.o.Seed, e.benchDir)
+	}},
+	{"slowdisk", "nemesis: slow and failing fsyncs under durable writes", func(e expCtx) error {
+		return runScenario(slowdiskScenario(), e.o.Seed, e.benchDir)
+	}},
+	{"ycsb", "YCSB-B mix with scans and chunked blobs, open-loop paced", func(e expCtx) error {
+		return runScenario(ycsbScenario(), e.o.Seed, e.benchDir)
+	}},
+}
+
+// experimentNames lists every registered -exp value, in order.
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig4 fig5 fig6 fig7 fig8 fig9 stability ratio hetero skew crash restart failover trace all")
-		runs   = flag.Int("runs", 100, "independent runs to average (paper: 100)")
-		vnodes = flag.Int("vnodes", 1024, "consecutive vnode creations per run (paper: 1024)")
-		seed   = flag.Int64("seed", 1, "base seed; run i uses seed+i")
-		sample = flag.Int("sample", 64, "print every k-th step (metrics are still computed each step)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot   = flag.Bool("plot", false, "render an ASCII chart of each figure after its table")
+		exp      = flag.String("exp", "all", "experiment: "+strings.Join(experimentNames(), " ")+" all")
+		runs     = flag.Int("runs", 100, "independent runs to average (paper: 100)")
+		vnodes   = flag.Int("vnodes", 1024, "consecutive vnode creations per run (paper: 1024)")
+		seed     = flag.Int64("seed", 1, "base seed; run i uses seed+i")
+		sample   = flag.Int("sample", 64, "print every k-th step (metrics are still computed each step)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot     = flag.Bool("plot", false, "render an ASCII chart of each figure after its table")
+		benchDir = flag.String("bench-dir", ".", "directory nemesis scenarios write their BENCH_*.json records to")
 	)
 	flag.Parse()
-	o := sim.Options{Runs: *runs, Vnodes: *vnodes, Seed: *seed, SampleEvery: *sample}
-	run := func(name string, fn func(sim.Options) error) {
-		if *exp != "all" && *exp != name {
-			return
+	if *exp != "all" {
+		known := false
+		for _, e := range experiments {
+			if e.name == *exp {
+				known = true
+				break
+			}
 		}
-		if err := fn(o); err != nil {
-			fmt.Fprintf(os.Stderr, "dhtsim: %s: %v\n", name, err)
-			os.Exit(1)
+		if !known {
+			fmt.Fprintf(os.Stderr, "dhtsim: unknown experiment %q\nvalid experiments: %s all\n",
+				*exp, strings.Join(experimentNames(), " "))
+			os.Exit(2)
 		}
 	}
 	printer := tablePrinter
@@ -81,26 +145,18 @@ func main() {
 			fmt.Println(chart)
 		}
 	}
-	run("fig4", func(o sim.Options) error { return fig4(o, printer) })
-	run("fig5", func(o sim.Options) error { return fig5(o) })
-	run("fig6", func(o sim.Options) error { return fig6(o, printer) })
-	run("fig7", func(o sim.Options) error { return fig7(o, printer) })
-	run("fig8", func(o sim.Options) error { return fig8(o, printer) })
-	run("fig9", func(o sim.Options) error { return fig9(o, printer) })
-	run("stability", func(o sim.Options) error { return stability(o, printer) })
-	run("ratio", func(o sim.Options) error { return ratio(o) })
-	run("hetero", func(o sim.Options) error { return hetero(o) })
-	run("skew", func(o sim.Options) error { return skew(o) })
-	run("crash", func(o sim.Options) error { return crash(o) })
-	run("restart", func(o sim.Options) error { return restart(o) })
-	run("failover", func(o sim.Options) error { return failover(o) })
-	run("trace", func(o sim.Options) error { return traceDemo(o.Seed) })
-	if *exp != "all" {
-		switch *exp {
-		case "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "stability", "ratio", "hetero", "skew", "crash", "restart", "failover", "trace":
-		default:
-			fmt.Fprintf(os.Stderr, "dhtsim: unknown experiment %q\n", *exp)
-			os.Exit(2)
+	ctx := expCtx{
+		o:        sim.Options{Runs: *runs, Vnodes: *vnodes, Seed: *seed, SampleEvery: *sample},
+		print:    printer,
+		benchDir: *benchDir,
+	}
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		if err := e.run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtsim: %s: %v\n", e.name, err)
+			os.Exit(1)
 		}
 	}
 }

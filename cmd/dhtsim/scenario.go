@@ -1,0 +1,626 @@
+// Nemesis scenarios: a scenario is a value — {topology, workload,
+// nemesis schedule, invariants} — and the runner is one generic loop, so
+// new fault campaigns are data, not code.  Every source of randomness
+// (key choice, op mix, values, drop coins, jitter draws) derives from
+// the -seed flag, so a failing run reproduces exactly from its printed
+// seed.  Each run emits a BENCH_nemesis_<name>.json record with the
+// machine-checked invariant verdicts and the latency tail.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"dbdht"
+	"dbdht/internal/invariant"
+	"dbdht/internal/workload"
+)
+
+// scnTopo is the cluster a scenario runs on.
+type scnTopo struct {
+	snodes, vnodes int
+	replicas       int
+	pmin, vmin     int
+	rpcTimeout     time.Duration
+	antiEntropy    time.Duration
+	durable        bool // journal to a temp dir, fsync=batch
+}
+
+// scnLoad is the workload a scenario applies: `workers` goroutines each
+// run `ops` operations of a YCSB-style mix over a private zipfian or
+// uniform key stream.  Per-worker key prefixes keep every key
+// single-writer, which is what makes "the last acknowledged value" well
+// defined for the invariant checkers.
+type scnLoad struct {
+	workers   int
+	ops       int     // per worker; fixed so the key stream is a pure function of the seed
+	rate      float64 // aggregate open-loop target op/s (0 = closed loop)
+	keys      int     // per-worker key-space size
+	zipf      float64 // zipf exponent (0 = uniform keys)
+	ratios    workload.MixRatios
+	valueSize int
+	scanLen   int
+	blobEvery int // every n-th op per worker writes a chunked blob instead
+	blobSize  int
+	blobChunk int
+}
+
+// scnEvent is one nemesis schedule entry, fired `at` after the workload
+// starts.  heal marks the event the convergence clock starts from.
+type scnEvent struct {
+	at   time.Duration
+	desc string
+	heal bool
+	do   func(*scnEnv) error
+}
+
+// scnEnv is what nemesis events and probes act on.
+type scnEnv struct {
+	c    *dbdht.Cluster
+	net  *dbdht.NetFaults
+	disk *dbdht.DiskFaults
+	ids  []dbdht.SnodeID
+}
+
+// scenario is a complete nemesis campaign.
+type scenario struct {
+	name, title string
+	topo        scnTopo
+	load        scnLoad
+	nemesis     []scnEvent
+	staleBound  time.Duration // bounded-staleness budget for mid-run reads
+	convergeIn  time.Duration // deadline for convergence after heal
+	maxSigma    float64       // quota deviation [%] the cluster must settle under
+}
+
+// --- the scenario catalog ---
+
+// partitionScenario: a 2s symmetric partition splits the snodes in half
+// under sustained zipfian writes (clients stay connected, so writes ack
+// from primaries while cross-cut replication lags), then heals.
+// Anti-entropy must re-converge and no acknowledged write may be lost.
+func partitionScenario() scenario {
+	return scenario{
+		name:  "partition",
+		title: "2s symmetric partition between snode halves under zipfian writes, then heal",
+		topo: scnTopo{
+			snodes: 6, vnodes: 24, replicas: 2, pmin: 32, vmin: 8,
+			rpcTimeout: 1 * time.Second, antiEntropy: 50 * time.Millisecond,
+		},
+		load: scnLoad{
+			workers: 4, ops: 1500, rate: 1500, keys: 2000, zipf: 1.2,
+			ratios: workload.MixRatios{Update: 0.8}, valueSize: 64,
+		},
+		nemesis: []scnEvent{
+			{at: 1 * time.Second, desc: "partition snodes {0..2} | {3..5}",
+				do: func(e *scnEnv) error { e.net.Partition(e.ids[:3], e.ids[3:]); return nil }},
+			{at: 3 * time.Second, desc: "heal", heal: true,
+				do: func(e *scnEnv) error { e.net.Heal(); return nil }},
+		},
+		staleBound: 2 * time.Second,
+		convergeIn: 20 * time.Second,
+		maxSigma:   50,
+	}
+}
+
+// slowlinkScenario: the classic flaky WAN link — 250ms ± 50ms one-way
+// delay plus 5% frame loss in both directions between the halves.
+// Nothing is down, everything is slow; acks must survive it.
+func slowlinkScenario() scenario {
+	return scenario{
+		name:  "slowlink",
+		title: "250ms±50ms delay + 5% drop between snode halves under a read-mostly mix, then heal",
+		topo: scnTopo{
+			snodes: 6, vnodes: 24, replicas: 2, pmin: 32, vmin: 8,
+			rpcTimeout: 1 * time.Second, antiEntropy: 50 * time.Millisecond,
+		},
+		load: scnLoad{
+			workers: 4, ops: 1200, rate: 1200, keys: 2000, zipf: 1.2,
+			ratios: workload.MixRatios{Update: 0.3}, valueSize: 64,
+		},
+		nemesis: []scnEvent{
+			{at: 1 * time.Second, desc: "slow+lossy link snodes {0..2} | {3..5} (250ms±50ms, drop 5%)",
+				do: func(e *scnEnv) error {
+					a, b := e.ids[:3], e.ids[3:]
+					e.net.SetLinkDelay(a, b, 250*time.Millisecond, 50*time.Millisecond)
+					e.net.SetLinkDelay(b, a, 250*time.Millisecond, 50*time.Millisecond)
+					e.net.SetLinkDrop(a, b, 0.05)
+					e.net.SetLinkDrop(b, a, 0.05)
+					return nil
+				}},
+			{at: 3 * time.Second, desc: "heal", heal: true,
+				do: func(e *scnEnv) error { e.net.Heal(); return nil }},
+		},
+		staleBound: 2 * time.Second,
+		convergeIn: 20 * time.Second,
+		maxSigma:   50,
+	}
+}
+
+// slowdiskScenario: the WAL's fsyncs turn slow (20ms±10ms) and start
+// failing 20% of the time mid-run.  Failed fsyncs re-buffer and retry,
+// so durability waits stretch but no acknowledged write may be lost.
+func slowdiskScenario() scenario {
+	return scenario{
+		name:  "slowdisk",
+		title: "slow (20ms±10ms) and failing (20%) fsyncs under fsync=batch writes, then heal",
+		topo: scnTopo{
+			snodes: 4, vnodes: 16, replicas: 2, pmin: 32, vmin: 8,
+			rpcTimeout: 2 * time.Second, antiEntropy: 50 * time.Millisecond,
+			durable: true,
+		},
+		load: scnLoad{
+			workers: 4, ops: 900, rate: 900, keys: 2000, zipf: 1.2,
+			ratios: workload.MixRatios{Update: 0.8}, valueSize: 64,
+		},
+		nemesis: []scnEvent{
+			{at: 1 * time.Second, desc: "slow fsync 20ms±10ms, fsync error rate 20%",
+				do: func(e *scnEnv) error {
+					e.disk.SetSlowFsync(20*time.Millisecond, 10*time.Millisecond)
+					e.disk.SetFsyncErrorRate(0.2)
+					return nil
+				}},
+			{at: 3 * time.Second, desc: "heal", heal: true,
+				do: func(e *scnEnv) error { e.disk.Heal(); return nil }},
+		},
+		staleBound: 2 * time.Second,
+		convergeIn: 20 * time.Second,
+		maxSigma:   50,
+	}
+}
+
+// ycsbScenario: no nemesis — the YCSB-B read-mostly mix with short
+// scans and periodic chunked 64KiB blobs, open-loop paced.  The
+// baseline the fault campaigns are read against.
+func ycsbScenario() scenario {
+	s := scenario{
+		name:  "ycsb",
+		title: "YCSB-B (95/5) with scans and chunked 64KiB blobs, open-loop paced, no nemesis",
+		topo: scnTopo{
+			snodes: 4, vnodes: 16, replicas: 2, pmin: 32, vmin: 8,
+			rpcTimeout: 2 * time.Second, antiEntropy: 100 * time.Millisecond,
+		},
+		load: scnLoad{
+			workers: 4, ops: 2000, rate: 4000, keys: 4000, zipf: 1.2,
+			valueSize: 128, scanLen: 8,
+			blobEvery: 500, blobSize: 64 << 10, blobChunk: 8 << 10,
+		},
+		staleBound: 2 * time.Second,
+		convergeIn: 10 * time.Second,
+		maxSigma:   50,
+	}
+	s.load.ratios = workload.YCSBB()
+	s.load.ratios.Scan = 0.05
+	return s
+}
+
+// --- the generic runner ---
+
+// runScenario builds the topology, applies the workload while firing
+// the nemesis schedule, then machine-checks the invariants and writes
+// the BENCH record.  Any failed invariant is an error.
+func runScenario(sc scenario, seed int64, benchDir string) error {
+	fmt.Printf("\n== nemesis %s: %s ==\n", sc.name, sc.title)
+	fmt.Printf("seed %d — rerun with -exp %s -seed %d to reproduce the exact fault schedule and key stream\n",
+		seed, sc.name, seed)
+
+	netFaults := dbdht.NewNetFaults(seed)
+	opts := dbdht.ClusterOptions{
+		Pmin: sc.topo.pmin, Vmin: sc.topo.vmin, Seed: seed,
+		Replicas:            sc.topo.replicas,
+		RPCTimeout:          sc.topo.rpcTimeout,
+		AntiEntropyInterval: sc.topo.antiEntropy,
+		Faults:              netFaults,
+	}
+	env := &scnEnv{net: netFaults}
+	if sc.topo.durable {
+		dir, err := os.MkdirTemp("", "dbdht-nemesis-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		env.disk = dbdht.NewDiskFaults(seed + 1)
+		opts.Durability = dbdht.DurabilityConfig{
+			Dir: dir, Fsync: dbdht.FsyncBatch, SnapshotInterval: -1,
+			Faults: env.disk,
+		}
+	}
+	c, err := dbdht.NewCluster(opts)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	env.c = c
+	for i := 0; i < sc.topo.snodes; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			return err
+		}
+	}
+	env.ids = c.Snodes()
+	for i := 0; i < sc.topo.vnodes; i++ {
+		if _, _, err := c.CreateVnode(env.ids[i%len(env.ids)]); err != nil {
+			return err
+		}
+	}
+
+	// Print the deterministic nemesis schedule up front.
+	for _, ev := range sc.nemesis {
+		fmt.Printf("  t=%-6v %s\n", ev.at, ev.desc)
+	}
+
+	rec := invariant.NewRecorder()
+	var pacer *workload.Pacer
+	if sc.load.rate > 0 {
+		if pacer, err = workload.NewPacer(sc.load.rate); err != nil {
+			return err
+		}
+	}
+
+	// Nemesis firing runs beside the workload; a fired event's error
+	// aborts the run.
+	start := time.Now()
+	var healedAt time.Time
+	nemErr := make(chan error, 1)
+	nemDone := make(chan struct{})
+	go func() {
+		defer close(nemDone)
+		for _, ev := range sc.nemesis {
+			if wait := time.Until(start.Add(ev.at)); wait > 0 {
+				time.Sleep(wait)
+			}
+			fmt.Printf("  [%7.3fs] nemesis: %s\n", time.Since(start).Seconds(), ev.desc)
+			if err := ev.do(env); err != nil {
+				nemErr <- fmt.Errorf("nemesis %q: %w", ev.desc, err)
+				return
+			}
+			if ev.heal {
+				healedAt = time.Now()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	workerErrs := make(chan error, sc.load.workers)
+	prints := make([]uint64, sc.load.workers)
+	for w := 0; w < sc.load.workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			fpw, err := runWorker(c, rec, pacer, sc.load, seed, w)
+			prints[w] = fpw
+			if err != nil {
+				workerErrs <- fmt.Errorf("worker %d: %w", w, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-nemDone
+	select {
+	case err := <-nemErr:
+		return err
+	case err := <-workerErrs:
+		return err
+	default:
+	}
+	loadDur := time.Since(start)
+	if healedAt.IsZero() {
+		healedAt = time.Now() // no heal event: converge from workload end
+	}
+
+	// Key-stream fingerprint: XOR of the per-worker FNV sums over every
+	// generated key.  Two runs with one seed must print the same value.
+	var fingerprint uint64
+	for _, p := range prints {
+		fingerprint ^= p
+	}
+	fmt.Printf("  key-stream fingerprint %016x (seed-stable)\n", fingerprint)
+
+	// Invariant 3 first — it polls until the cluster goes quiet, and the
+	// final read-back for invariant 1 wants the repaired state.
+	conv := invariant.CheckConvergence(healedAt, sc.convergeIn, 100*time.Millisecond, 3, sc.maxSigma,
+		func() (int64, float64) {
+			repairs := c.StatsTotal().ReplRepairs
+			sigma := 0.0
+			if loads, err := c.LoadReport(); err == nil {
+				sigma = 100 * quotaSigmaOf(loads)
+			}
+			return repairs, sigma
+		})
+
+	acked := rec.AckedKeys()
+	final := make(map[string]invariant.ReadBack, len(acked))
+	for off := 0; off < len(acked); off += 4096 {
+		end := min(off+4096, len(acked))
+		res, err := c.MGet(acked[off:end])
+		if err != nil {
+			return fmt.Errorf("final read-back: %w", err)
+		}
+		for _, r := range res {
+			if !r.OK() {
+				continue // an erroring read stays absent = counted lost
+			}
+			final[r.Key] = invariant.ReadBack{Value: r.Value, Found: r.Found}
+		}
+	}
+	verdicts := []invariant.Verdict{
+		rec.CheckNoAckedLoss(final),
+		rec.CheckBoundedStaleness(sc.staleBound),
+		conv,
+	}
+
+	writes, ackedN, reads := rec.Counts()
+	lat := c.Latencies()
+	us := func(q float64) float64 { return 1e6 * lat.BatchRPC.Quantile(q) }
+	st := c.StatsTotal()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "writes\tacked\treads\tload [s]\trepl lagged\trepairs\tbatch-RPC p50 [µs]\tp95 [µs]\tp99 [µs]")
+	fmt.Fprintf(tw, "%d\t%d\t%d\t%.2f\t%d\t%d\t%.0f\t%.0f\t%.0f\n",
+		writes, ackedN, reads, loadDur.Seconds(), st.ReplLagged, st.ReplRepairs,
+		us(0.50), us(0.95), us(0.99))
+	tw.Flush()
+	pass := true
+	for _, v := range verdicts {
+		fmt.Printf("  %s\n", v)
+		if !v.Pass {
+			pass = false
+		}
+	}
+
+	if err := writeScenarioRecord(sc, seed, fingerprint, verdicts, pass, benchDir, map[string]float64{
+		"writes": float64(writes), "acked": float64(ackedN), "reads": float64(reads),
+		"load_s": loadDur.Seconds(), "repl_lagged": float64(st.ReplLagged),
+		"repl_repairs":     float64(st.ReplRepairs),
+		"batch_rpc_p50_us": us(0.50), "batch_rpc_p95_us": us(0.95), "batch_rpc_p99_us": us(0.99),
+	}); err != nil {
+		return err
+	}
+	if !pass {
+		return fmt.Errorf("nemesis %s: invariant violation (see verdicts above)", sc.name)
+	}
+	return nil
+}
+
+// runWorker drives one worker's op stream and returns the worker's
+// key-stream fingerprint.  All randomness derives from (seed, w), so
+// the stream — keys, kinds, values — is identical across runs.
+func runWorker(c *dbdht.Cluster, rec *invariant.Recorder, pacer *workload.Pacer, load scnLoad, seed int64, w int) (uint64, error) {
+	rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
+	var keys workload.KeyGen
+	var err error
+	if load.zipf > 0 {
+		keys, err = workload.NewZipf(rng, load.zipf, load.keys)
+	} else {
+		keys, err = workload.NewUniform(rng, load.keys)
+	}
+	if err != nil {
+		return 0, err
+	}
+	gen, err := workload.NewGen(rng, keys, load.ratios, load.valueSize, max(load.scanLen, 1))
+	if err != nil {
+		return 0, err
+	}
+
+	prefix := fmt.Sprintf("w%d-", w)
+	fp := fnv.New64a()
+	var puts []dbdht.KV
+	putIdx := make(map[string]int) // key → index in puts
+	var gets []string
+	blobs := 0
+
+	flushPuts := func() error {
+		if len(puts) == 0 {
+			return nil
+		}
+		batch := puts
+		puts, putIdx = nil, make(map[string]int)
+		start := time.Now()
+		res, err := c.MPut(batch)
+		if err != nil {
+			// Whole-call failure: every write is unacknowledged but may
+			// still have landed — record as indeterminate.
+			for _, kv := range batch {
+				rec.RecordWrite(kv.Key, kv.Value, start, false)
+			}
+			return nil
+		}
+		for _, r := range res {
+			var val []byte
+			for _, kv := range batch {
+				if kv.Key == r.Key {
+					val = kv.Value
+					break
+				}
+			}
+			rec.RecordWrite(r.Key, val, start, r.OK())
+		}
+		return nil
+	}
+	flushGets := func() error {
+		if len(gets) == 0 {
+			return nil
+		}
+		batch := gets
+		gets = nil
+		start := time.Now()
+		res, err := c.MGet(batch)
+		if err != nil {
+			return nil // whole-call failure: nothing was observed
+		}
+		end := time.Now()
+		for _, r := range res {
+			if r.OK() {
+				rec.RecordRead(r.Key, r.Value, r.Found, start, end)
+			}
+		}
+		return nil
+	}
+
+	const batchSize = 32
+	// A hot zipfian key can recur within one pending batch; the later
+	// value supersedes the unsent earlier one, keeping every MPut free
+	// of duplicate keys so "the last acknowledged value" stays exact.
+	addPut := func(key string, val []byte) error {
+		if j, ok := putIdx[key]; ok {
+			puts[j].Value = val
+			return nil
+		}
+		putIdx[key] = len(puts)
+		puts = append(puts, dbdht.KV{Key: key, Value: val})
+		if len(puts) >= batchSize {
+			return flushPuts()
+		}
+		return nil
+	}
+	for i := 0; i < load.ops; i++ {
+		if pacer != nil {
+			pacer.Wait()
+		}
+		if load.blobEvery > 0 && i > 0 && i%load.blobEvery == 0 {
+			// A chunked blob replaces this op: one MPut carrying every chunk.
+			base := fmt.Sprintf("%sblob-%04d", prefix, blobs)
+			blobs++
+			ops, err := workload.ChunkOps(rng, base, load.blobSize, load.blobChunk)
+			if err != nil {
+				return 0, err
+			}
+			if err := flushPuts(); err != nil {
+				return 0, err
+			}
+			for _, op := range ops {
+				fp.Write([]byte(op.Key))
+				if err := addPut(op.Key, op.Value); err != nil {
+					return 0, err
+				}
+			}
+			if err := flushPuts(); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		op := gen.Next()
+		op.Key = prefix + op.Key
+		fp.Write([]byte(op.Key))
+		switch op.Kind {
+		case workload.Put:
+			if err := addPut(op.Key, op.Value); err != nil {
+				return 0, err
+			}
+		case workload.Scan:
+			gets = append(gets, scanKeys(op.Key, op.ScanLen)...)
+			if len(gets) >= batchSize {
+				if err := flushGets(); err != nil {
+					return 0, err
+				}
+			}
+		default: // Get (the scenarios use no deletes)
+			gets = append(gets, op.Key)
+			if len(gets) >= batchSize {
+				if err := flushGets(); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	if err := flushPuts(); err != nil {
+		return 0, err
+	}
+	if err := flushGets(); err != nil {
+		return 0, err
+	}
+	return fp.Sum64(), nil
+}
+
+// scanKeys expands a scan anchor into its n consecutive keys by
+// incrementing the key's trailing decimal index (the generators all
+// emit fixed-width numeric suffixes, so order is lexical).
+func scanKeys(key string, n int) []string {
+	i := len(key)
+	for i > 0 && key[i-1] >= '0' && key[i-1] <= '9' {
+		i--
+	}
+	if i == len(key) || n < 1 {
+		return []string{key}
+	}
+	head, digits := key[:i], key[i:]
+	idx, err := strconv.Atoi(digits)
+	if err != nil {
+		return []string{key}
+	}
+	out := make([]string, n)
+	for j := range out {
+		out[j] = fmt.Sprintf("%s%0*d", head, len(digits), idx+j)
+	}
+	return out
+}
+
+// quotaSigmaOf is the balancer's convergence metric: relative stddev of
+// capacity-normalized per-snode quotas.
+func quotaSigmaOf(loads []dbdht.SnodeLoad) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	mean := 0.0
+	norm := make([]float64, len(loads))
+	for i, l := range loads {
+		norm[i] = l.Quota / l.Capacity
+		mean += norm[i]
+	}
+	mean /= float64(len(norm))
+	if mean == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, q := range norm {
+		d := q - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum/float64(len(norm))) / mean
+}
+
+// scnRecord is the BENCH_nemesis_<name>.json shape.
+type scnRecord struct {
+	Scenario    string              `json:"scenario"`
+	Title       string              `json:"title"`
+	Date        string              `json:"date"`
+	Go          string              `json:"go"`
+	Seed        int64               `json:"seed"`
+	Fingerprint string              `json:"key_stream_fingerprint"`
+	Nemesis     []string            `json:"nemesis"`
+	Metrics     map[string]float64  `json:"metrics"`
+	Invariants  []invariant.Verdict `json:"invariants"`
+	Pass        bool                `json:"pass"`
+}
+
+func writeScenarioRecord(sc scenario, seed int64, fingerprint uint64, verdicts []invariant.Verdict, pass bool, dir string, metrics map[string]float64) error {
+	var sched []string
+	for _, ev := range sc.nemesis {
+		sched = append(sched, fmt.Sprintf("t=%v %s", ev.at, ev.desc))
+	}
+	rec := scnRecord{
+		Scenario: sc.name, Title: sc.title,
+		Date: time.Now().Format("2006-01-02"),
+		Go:   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		Seed: seed, Fingerprint: fmt.Sprintf("%016x", fingerprint),
+		Nemesis: sched, Metrics: metrics, Invariants: verdicts, Pass: pass,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_nemesis_"+sc.name+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  record written to %s\n", path)
+	return nil
+}

@@ -102,6 +102,29 @@ const (
 // ParseFsyncMode parses "off", "batch" or "always" (the -fsync flag).
 func ParseFsyncMode(s string) (FsyncMode, error) { return wal.ParseFsyncMode(s) }
 
+// SnodeID identifies a cluster snode on the message fabric — the id
+// AddSnode returns and the unit NetFaults host sets are expressed in.
+type SnodeID = transport.NodeID
+
+// NetFaults is a nemesis fault plan for the message fabric: symmetric or
+// asymmetric partitions between host sets, per-link one-way delay with
+// jitter, probabilistic frame drop, and Heal — all reproducible from one
+// seed.  Attach via ClusterOptions.Faults.
+type NetFaults = transport.Faults
+
+// NewNetFaults returns an empty fabric fault plan seeded for
+// reproducibility.
+func NewNetFaults(seed int64) *NetFaults { return transport.NewFaults(seed) }
+
+// DiskFaults is a nemesis fault plan for the write-ahead log: slow
+// fsyncs and probabilistic fsync failures, reproducible from one seed.
+// Attach via DurabilityConfig.Faults.
+type DiskFaults = wal.Faults
+
+// NewDiskFaults returns an empty disk fault plan seeded for
+// reproducibility.
+func NewDiskFaults(seed int64) *DiskFaults { return wal.NewFaults(seed) }
+
 // GroupID is the decentralized binary group identifier of §3.7.1.
 type GroupID = core.GroupID
 
@@ -170,6 +193,10 @@ type ClusterOptions struct {
 	SlowOpThreshold time.Duration
 	// Logger receives structured cluster and WAL events.  Nil discards.
 	Logger *slog.Logger
+	// Faults optionally attaches a nemesis fault plan to the message
+	// fabric (partitions, lossy or slow links); see NewNetFaults.  Disk
+	// faults ride Durability.Faults.  Nil means a healthy fabric.
+	Faults *NetFaults
 }
 
 // NewLocal returns an empty local-approach DHT.
@@ -191,6 +218,10 @@ func NewConsistentHashing(k int, seed int64) (*ConsistentHashing, error) {
 // NewCluster starts a cluster over an in-memory message fabric — the
 // default for experiments and tests.
 func NewCluster(o ClusterOptions) (*Cluster, error) {
+	net := transport.NewMem()
+	if o.Faults != nil {
+		net.SetFaults(o.Faults)
+	}
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
@@ -199,12 +230,16 @@ func NewCluster(o ClusterOptions) (*Cluster, error) {
 		Durability:  o.Durability,
 		TraceSample: o.TraceSample, TraceBufferSize: o.TraceBuffer,
 		SlowOpThreshold: o.SlowOpThreshold, Logger: o.Logger,
-	}, transport.NewMem())
+	}, net)
 }
 
 // NewClusterTCP starts a cluster whose snodes communicate over real TCP
 // connections bound to the given host (e.g. "127.0.0.1").
 func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
+	net := transport.NewTCP(host)
+	if o.Faults != nil {
+		net.SetFaults(o.Faults)
+	}
 	return cluster.New(cluster.Config{
 		Pmin: o.Pmin, Vmin: o.Vmin, Seed: o.Seed, RPCTimeout: o.RPCTimeout,
 		Replicas: o.Replicas, AntiEntropyInterval: o.AntiEntropyInterval,
@@ -213,7 +248,7 @@ func NewClusterTCP(o ClusterOptions, host string) (*Cluster, error) {
 		Durability:  o.Durability,
 		TraceSample: o.TraceSample, TraceBufferSize: o.TraceBuffer,
 		SlowOpThreshold: o.SlowOpThreshold, Logger: o.Logger,
-	}, transport.NewTCP(host))
+	}, net)
 }
 
 // Hash maps an arbitrary key to the hash range R_h.

@@ -65,9 +65,36 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		body := frame[4:] // FuzzDecodeFrame consumes the body after the length prefix
-		content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(body)))
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		if err := writeSeed(dir, name, body); err != nil {
 			t.Fatal(err)
 		}
 	}
+
+	// A multi-item batch frame cut mid-payload: the decoder must reject a
+	// body whose declared item lengths run past the truncated end instead
+	// of over-reading.  This is the shape a torn TCP read (or a nemesis
+	// drop landing mid-burst) would hand the framer.
+	burst, err := transport.AppendFrame(nil, transport.Envelope{
+		From: -1, To: 1, Msg: batchReq{
+			Op: 17, Kind: opPut, ReplyTo: -1,
+			Items: []batchItem{
+				{Key: "burst-key-0", Value: []byte("burst-value-0")},
+				{Key: "burst-key-1", Value: []byte("burst-value-1")},
+				{Key: "burst-key-2", Value: []byte("burst-value-2")},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := burst[4:]
+	// Cut inside the second item's payload, past the header and first item.
+	if err := writeSeed(dir, "seed-truncated-mid-burst", body[:len(body)*2/3]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeSeed(dir, name string, body []byte) error {
+	content := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(body)))
+	return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
 }

@@ -72,6 +72,10 @@ type DurabilityConfig struct {
 	SnapshotInterval time.Duration
 	// SegmentBytes caps one WAL segment file (default 16 MiB).
 	SegmentBytes int64
+	// Faults optionally injects disk faults (slow or failing fsyncs)
+	// into every snode's WAL — the nemesis hook for fault-tolerance
+	// scenarios.  Nil means healthy disks.
+	Faults *wal.Faults
 }
 
 // durable is an snode's durability state (nil when off).
@@ -163,6 +167,7 @@ func (s *Snode) openDurability() error {
 	}
 	log, err := wal.Open(filepath.Join(root, "wal"), wal.Options{
 		Fsync: dc.Fsync, SegmentBytes: dc.SegmentBytes, Logger: s.log,
+		Faults: dc.Faults,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dbdht/internal/cluster/transport"
+)
+
+// TestFailoverDuringPartitionIsolatingReplica is the compound nemesis
+// regression: with R=2, a network partition isolates one snode from its
+// peers, and while that partition is open the primary of some of the
+// isolated snode's replicated partitions crashes.  The failover election
+// must still complete — staleGeometry probes to unreachable members are
+// skipped by design (the check is best-effort, like the election it
+// guards) — and after the partition heals, anti-entropy must restore
+// full coverage with zero acked-write loss.
+//
+// The partition is snode-only: client links stay healthy, so the
+// isolated snode still hears the crash notice and keeps serving its own
+// primaries.  That is the interesting regime — both sides of the cut
+// observe the crash and run elections with a partial view.
+func TestFailoverDuringPartitionIsolatingReplica(t *testing.T) {
+	net := transport.NewMem()
+	faults := transport.NewFaults(77)
+	net.SetFaults(faults)
+	c, err := New(Config{
+		Pmin: 16, Vmin: 8, Seed: 77, RPCTimeout: 500 * time.Millisecond,
+		Replicas: 2, AntiEntropyInterval: 50 * time.Millisecond,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for i := 0; i < 5; i++ {
+		if _, err := c.AddSnode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	growCluster(t, c, 10)
+
+	keys, items := batchKeys(600)
+	results, err := c.MPut(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := make(map[string]string) // key → expected value
+	for i, r := range results {
+		if !r.OK() {
+			t.Fatalf("preload MPut %q: %s", r.Key, r.Err)
+		}
+		acked[keys[i]] = string(items[i].Value)
+	}
+	// Replication must settle BEFORE the partition opens: the write path
+	// acks once the primary holds the data even when a replica is
+	// unreachable (the lag is repaired by anti-entropy), so keys acked
+	// from here on may exist only on their primaries until the heal.
+	waitConverged(t, c)
+
+	ids := c.Snodes()
+	victim, isolated := ids[1], ids[len(ids)-1]
+	var majority []transport.NodeID
+	for _, id := range ids {
+		if id != isolated {
+			majority = append(majority, id)
+		}
+	}
+	faults.Partition([]transport.NodeID{isolated}, majority)
+
+	// Writer keeps batching through the blackout; only acked results
+	// count.  Batches routed at the dead snode burn an RPC timeout and
+	// come back unacked — that is the expected degraded mode.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ackedMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			batch := make([]KV, 16)
+			for j := range batch {
+				k := fmt.Sprintf("cut-%04d-%02d", round, j)
+				batch[j] = KV{Key: k, Value: []byte("v-" + k)}
+			}
+			res, err := c.MPut(batch)
+			if err != nil {
+				continue
+			}
+			ackedMu.Lock()
+			for _, r := range res {
+				if r.OK() {
+					acked[r.Key] = "v-" + r.Key
+				}
+			}
+			ackedMu.Unlock()
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond) // overlap the writer with the crash
+	if err := c.KillSnode(victim); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(600 * time.Millisecond) // write into the partitioned, degraded cluster
+	faults.Heal()
+	time.Sleep(100 * time.Millisecond) // a little post-heal traffic too
+	close(stop)
+	wg.Wait()
+
+	// Anti-entropy on the healed view re-replicates everything the cut
+	// and the crash left lagging.
+	waitConverged(t, c)
+
+	ackedKeys := make([]string, 0, len(acked))
+	for k := range acked {
+		ackedKeys = append(ackedKeys, k)
+	}
+	res, err := c.MGet(ackedKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := 0
+	for _, r := range res {
+		if !r.OK() || !r.Found || string(r.Value) != acked[r.Key] {
+			lost++
+			if lost <= 5 {
+				t.Errorf("acked key %q unreadable after heal: %+v", r.Key, r)
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("lost %d of %d acked keys (crash during partition, after heal)", lost, len(ackedKeys))
+	}
+	st := c.StatsTotal()
+	if st.Promotions == 0 {
+		t.Fatal("no replica was promoted for the crashed primary's partitions")
+	}
+	if st.Elections == 0 {
+		t.Fatal("no failover election ran despite a primary crash")
+	}
+}

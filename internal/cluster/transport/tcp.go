@@ -9,6 +9,7 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP is a fabric whose messages travel over real TCP connections as
@@ -35,6 +36,7 @@ type TCP struct {
 	addr      string                  // listen address, e.g. "127.0.0.1:0"
 	endpoints map[NodeID]*tcpEndpoint // guarded by mu
 	budget    int                     // guarded by mu
+	faults    *Faults                 // nemesis plan, nil = healthy; guarded by mu
 	closed    bool                    // guarded by mu
 }
 
@@ -50,6 +52,7 @@ type tcpEndpoint struct {
 	budget int
 	mu     sync.Mutex
 	conns  map[NodeID]*outConn // ordered-pair outbound connections; guarded by mu
+	faults *Faults             // nemesis plan, nil = healthy; guarded by mu
 	closed bool                // guarded by mu
 	wg     sync.WaitGroup
 }
@@ -97,6 +100,22 @@ func (t *TCP) SetWriterBudget(n int) {
 	}
 }
 
+// SetFaults attaches a nemesis fault plan.  Faults are applied on the
+// receive side, after a frame is decoded and before it is delivered, so
+// injected drops can never corrupt the framing of the stream they ride.
+// Attach before the fabric carries traffic (connections read the plan
+// when they are accepted); the plan's rules may then change live.
+func (t *TCP) SetFaults(f *Faults) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = f
+	for _, ep := range t.endpoints {
+		ep.mu.Lock()
+		ep.faults = f
+		ep.mu.Unlock()
+	}
+}
+
 // Register implements Network: it starts a listener and accept loop for the
 // endpoint.
 func (t *TCP) Register(id NodeID) (<-chan Envelope, error) {
@@ -117,6 +136,7 @@ func (t *TCP) Register(id NodeID) (<-chan Envelope, error) {
 		lis:    lis,
 		box:    newMailbox(0),
 		budget: t.budget,
+		faults: t.faults,
 		conns:  make(map[NodeID]*outConn),
 	}
 	ep.wg.Add(1)
@@ -153,6 +173,9 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bufp := frameBufPool.Get().(*[]byte)
 	defer frameBufPool.Put(bufp)
+	ep.mu.Lock()
+	faults := ep.faults
+	ep.mu.Unlock()
 	var hdr [frameHeaderLen]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
@@ -176,6 +199,16 @@ func (ep *tcpEndpoint) readLoop(conn net.Conn) {
 			// surface in logs, not vanish as a silent disconnect.
 			log.Printf("transport: node %d: dropping connection: %v", ep.id, err)
 			return
+		}
+		if v := faults.judge(env.From, ep.id); v.drop {
+			// Injected loss: the whole decoded message vanishes; the
+			// byte stream underneath stays intact.
+			continue
+		} else if v.delay > 0 {
+			// One-way link delay: this connection IS the ordered
+			// (From, ep.id) pair, so sleeping here slows only this link
+			// and preserves its FIFO order.
+			time.Sleep(v.delay)
 		}
 		if !ep.box.push(env) {
 			return

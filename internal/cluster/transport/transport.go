@@ -170,8 +170,10 @@ func (m *mailbox) close() {
 // Mem is the in-memory fabric.
 type Mem struct {
 	mu      sync.RWMutex
-	boxes   map[NodeID]*mailbox // guarded by mu
-	closed  bool                // guarded by mu
+	boxes   map[NodeID]*mailbox      // guarded by mu
+	faults  *Faults                  // nemesis plan, nil = healthy; guarded by mu
+	lines   map[faultLink]*delayLine // per-link delay queues; guarded by mu
+	closed  bool                     // guarded by mu
 	latency time.Duration
 }
 
@@ -187,6 +189,15 @@ func NewMem() *Mem {
 // dominated.
 func NewMemLatency(oneWay time.Duration) *Mem {
 	return &Mem{boxes: make(map[NodeID]*mailbox), latency: oneWay}
+}
+
+// SetFaults attaches a nemesis fault plan to the fabric.  Attach before
+// the fabric carries traffic; the plan's rules may then change live
+// (Partition, SetLinkDelay, Heal, ...).
+func (n *Mem) SetFaults(f *Faults) {
+	n.mu.Lock()
+	n.faults = f
+	n.mu.Unlock()
 }
 
 // Register implements Network.
@@ -223,14 +234,70 @@ func (n *Mem) Unregister(id NodeID) error {
 func (n *Mem) Send(env Envelope) error {
 	n.mu.RLock()
 	mb, ok := n.boxes[env.To]
+	f := n.faults
 	n.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("transport: destination %d not registered", env.To)
+	}
+	if f != nil {
+		v := f.judge(env.From, env.To)
+		if v.drop {
+			// The fabric ate it: the sender sees success, like a lost
+			// datagram; in-flight RPCs surface the loss as timeouts.
+			return nil
+		}
+		if v.delay > 0 || n.linePending(env.From, env.To) {
+			// Delayed links ride a per-link FIFO queue; once the queue
+			// drains after a heal, sends bypass it again.
+			n.lineFor(env.From, env.To).push(env, time.Now().Add(v.delay))
+			return nil
+		}
 	}
 	if !mb.push(env) {
 		return fmt.Errorf("transport: destination %d shutting down", env.To)
 	}
 	return nil
+}
+
+// linePending reports whether the link's delay line (if any) still holds
+// undelivered envelopes, in which case new sends must queue behind them
+// to preserve the link's FIFO order.
+func (n *Mem) linePending(from, to NodeID) bool {
+	n.mu.RLock()
+	l := n.lines[faultLink{from, to}]
+	n.mu.RUnlock()
+	return l != nil && l.pending()
+}
+
+// lineFor returns the link's delay line, creating it on first use.  The
+// line resolves the destination mailbox at delivery time, so an endpoint
+// that unregisters mid-delay just drops the late envelopes.
+func (n *Mem) lineFor(from, to NodeID) *delayLine {
+	k := faultLink{from, to}
+	n.mu.RLock()
+	l := n.lines[k]
+	n.mu.RUnlock()
+	if l != nil {
+		return l
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if l = n.lines[k]; l != nil {
+		return l
+	}
+	if n.lines == nil {
+		n.lines = make(map[faultLink]*delayLine)
+	}
+	l = newDelayLine(func(env Envelope) {
+		n.mu.RLock()
+		mb, ok := n.boxes[env.To]
+		n.mu.RUnlock()
+		if ok {
+			mb.push(env)
+		}
+	})
+	n.lines[k] = l
+	return l
 }
 
 // Close implements Network.
@@ -243,7 +310,12 @@ func (n *Mem) Close() error {
 	n.closed = true
 	boxes := n.boxes
 	n.boxes = make(map[NodeID]*mailbox)
+	lines := n.lines
+	n.lines = nil
 	n.mu.Unlock()
+	for _, l := range lines {
+		l.close()
+	}
 	for _, mb := range boxes {
 		mb.close()
 	}

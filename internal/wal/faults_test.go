@@ -1,0 +1,146 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFaultsSlowFsyncStretchesDurability(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaults(1)
+	l, err := Open(dir, Options{Fsync: FsyncBatch, Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Baseline: a healthy durability wait is far under the injected stall.
+	seq := l.Append([]byte("warm"))
+	if !l.WaitDurable(seq) {
+		t.Fatal("warm-up WaitDurable failed")
+	}
+
+	f.SetSlowFsync(80*time.Millisecond, 0)
+	start := time.Now()
+	seq = l.Append([]byte("slow"))
+	if !l.WaitDurable(seq) {
+		t.Fatal("WaitDurable failed under slow fsync")
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("durability wait %v under an 80ms fsync stall — fault not applied", el)
+	}
+
+	f.Heal()
+	start = time.Now()
+	seq = l.Append([]byte("healed"))
+	if !l.WaitDurable(seq) {
+		t.Fatal("WaitDurable failed after heal")
+	}
+	if el := time.Since(start); el > 60*time.Millisecond {
+		t.Fatalf("durability wait still %v after heal", el)
+	}
+}
+
+func TestFaultsFsyncErrorRetriesAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFaults(2)
+	l, err := Open(dir, Options{Fsync: FsyncBatch, Faults: f})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fsync fails: acked durability cannot be reached, but the
+	// records re-buffer instead of being thrown away.
+	f.SetFsyncErrorRate(1)
+	var seqs []uint64
+	for i := 0; i < 10; i++ {
+		seqs = append(seqs, l.Append([]byte(fmt.Sprintf("rec-%d", i))))
+	}
+	durable := make(chan bool, 1)
+	go func() { durable <- l.WaitDurable(seqs[len(seqs)-1]) }()
+	select {
+	case <-durable:
+		t.Fatal("WaitDurable returned while every fsync fails")
+	case <-time.After(200 * time.Millisecond):
+	}
+
+	// Heal: the re-buffered records must flush and the wait complete.
+	f.Heal()
+	l.kick()
+	select {
+	case ok := <-durable:
+		if !ok {
+			t.Fatal("WaitDurable failed after the disk healed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("durability never recovered after heal")
+	}
+	if errs := l.Stats().FsyncErrors.Load(); errs == 0 {
+		t.Fatal("no fsync errors counted despite error rate 1")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The injected-failure period must leave a fully replayable log.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got [][]byte
+	if err := l2.Replay(0, func(seq uint64, payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(seqs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(seqs))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, []byte(fmt.Sprintf("rec-%d", i))) {
+			t.Fatalf("record %d replayed as %q", i, p)
+		}
+	}
+}
+
+func TestFaultsSeededAndNilSafe(t *testing.T) {
+	var nilF *Faults
+	if d, err := nilF.fsyncFault(); d != 0 || err != nil {
+		t.Fatal("nil plan must be a healthy disk")
+	}
+	f := NewFaults(9)
+	if f.Seed() != 9 {
+		t.Fatalf("Seed() = %d", f.Seed())
+	}
+	if d, err := f.fsyncFault(); d != 0 || err != nil {
+		t.Fatal("empty plan must be a healthy disk")
+	}
+	// Equal seeds draw identical error coins.
+	coins := func(seed int64) []bool {
+		p := NewFaults(seed)
+		p.SetFsyncErrorRate(0.5)
+		out := make([]bool, 64)
+		for i := range out {
+			_, err := p.fsyncFault()
+			out[i] = err != nil
+		}
+		return out
+	}
+	a, b := coins(3), coins(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("coin %d differs across equally-seeded plans", i)
+		}
+	}
+	// Jitter never yields a negative delay.
+	f.SetSlowFsync(time.Millisecond, 10*time.Millisecond)
+	for i := 0; i < 100; i++ {
+		if d, err := f.fsyncFault(); err != nil || d < 0 {
+			t.Fatalf("draw %d: delay %v err %v", i, d, err)
+		}
+	}
+}

@@ -69,6 +69,10 @@ type Options struct {
 	BufferBytes int
 	// Logger receives recovery and I/O-failure events.  Nil discards.
 	Logger *slog.Logger
+	// Faults optionally injects disk faults (slow or failing fsyncs) into
+	// the flush path — the nemesis hook for fault-tolerance scenarios.
+	// Nil means a healthy disk.
+	Faults *Faults
 }
 
 func (o Options) withDefaults() Options {
@@ -87,29 +91,31 @@ func (o Options) withDefaults() Options {
 // Stats counts a log's lifetime work; fields are atomic so samplers never
 // contend with appenders.
 type Stats struct {
-	Appends    atomic.Int64 // records appended
-	Bytes      atomic.Int64 // payload bytes appended (framing excluded)
-	Fsyncs     atomic.Int64 // fsync calls issued
-	Flushes    atomic.Int64 // flush rounds (buffered bytes handed to the OS)
-	Rotations  atomic.Int64 // segment files opened after the first
-	Truncated  atomic.Int64 // segment files deleted by TruncateThrough
-	TornBytes  atomic.Int64 // bytes cut from the tail segment at recovery
-	Replayed   atomic.Int64 // records handed to Replay callbacks
-	SnapWrites atomic.Int64 // snapshot files written (WriteSnapshot)
+	Appends     atomic.Int64 // records appended
+	Bytes       atomic.Int64 // payload bytes appended (framing excluded)
+	Fsyncs      atomic.Int64 // fsync calls issued
+	FsyncErrors atomic.Int64 // failed fsyncs (real or injected); the batch re-buffers and retries
+	Flushes     atomic.Int64 // flush rounds (buffered bytes handed to the OS)
+	Rotations   atomic.Int64 // segment files opened after the first
+	Truncated   atomic.Int64 // segment files deleted by TruncateThrough
+	TornBytes   atomic.Int64 // bytes cut from the tail segment at recovery
+	Replayed    atomic.Int64 // records handed to Replay callbacks
+	SnapWrites  atomic.Int64 // snapshot files written (WriteSnapshot)
 }
 
 // StatsSnapshot is a plain-value copy of Stats.
 type StatsSnapshot struct {
-	Appends, Bytes, Fsyncs, Flushes int64
-	Rotations, Truncated, TornBytes int64
-	Replayed, SnapWrites            int64
+	Appends, Bytes, Fsyncs, FsyncErrors, Flushes int64
+	Rotations, Truncated, TornBytes              int64
+	Replayed, SnapWrites                         int64
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Appends: s.Appends.Load(), Bytes: s.Bytes.Load(),
-		Fsyncs: s.Fsyncs.Load(), Flushes: s.Flushes.Load(),
+		Fsyncs: s.Fsyncs.Load(), FsyncErrors: s.FsyncErrors.Load(),
+		Flushes:   s.Flushes.Load(),
 		Rotations: s.Rotations.Load(), Truncated: s.Truncated.Load(),
 		TornBytes: s.TornBytes.Load(), Replayed: s.Replayed.Load(),
 		SnapWrites: s.SnapWrites.Load(),
@@ -121,6 +127,7 @@ func (a *StatsSnapshot) Fold(b StatsSnapshot) {
 	a.Appends += b.Appends
 	a.Bytes += b.Bytes
 	a.Fsyncs += b.Fsyncs
+	a.FsyncErrors += b.FsyncErrors
 	a.Flushes += b.Flushes
 	a.Rotations += b.Rotations
 	a.Truncated += b.Truncated
@@ -323,7 +330,11 @@ func scanSegment(path string) (records int, validLen int64, err error) {
 // never reached disk would vanish with it.  Caller holds l.mu (or owns
 // the log exclusively, at Open).
 func (l *Log) openSegmentLocked(firstSeq uint64) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(firstSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND is load-bearing: the flush error path truncates the file to
+	// undo a write whose fsync failed, and the retry must land at the
+	// truncated end — a plain fd would keep its old offset and leave a
+	// zero-filled hole that replays as garbage.
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(firstSeq)), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
@@ -516,8 +527,20 @@ func (l *Log) flushThrough(target uint64, sync bool) error {
 		l.stats.Flushes.Add(1)
 	}
 	if err == nil && sync {
-		err = f.Sync()
-		l.stats.Fsyncs.Add(1)
+		// Nemesis hook: an injected failure takes the error path below
+		// (truncate + re-buffer + retry) before the real fsync ever runs;
+		// an injected stall just makes durability late, never wrong.
+		var d time.Duration
+		if d, err = l.opts.Faults.fsyncFault(); err == nil {
+			if d > 0 {
+				time.Sleep(d)
+			}
+			err = f.Sync()
+			l.stats.Fsyncs.Add(1)
+		}
+		if err != nil {
+			l.stats.FsyncErrors.Add(1)
+		}
 	}
 
 	l.mu.Lock()

@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ChunkKeys lists the chunk keys a blob of totalSize bytes occupies
+// when stored in chunkSize pieces under the given base key: base/c0000,
+// base/c0001, ...  The fixed-width suffix keeps chunk order equal to
+// lexical order.
+func ChunkKeys(base string, totalSize, chunkSize int) []string {
+	n := (totalSize + chunkSize - 1) / chunkSize
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s/c%04d", base, i)
+	}
+	return keys
+}
+
+// ChunkOps splits one large value into chunked Put ops — the pattern
+// real deployments use for blobs bigger than a single record.  Each
+// chunk is chunkSize bytes of rng-derived data except a possibly short
+// tail; the ops are ordered and their keys match ChunkKeys.
+func ChunkOps(rng *rand.Rand, base string, totalSize, chunkSize int) ([]Op, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("workload: rng must not be nil")
+	}
+	if totalSize < 1 || chunkSize < 1 {
+		return nil, fmt.Errorf("workload: blob sizes must be ≥ 1, got total=%d chunk=%d", totalSize, chunkSize)
+	}
+	keys := ChunkKeys(base, totalSize, chunkSize)
+	ops := make([]Op, len(keys))
+	left := totalSize
+	for i, k := range keys {
+		sz := chunkSize
+		if left < sz {
+			sz = left
+		}
+		left -= sz
+		val := make([]byte, sz)
+		rng.Read(val) // never fails per math/rand contract
+		ops[i] = Op{Kind: Put, Key: k, Value: val}
+	}
+	return ops, nil
+}

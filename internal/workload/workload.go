@@ -83,13 +83,35 @@ const (
 	Get OpKind = iota
 	Put
 	Delete
+	// Scan reads ScanLen consecutive keys starting at Key (YCSB
+	// workload E); against a hash-partitioned store the harness expands
+	// it into a multi-get over the successor keys.
+	Scan
 )
+
+// String names the kind for tables and verdicts.
+func (k OpKind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case Delete:
+		return "delete"
+	case Scan:
+		return "scan"
+	}
+	return fmt.Sprintf("opkind(%d)", int(k))
+}
 
 // Op is one operation against the DHT.
 type Op struct {
 	Kind  OpKind
 	Key   string
 	Value []byte
+	// ScanLen is the number of consecutive keys a Scan covers (0 for
+	// other kinds).
+	ScanLen int
 }
 
 // Mix generates operations with the given proportions over a key stream.

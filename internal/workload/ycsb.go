@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MixRatios are YCSB-style operation proportions.  Reads fill whatever
+// the named fractions leave over, so the zero value is a read-only
+// workload (YCSB C).
+type MixRatios struct {
+	// Update is the fraction of ops that overwrite an existing key.
+	Update float64
+	// Insert is the fraction of ops that put a fresh, never-seen key
+	// (drawn from a sequential tail, as YCSB's insert stream does).
+	Insert float64
+	// Scan is the fraction of ops that read ScanLen consecutive keys.
+	Scan float64
+	// Delete is the fraction of ops that delete a key.
+	Delete float64
+}
+
+// The classic YCSB core-workload mixes.
+//
+// YCSBA is the update-heavy mix (50% reads, 50% updates), YCSBB the
+// read-mostly mix (95/5), YCSBC read-only, and YCSBE the short-scan mix
+// (95% scans, 5% inserts).
+func YCSBA() MixRatios { return MixRatios{Update: 0.5} }
+func YCSBB() MixRatios { return MixRatios{Update: 0.05} }
+func YCSBC() MixRatios { return MixRatios{} }
+func YCSBE() MixRatios { return MixRatios{Insert: 0.05, Scan: 0.95} }
+
+func (r MixRatios) check() error {
+	for _, f := range []float64{r.Update, r.Insert, r.Scan, r.Delete} {
+		if f < 0 {
+			return fmt.Errorf("workload: negative mix fraction %v", f)
+		}
+	}
+	if s := r.Update + r.Insert + r.Scan + r.Delete; s > 1+1e-9 {
+		return fmt.Errorf("workload: mix fractions sum to %v > 1", s)
+	}
+	return nil
+}
+
+// Gen generates a YCSB-style operation stream: keys from any KeyGen
+// (zipfian for hotspots, uniform for flat load), operation kinds in the
+// given ratios, fixed-size random values, and a private sequential tail
+// for inserts.  Two Gens built from equally-seeded rngs and generators
+// emit identical streams.
+type Gen struct {
+	rng       *rand.Rand
+	keys      KeyGen
+	ratios    MixRatios
+	valueSize int
+	scanLen   int
+	inserts   *Sequential
+}
+
+// NewGen returns a generator over the given key stream.  valueSize
+// bytes of rng-derived data back every Put; scanLen is the span of each
+// Scan (ignored when ratios.Scan is 0).
+func NewGen(rng *rand.Rand, keys KeyGen, ratios MixRatios, valueSize, scanLen int) (*Gen, error) {
+	if rng == nil || keys == nil {
+		return nil, fmt.Errorf("workload: rng and keys must not be nil")
+	}
+	if err := ratios.check(); err != nil {
+		return nil, err
+	}
+	if valueSize < 0 {
+		return nil, fmt.Errorf("workload: value size must be ≥ 0, got %d", valueSize)
+	}
+	if ratios.Scan > 0 && scanLen < 1 {
+		return nil, fmt.Errorf("workload: scan mix needs scanLen ≥ 1, got %d", scanLen)
+	}
+	return &Gen{
+		rng: rng, keys: keys, ratios: ratios,
+		valueSize: valueSize, scanLen: scanLen,
+		inserts: NewSequential("ins"),
+	}, nil
+}
+
+// Next returns the next operation in the stream.
+func (g *Gen) Next() Op {
+	r := g.rng.Float64()
+	switch {
+	case r < g.ratios.Update:
+		val := make([]byte, g.valueSize)
+		g.rng.Read(val) // never fails per math/rand contract
+		return Op{Kind: Put, Key: g.keys.Next(), Value: val}
+	case r < g.ratios.Update+g.ratios.Insert:
+		val := make([]byte, g.valueSize)
+		g.rng.Read(val)
+		return Op{Kind: Put, Key: g.inserts.Next(), Value: val}
+	case r < g.ratios.Update+g.ratios.Insert+g.ratios.Scan:
+		return Op{Kind: Scan, Key: g.keys.Next(), ScanLen: g.scanLen}
+	case r < g.ratios.Update+g.ratios.Insert+g.ratios.Scan+g.ratios.Delete:
+		return Op{Kind: Delete, Key: g.keys.Next()}
+	default:
+		return Op{Kind: Get, Key: g.keys.Next()}
+	}
+}
